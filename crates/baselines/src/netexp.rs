@@ -1,0 +1,290 @@
+//! NetExp: incremental network expansion (INE, Papadias et al., ref \[16\]).
+//!
+//! The no-index baseline: objects are stored in the records of their
+//! edges' endpoint nodes, and a query is a Dijkstra expansion from the
+//! query node that collects objects as their nodes settle — "an almost
+//! blind scan over the entire search space ... slow node-by-node expansion
+//! towards all directions" (Section 2). Its redeeming qualities, which the
+//! experiments confirm: near-zero index cost and trivially cheap updates.
+
+use crate::layout::{ADJ_ENTRY_BYTES, NODE_BASE_BYTES, NS_NODES, OBJECT_BYTES};
+use crate::{timed, Engine, QueryCost, UpdateCost};
+use road_core::model::{Object, ObjectFilter, ObjectId};
+use road_core::search::SearchHit;
+use road_network::graph::{RoadNetwork, WeightKind};
+use road_network::hash::FastMap;
+use road_network::{EdgeId, NodeId, Weight};
+use road_storage::ccam::NodeClustering;
+use road_storage::pagemap::IoTracker;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The network-expansion engine.
+pub struct NetExpEngine {
+    g: RoadNetwork,
+    kind: WeightKind,
+    objects: FastMap<u64, Object>,
+    node_objects: FastMap<u32, Vec<ObjectId>>,
+    clustering: NodeClustering,
+    io: IoTracker,
+    build_seconds: f64,
+}
+
+impl NetExpEngine {
+    /// Builds the engine: clusters node records (with their objects) into
+    /// CCAM pages.
+    pub fn build(
+        g: RoadNetwork,
+        kind: WeightKind,
+        objects: Vec<Object>,
+        buffer_pages: usize,
+    ) -> Self {
+        let ((node_objects, object_map, clustering), build_seconds) = timed(|| {
+            let mut node_objects: FastMap<u32, Vec<ObjectId>> = FastMap::default();
+            let mut object_map: FastMap<u64, Object> = FastMap::default();
+            for o in objects {
+                let (a, b) = g.edge(o.edge).endpoints();
+                node_objects.entry(a.0).or_default().push(o.id);
+                node_objects.entry(b.0).or_default().push(o.id);
+                object_map.insert(o.id.0, o);
+            }
+            let clustering = Self::cluster(&g, &node_objects);
+            (node_objects, object_map, clustering)
+        });
+        NetExpEngine {
+            g,
+            kind,
+            objects: object_map,
+            node_objects,
+            clustering,
+            io: IoTracker::new(buffer_pages),
+            build_seconds,
+        }
+    }
+
+    fn cluster(g: &RoadNetwork, node_objects: &FastMap<u32, Vec<ObjectId>>) -> NodeClustering {
+        NodeClustering::build(g, |n| {
+            let objs = node_objects.get(&n.0).map(Vec::len).unwrap_or(0);
+            NODE_BASE_BYTES + ADJ_ENTRY_BYTES * g.degree(n) + OBJECT_BYTES * objs
+        })
+    }
+
+    fn touch_node(&mut self, n: NodeId) {
+        let (start, span) = self.clustering.span_of(n);
+        self.io.touch_span(NS_NODES, start, span);
+    }
+
+    /// Shared expansion loop; `radius = None` means kNN mode.
+    fn search(
+        &mut self,
+        source: NodeId,
+        k: usize,
+        radius: Option<Weight>,
+        filter: &ObjectFilter,
+    ) -> QueryCost {
+        self.io.reset(); // the paper starts every query with a cold cache
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+        enum Key {
+            Object(u64),
+            Node(u32),
+        }
+        let mut dist: FastMap<u32, Weight> = FastMap::default();
+        let mut settled: road_network::hash::FastSet<u32> = Default::default();
+        let mut seen_obj: road_network::hash::FastSet<u64> = Default::default();
+        let mut heap = BinaryHeap::new();
+        let mut hits = Vec::new();
+        let mut nodes_visited = 0usize;
+        dist.insert(source.0, Weight::ZERO);
+        heap.push(Reverse((Weight::ZERO, Key::Node(source.0))));
+        while let Some(Reverse((d, key))) = heap.pop() {
+            match key {
+                Key::Object(oid) => {
+                    if !seen_obj.insert(oid) {
+                        continue;
+                    }
+                    hits.push(SearchHit { object: ObjectId(oid), distance: d });
+                    if hits.len() >= k {
+                        break;
+                    }
+                }
+                Key::Node(n) => {
+                    if !settled.insert(n) {
+                        continue;
+                    }
+                    if let Some(r) = radius {
+                        if d > r {
+                            break;
+                        }
+                    }
+                    nodes_visited += 1;
+                    self.touch_node(NodeId(n));
+                    if let Some(list) = self.node_objects.get(&n) {
+                        for oid in list {
+                            let o = &self.objects[&oid.0];
+                            if !filter.matches(o) || seen_obj.contains(&o.id.0) {
+                                continue;
+                            }
+                            let total = d + o.offset_from(&self.g, self.kind, NodeId(n));
+                            if radius.map(|r| total > r).unwrap_or(false) {
+                                continue;
+                            }
+                            heap.push(Reverse((total, Key::Object(o.id.0))));
+                        }
+                    }
+                    for (e, v) in self.g.neighbors(NodeId(n)) {
+                        let w = self.g.weight(e, self.kind);
+                        if w.is_infinite() {
+                            continue;
+                        }
+                        let nd = d + w;
+                        let cur = dist.get(&v.0).copied().unwrap_or(Weight::INFINITY);
+                        if nd < cur && !settled.contains(&v.0) {
+                            dist.insert(v.0, nd);
+                            heap.push(Reverse((nd, Key::Node(v.0))));
+                        }
+                    }
+                }
+            }
+        }
+        QueryCost { hits, page_faults: self.io.faults(), nodes_visited }
+    }
+}
+
+impl Engine for NetExpEngine {
+    fn name(&self) -> &'static str {
+        "NetExp"
+    }
+
+    fn knn(&mut self, node: NodeId, k: usize, filter: &ObjectFilter) -> QueryCost {
+        if k == 0 {
+            return QueryCost { hits: Vec::new(), page_faults: 0, nodes_visited: 0 };
+        }
+        self.search(node, k, None, filter)
+    }
+
+    fn range(&mut self, node: NodeId, radius: Weight, filter: &ObjectFilter) -> QueryCost {
+        self.search(node, usize::MAX, Some(radius), filter)
+    }
+
+    fn insert_object(&mut self, object: Object) -> UpdateCost {
+        let (_, seconds) = timed(|| {
+            let (a, b) = self.g.edge(object.edge).endpoints();
+            self.node_objects.entry(a.0).or_default().push(object.id);
+            self.node_objects.entry(b.0).or_default().push(object.id);
+            self.objects.insert(object.id.0, object);
+            // Object lives inside the endpoint node records; the affected
+            // pages are simply rewritten (no index restructuring).
+        });
+        UpdateCost { seconds }
+    }
+
+    fn remove_object(&mut self, id: ObjectId) -> UpdateCost {
+        let (_, seconds) = timed(|| {
+            if let Some(o) = self.objects.remove(&id.0) {
+                let (a, b) = self.g.edge(o.edge).endpoints();
+                for n in [a.0, b.0] {
+                    if let Some(v) = self.node_objects.get_mut(&n) {
+                        v.retain(|&x| x != id);
+                    }
+                }
+            }
+        });
+        UpdateCost { seconds }
+    }
+
+    fn set_edge_weight(&mut self, e: EdgeId, w: Weight) -> UpdateCost {
+        let kind = self.kind;
+        let (_, seconds) = timed(|| {
+            self.g.set_weight(e, kind, w).expect("live edge");
+        });
+        UpdateCost { seconds }
+    }
+
+    fn edge_weight(&self, e: EdgeId) -> Weight {
+        self.g.weight(e, self.kind)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.clustering.size_bytes()
+    }
+
+    fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_core::model::CategoryId;
+    use road_network::generator::simple;
+
+    fn engine_with_objects() -> NetExpEngine {
+        let g = simple::grid(10, 10, 1.0);
+        let objects = vec![
+            Object::new(ObjectId(1), EdgeId(0), 0.5, CategoryId(0)),
+            Object::new(ObjectId(2), EdgeId(50), 0.25, CategoryId(1)),
+            Object::new(ObjectId(3), EdgeId(120), 0.75, CategoryId(0)),
+        ];
+        NetExpEngine::build(g, WeightKind::Distance, objects, 50)
+    }
+
+    #[test]
+    fn knn_finds_objects_in_distance_order() {
+        let mut e = engine_with_objects();
+        let res = e.knn(NodeId(0), 3, &ObjectFilter::Any);
+        assert_eq!(res.hits.len(), 3);
+        assert!(res.hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+        assert!(res.page_faults > 0);
+        assert!(res.nodes_visited > 0);
+    }
+
+    #[test]
+    fn range_respects_radius() {
+        let mut e = engine_with_objects();
+        let all = e.range(NodeId(0), Weight::new(100.0), &ObjectFilter::Any);
+        assert_eq!(all.hits.len(), 3);
+        let near = e.range(NodeId(0), Weight::new(1.0), &ObjectFilter::Any);
+        assert!(near.hits.len() < 3);
+        for h in &near.hits {
+            assert!(h.distance <= Weight::new(1.0));
+        }
+    }
+
+    #[test]
+    fn filter_is_applied() {
+        let mut e = engine_with_objects();
+        let res = e.knn(NodeId(0), 5, &ObjectFilter::Category(CategoryId(0)));
+        assert_eq!(res.hits.len(), 2);
+    }
+
+    #[test]
+    fn object_churn_is_cheap_and_visible() {
+        let mut e = engine_with_objects();
+        e.insert_object(Object::new(ObjectId(9), EdgeId(3), 0.5, CategoryId(5)));
+        let res = e.knn(NodeId(0), 10, &ObjectFilter::Category(CategoryId(5)));
+        assert_eq!(res.hits.len(), 1);
+        e.remove_object(ObjectId(9));
+        let res = e.knn(NodeId(0), 10, &ObjectFilter::Category(CategoryId(5)));
+        assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn weight_update_changes_answers() {
+        let mut e = engine_with_objects();
+        let before = e.knn(NodeId(0), 1, &ObjectFilter::Any).hits[0];
+        // Make the object's edge endpoint unreachable cheaply: raise edge 0.
+        e.set_edge_weight(EdgeId(0), Weight::new(500.0));
+        let after = e.knn(NodeId(0), 1, &ObjectFilter::Any).hits[0];
+        assert!(after.distance >= before.distance);
+        assert_eq!(e.edge_weight(EdgeId(0)), Weight::new(500.0));
+    }
+
+    #[test]
+    fn index_is_small_and_build_fast() {
+        let e = engine_with_objects();
+        assert!(e.index_size_bytes() > 0);
+        assert!(e.index_size_bytes() < 1_000_000);
+        assert!(e.build_seconds() < 1.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! ROAD behind the uniform [`Engine`] interface.
+//!
+//! Wraps [`RoadFramework`] + [`AssociationDirectory`] together with the
+//! paper's disk layout: node records (adjacency + shortcut tree + the
+//! node's outgoing shortcuts) clustered into CCAM pages, object records
+//! and non-empty Rnet abstracts packed into directory pages. Search
+//! events reported by the framework's [`SearchObserver`] hook are mapped
+//! onto those pages through a cold LRU tracker, yielding the same I/O
+//! numbers the paper reports for ROAD.
+
+use crate::layout::{
+    ADJ_ENTRY_BYTES, NODE_BASE_BYTES, NS_DIRECTORY, NS_NODES, NS_OBJECTS, OBJECT_BYTES,
+    TREE_ENTRY_BYTES,
+};
+use crate::{timed, Engine, QueryCost, UpdateCost};
+use road_core::association::AssociationDirectory;
+use road_core::framework::RoadFramework;
+use road_core::hierarchy::RnetId;
+use road_core::model::{Object, ObjectFilter, ObjectId};
+use road_core::search::{KnnQuery, RangeQuery, SearchObserver};
+use road_network::graph::{RoadNetwork, WeightKind};
+use road_network::{EdgeId, NodeId, Weight};
+use road_storage::ccam::NodeClustering;
+use road_storage::pagemap::{IoTracker, PageMap};
+
+/// Hierarchy shape for the wrapped framework.
+#[derive(Clone, Copy, Debug)]
+pub struct RoadEngineConfig {
+    /// Partition fanout `p`.
+    pub fanout: usize,
+    /// Hierarchy depth `l`.
+    pub levels: u32,
+    /// Lemma-4 transitive-shortcut pruning.
+    pub prune_transitive: bool,
+}
+
+impl Default for RoadEngineConfig {
+    fn default() -> Self {
+        RoadEngineConfig { fanout: 4, levels: 4, prune_transitive: true }
+    }
+}
+
+/// The ROAD engine.
+pub struct RoadEngine {
+    fw: RoadFramework,
+    ad: AssociationDirectory,
+    clustering: NodeClustering,
+    obj_pages: PageMap,
+    dir_pages: PageMap,
+    /// Out-of-line shortcut path details (bytes); cold during queries.
+    path_bytes: usize,
+    io: IoTracker,
+    build_seconds: f64,
+}
+
+impl RoadEngine {
+    /// Builds the framework, maps the objects, and lays out the pages.
+    pub fn build(
+        g: RoadNetwork,
+        kind: WeightKind,
+        objects: Vec<Object>,
+        buffer_pages: usize,
+        cfg: RoadEngineConfig,
+    ) -> Result<Self, road_core::RoadError> {
+        let (engine, build_seconds) = timed(|| -> Result<_, road_core::RoadError> {
+            let fw = RoadFramework::builder(g)
+                .fanout(cfg.fanout)
+                .levels(cfg.levels)
+                .metric(kind)
+                .prune_transitive_shortcuts(cfg.prune_transitive)
+                .build()?;
+            let mut ad = AssociationDirectory::new(fw.hierarchy());
+            for o in objects {
+                ad.insert(fw.network(), fw.hierarchy(), o)?;
+            }
+            let clustering = Self::cluster(&fw);
+            let (obj_pages, dir_pages) = Self::directory_pages(&fw, &ad);
+            let path_bytes = Self::path_bytes(&fw);
+            Ok(RoadEngine {
+                fw,
+                ad,
+                clustering,
+                obj_pages,
+                dir_pages,
+                path_bytes,
+                io: IoTracker::new(buffer_pages),
+                build_seconds: 0.0,
+            })
+        });
+        let mut engine = engine?;
+        engine.build_seconds = build_seconds;
+        Ok(engine)
+    }
+
+    /// Direct access to the wrapped framework (ablation benches use it).
+    pub fn framework(&self) -> &RoadFramework {
+        &self.fw
+    }
+
+    /// Direct access to the wrapped directory.
+    pub fn directory(&self) -> &AssociationDirectory {
+        &self.ad
+    }
+
+    /// ROAD node record: header + adjacency + shortcut-tree entries + the
+    /// node's outgoing shortcuts across all Rnets it borders.
+    ///
+    /// A shortcut entry in the *node record* is only what traversal needs —
+    /// target border node and distance (12 bytes). The shortcut's detailed
+    /// path (its `via` waypoints) is stored out of line in dedicated path
+    /// pages ([`Self::path_bytes`]) that queries never touch; they are read
+    /// only when a result path is materialised. This mirrors the paper's
+    /// storage discussion (reverse-path details and in-Rnet transitive
+    /// shortcuts are elided from hot records to "save memory").
+    fn cluster(fw: &RoadFramework) -> NodeClustering {
+        let g = fw.network();
+        let hier = fw.hierarchy();
+        let sc = fw.shortcuts();
+        NodeClustering::build(g, |n| {
+            let mut bytes = NODE_BASE_BYTES + ADJ_ENTRY_BYTES * g.degree(n);
+            for &r in hier.bordered_rnets(n) {
+                bytes += TREE_ENTRY_BYTES + 12 * sc.from(r, n).len();
+            }
+            bytes
+        })
+    }
+
+    /// Out-of-line shortcut path details: 4 bytes per waypoint plus a
+    /// 12-byte header per stored path.
+    fn path_bytes(fw: &RoadFramework) -> usize {
+        let hier = fw.hierarchy();
+        let sc = fw.shortcuts();
+        let mut bytes = 0usize;
+        for lv in 1..=hier.levels() {
+            for r in hier.rnets_at_level(lv) {
+                for &b in hier.borders(r) {
+                    for edge in sc.from(r, b) {
+                        bytes += 12 + 4 * edge.via.len();
+                    }
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Object records and non-empty Rnet abstracts → directory pages.
+    fn directory_pages(fw: &RoadFramework, ad: &AssociationDirectory) -> (PageMap, PageMap) {
+        let mut obj_pages = PageMap::new();
+        let mut objs: Vec<ObjectId> = ad.objects().map(|o| o.id).collect();
+        objs.sort();
+        for id in objs {
+            obj_pages.insert(id.0, OBJECT_BYTES);
+        }
+        let mut dir_pages = PageMap::new();
+        let hier = fw.hierarchy();
+        for lv in 1..=hier.levels() {
+            for r in hier.rnets_at_level(lv) {
+                let a = ad.abstract_of(r);
+                if !a.is_empty() {
+                    dir_pages.insert(r.0 as u64, a.size_bytes() + 8);
+                }
+            }
+        }
+        (obj_pages, dir_pages)
+    }
+
+    fn refresh_directory_pages(&mut self) {
+        let (obj_pages, dir_pages) = Self::directory_pages(&self.fw, &self.ad);
+        self.obj_pages = obj_pages;
+        self.dir_pages = dir_pages;
+    }
+
+    fn run(&mut self, query: impl FnOnce(&RoadFramework, &AssociationDirectory, &mut Obs) -> road_core::SearchResult) -> QueryCost {
+        self.io.reset();
+        let mut obs = Obs {
+            clustering: &self.clustering,
+            obj_pages: &self.obj_pages,
+            dir_pages: &self.dir_pages,
+            io: &mut self.io,
+        };
+        let res = query(&self.fw, &self.ad, &mut obs);
+        QueryCost {
+            hits: res.hits,
+            page_faults: self.io.faults(),
+            nodes_visited: res.stats.nodes_settled,
+        }
+    }
+}
+
+/// Maps framework search events onto simulated pages.
+struct Obs<'a> {
+    clustering: &'a NodeClustering,
+    obj_pages: &'a PageMap,
+    dir_pages: &'a PageMap,
+    io: &'a mut IoTracker,
+}
+
+impl SearchObserver for Obs<'_> {
+    fn node_settled(&mut self, n: NodeId) {
+        let (start, span) = self.clustering.span_of(n);
+        self.io.touch_span(NS_NODES, start, span);
+    }
+
+    fn abstract_checked(&mut self, r: RnetId) {
+        match self.dir_pages.lookup(r.0 as u64) {
+            Some((start, span)) => self.io.touch_span(NS_DIRECTORY, start, span),
+            // Absent key: the B+-tree lookup still reads the (hot) root.
+            None => self.io.touch(NS_DIRECTORY, u32::MAX),
+        }
+    }
+
+    fn object_read(&mut self, o: ObjectId) {
+        if let Some((start, span)) = self.obj_pages.lookup(o.0) {
+            self.io.touch_span(NS_OBJECTS, start, span);
+        }
+    }
+}
+
+impl Engine for RoadEngine {
+    fn name(&self) -> &'static str {
+        "ROAD"
+    }
+
+    fn knn(&mut self, node: NodeId, k: usize, filter: &ObjectFilter) -> QueryCost {
+        let q = KnnQuery::new(node, k).with_filter(filter.clone());
+        self.run(|fw, ad, obs| fw.knn_observed(ad, &q, obs).expect("valid query"))
+    }
+
+    fn range(&mut self, node: NodeId, radius: Weight, filter: &ObjectFilter) -> QueryCost {
+        let q = RangeQuery::new(node, radius).with_filter(filter.clone());
+        self.run(|fw, ad, obs| fw.range_observed(ad, &q, obs).expect("valid query"))
+    }
+
+    fn insert_object(&mut self, object: Object) -> UpdateCost {
+        let (_, seconds) = timed(|| {
+            self.ad
+                .insert(self.fw.network(), self.fw.hierarchy(), object)
+                .expect("valid object");
+            self.refresh_directory_pages();
+        });
+        UpdateCost { seconds }
+    }
+
+    fn remove_object(&mut self, id: ObjectId) -> UpdateCost {
+        let (_, seconds) = timed(|| {
+            // Tolerate unknown ids for trait uniformity (the other engines
+            // treat removal of a missing object as a no-op).
+            if self.ad.remove(self.fw.network(), self.fw.hierarchy(), id).is_ok() {
+                self.refresh_directory_pages();
+            }
+        });
+        UpdateCost { seconds }
+    }
+
+    fn set_edge_weight(&mut self, e: EdgeId, w: Weight) -> UpdateCost {
+        let (_, seconds) = timed(|| {
+            self.fw.set_edge_weight(e, w).expect("live edge");
+            // Shortcut sets may have changed; repack node records and the
+            // out-of-line path store.
+            self.clustering = Self::cluster(&self.fw);
+            self.path_bytes = Self::path_bytes(&self.fw);
+        });
+        UpdateCost { seconds }
+    }
+
+    fn edge_weight(&self, e: EdgeId) -> Weight {
+        self.fw.network().weight(e, self.fw.metric())
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.clustering.size_bytes()
+            + self.obj_pages.size_bytes()
+            + self.dir_pages.size_bytes()
+            + road_storage::page::pages_for(self.path_bytes) * road_storage::PAGE_SIZE
+    }
+
+    fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_core::model::CategoryId;
+    use road_network::generator::simple;
+
+    fn engine() -> RoadEngine {
+        let g = simple::grid(12, 12, 1.0);
+        let objects = vec![
+            Object::new(ObjectId(1), EdgeId(0), 0.5, CategoryId(0)),
+            Object::new(ObjectId(2), EdgeId(90), 0.25, CategoryId(1)),
+            Object::new(ObjectId(3), EdgeId(200), 0.75, CategoryId(0)),
+        ];
+        RoadEngine::build(
+            g,
+            WeightKind::Distance,
+            objects,
+            50,
+            RoadEngineConfig { fanout: 4, levels: 2, prune_transitive: true },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn knn_works_and_reports_io() {
+        let mut e = engine();
+        let res = e.knn(NodeId(77), 2, &ObjectFilter::Any);
+        assert_eq!(res.hits.len(), 2);
+        assert!(res.hits[0].distance <= res.hits[1].distance);
+        assert!(res.page_faults > 0);
+    }
+
+    #[test]
+    fn range_and_filters() {
+        let mut e = engine();
+        let res = e.range(NodeId(0), Weight::new(30.0), &ObjectFilter::Category(CategoryId(0)));
+        assert_eq!(res.hits.len(), 2);
+    }
+
+    #[test]
+    fn object_churn_keeps_directory_pages_fresh() {
+        let mut e = engine();
+        let before = e.index_size_bytes();
+        for i in 10..60u64 {
+            e.insert_object(Object::new(ObjectId(i), EdgeId((i * 3) as u32), 0.5, CategoryId(2)));
+        }
+        assert!(e.index_size_bytes() >= before);
+        let res = e.knn(NodeId(0), 50, &ObjectFilter::Category(CategoryId(2)));
+        assert_eq!(res.hits.len(), 50);
+        e.remove_object(ObjectId(10));
+        let res = e.knn(NodeId(0), 50, &ObjectFilter::Category(CategoryId(2)));
+        assert_eq!(res.hits.len(), 49);
+    }
+
+    #[test]
+    fn weight_updates_flow_through() {
+        let mut e = engine();
+        let before = e.knn(NodeId(140), 1, &ObjectFilter::Any).hits[0];
+        // Cut the answer's vicinity off with heavy weights.
+        let o = e.directory().object(before.object).unwrap().clone();
+        let w = Weight::new(200.0);
+        e.set_edge_weight(o.edge, w);
+        let after = e.knn(NodeId(140), 1, &ObjectFilter::Any).hits[0];
+        assert!(after.distance > before.distance || after.object != before.object);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion microbenches behind Figures 13/14/19: framework construction
+//! costs — partitioning, shortcut building, and full engine builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use road_bench::config::Params;
+use road_bench::runner::{build_engine, EngineKind};
+use road_bench::workload;
+use road_core::hierarchy::{HierarchyConfig, RnetHierarchy};
+use road_core::shortcut::{ShortcutOptions, ShortcutStore};
+use road_network::generator::Dataset;
+use road_network::partition::{partition_edges, PartitionOptions};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let g = Dataset::CaHighways.generate_scaled(0.1, 7).unwrap();
+    let edges: Vec<_> = g.edge_ids().collect();
+    c.bench_function("partition_ca10pct_p4", |b| {
+        b.iter(|| black_box(partition_edges(&g, &edges, 4, &PartitionOptions::default()).len()))
+    });
+}
+
+fn bench_hierarchy_and_shortcuts(c: &mut Criterion) {
+    let g = Dataset::CaHighways.generate_scaled(0.1, 7).unwrap();
+    let mut group = c.benchmark_group("overlay_build_ca10pct");
+    for levels in [2u32, 3, 4] {
+        group.bench_function(BenchmarkId::new("hierarchy+shortcuts", levels), |b| {
+            b.iter(|| {
+                let cfg = HierarchyConfig { fanout: 4, levels, ..Default::default() };
+                let hier = RnetHierarchy::build(&g, &cfg).unwrap();
+                let sc = ShortcutStore::build(
+                    &g,
+                    &hier,
+                    road_network::graph::WeightKind::Distance,
+                    &ShortcutOptions::default(),
+                );
+                black_box(sc.num_shortcuts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_builds(c: &mut Criterion) {
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.05, params.seed).unwrap();
+    let objects = workload::uniform_objects(&g, 50, params.seed + 1);
+    let mut group = c.benchmark_group("engine_build_ca5pct_o50");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| black_box(build_engine(kind, &g, &objects, &params, 3).index_size_bytes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_partition, bench_hierarchy_and_shortcuts, bench_engine_builds
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenches behind Figures 15/16: object churn and
+//! edge-weight repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_bench::config::Params;
+use road_bench::runner::{build_engine, EngineKind};
+use road_bench::workload;
+use road_core::model::{CategoryId, Object, ObjectId};
+use road_network::generator::Dataset;
+use road_network::{EdgeId, Weight};
+use std::hint::black_box;
+
+fn bench_object_churn(c: &mut Criterion) {
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.1, params.seed).unwrap();
+    let objects = workload::uniform_objects(&g, 100, params.seed + 1);
+    let mut group = c.benchmark_group("object_churn_ca10pct");
+    group.sample_size(10);
+    // DistIdx is orders of magnitude slower; bench the fast three plus a
+    // single-sample DistIdx for the record.
+    for kind in [EngineKind::NetExp, EngineKind::Euclidean, EngineKind::Road] {
+        let mut engine = build_engine(kind, &g, &objects, &params, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut next = 10_000u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let e = EdgeId(rng.random_range(0..g.num_edges() as u32));
+                let o = Object::new(ObjectId(next), e, 0.5, CategoryId(0));
+                next += 1;
+                engine.insert_object(o.clone());
+                black_box(engine.remove_object(o.id).seconds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_weight_repair(c: &mut Criterion) {
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.1, params.seed).unwrap();
+    let objects = workload::uniform_objects(&g, 100, params.seed + 2);
+    let edges: Vec<EdgeId> = g.edge_ids().collect();
+    let mut group = c.benchmark_group("edge_weight_repair_ca10pct");
+    group.sample_size(10);
+    for kind in [EngineKind::NetExp, EngineKind::Euclidean, EngineKind::Road] {
+        let mut engine = build_engine(kind, &g, &objects, &params, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let e = edges[rng.random_range(0..edges.len())];
+                let old = engine.edge_weight(e);
+                engine.set_edge_weight(e, Weight::new(old.get() * 1.5));
+                black_box(engine.set_edge_weight(e, old).seconds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_object_churn, bench_edge_weight_repair
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion microbenches for the query paths behind Figures 17 and 18:
+//! kNN and range search on a CA-like network, all four approaches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use road_bench::config::Params;
+use road_bench::runner::{build_engine, EngineKind};
+use road_bench::workload;
+use road_core::model::ObjectFilter;
+use road_network::dijkstra::estimate_diameter;
+use road_network::generator::Dataset;
+use road_network::Weight;
+use std::hint::black_box;
+
+fn bench_knn(c: &mut Criterion) {
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.1, params.seed).unwrap();
+    let objects = workload::uniform_objects(&g, 100, params.seed + 1);
+    let nodes = workload::query_nodes(&g, 64, params.seed + 2);
+    let mut group = c.benchmark_group("knn_ca10pct_o100");
+    for kind in EngineKind::ALL {
+        let mut engine = build_engine(kind, &g, &objects, &params, 3);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let n = nodes[i % nodes.len()];
+                i += 1;
+                black_box(engine.knn(n, 5, &ObjectFilter::Any).hits.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.1, params.seed).unwrap();
+    let diameter = estimate_diameter(&g, params.metric);
+    let radius = Weight::new(diameter.get() * 0.1);
+    let objects = workload::uniform_objects(&g, 100, params.seed + 3);
+    let nodes = workload::query_nodes(&g, 64, params.seed + 4);
+    let mut group = c.benchmark_group("range_ca10pct_o100_r0.1");
+    for kind in EngineKind::ALL {
+        let mut engine = build_engine(kind, &g, &objects, &params, 3);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let n = nodes[i % nodes.len()];
+                i += 1;
+                black_box(engine.range(n, radius, &ObjectFilter::Any).hits.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn_object_density(c: &mut Criterion) {
+    // Figure 17b's driver: ROAD vs NetExp convergence as objects densify.
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.1, params.seed).unwrap();
+    let nodes = workload::query_nodes(&g, 64, params.seed + 5);
+    let mut group = c.benchmark_group("knn_vs_density");
+    for count in [10usize, 100, 1000] {
+        let objects = workload::uniform_objects(&g, count, params.seed + count as u64);
+        for kind in [EngineKind::NetExp, EngineKind::Road] {
+            let mut engine = build_engine(kind, &g, &objects, &params, 3);
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new(kind.name(), count), |b| {
+                b.iter(|| {
+                    let n = nodes[i % nodes.len()];
+                    i += 1;
+                    black_box(engine.knn(n, 5, &ObjectFilter::Any).hits.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_knn, bench_range, bench_knn_object_density
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the paper experiment implemented in
+//! `road_bench::experiments::ablation`. Pass `--scale small|medium|full`.
+
+fn main() {
+    let ctx = road_bench::experiments::Ctx::from_args();
+    road_bench::experiments::ablation::run(&ctx);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper experiment implemented in
+//! `road_bench::experiments::fig15`. Pass `--scale small|medium|full`.
+
+fn main() {
+    let ctx = road_bench::experiments::Ctx::from_args();
+    road_bench::experiments::fig15::run(&ctx);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 18 (range query performance). Pass
+//! `--axis k|objects|network` for one sub-figure, `--scale` for size.
+
+fn main() {
+    let ctx = road_bench::experiments::Ctx::from_args();
+    let axis = road_bench::experiments::fig17::Axis::from_args();
+    road_bench::experiments::fig18::run(&ctx, axis);
+}

@@ -1,0 +1,137 @@
+//! Experiment parameters (the paper's Table 1) and run scales.
+
+use road_network::generator::Dataset;
+use road_network::graph::{RoadNetwork, WeightKind};
+
+/// How large a run is; chosen with `--scale small|medium|full`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpScale {
+    /// Label for output.
+    pub name: &'static str,
+    /// Scale factor for CA.
+    pub ca: f64,
+    /// Scale factor for NA and SF.
+    pub big: f64,
+    /// Queries averaged per measurement point (paper: 100).
+    pub queries: usize,
+    /// Update trials per measurement point (paper: 100).
+    pub trials: usize,
+}
+
+/// CI-sized runs.
+pub const SMALL: ExpScale = ExpScale { name: "small", ca: 0.04, big: 0.012, queries: 15, trials: 8 };
+/// CA at paper size, NA/SF at a quarter (default).
+pub const MEDIUM: ExpScale = ExpScale { name: "medium", ca: 1.0, big: 0.25, queries: 50, trials: 25 };
+/// The paper's exact sizes.
+pub const FULL: ExpScale = ExpScale { name: "full", ca: 1.0, big: 1.0, queries: 100, trials: 100 };
+
+impl ExpScale {
+    /// Parses `--scale NAME` from argv (default `medium`).
+    pub fn from_args() -> ExpScale {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_list(&args)
+    }
+
+    /// Parses from an explicit argument list (testable).
+    pub fn from_arg_list(args: &[String]) -> ExpScale {
+        match args.iter().position(|a| a == "--scale") {
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("small") => SMALL,
+                Some("full") => FULL,
+                Some("medium") | None => MEDIUM,
+                Some(other) => {
+                    eprintln!("unknown scale '{other}', using medium");
+                    MEDIUM
+                }
+            },
+            None => MEDIUM,
+        }
+    }
+
+    /// The network scale for a dataset.
+    pub fn factor(&self, ds: Dataset) -> f64 {
+        match ds {
+            Dataset::CaHighways => self.ca,
+            _ => self.big,
+        }
+    }
+}
+
+/// Fixed parameters of the evaluation (Table 1 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Partition fanout `p`.
+    pub fanout: usize,
+    /// Default object cardinality `|O|`.
+    pub objects: usize,
+    /// Default number of NNs `k`.
+    pub k: usize,
+    /// Default search range as a fraction of the network diameter.
+    pub range_fraction: f64,
+    /// Buffer pool pages.
+    pub buffer_pages: usize,
+    /// Metric.
+    pub metric: WeightKind,
+    /// Master seed; every derived workload offsets from it.
+    pub seed: u64,
+    /// Simulated disk latency charged per page fault, in milliseconds.
+    /// The paper ran on 2009 spinning disks; its reported times are
+    /// dominated by I/O (e.g. Figure 11: 475 ms for 230 pages ≈ 2 ms per
+    /// fault). "Processing time" below = measured CPU + faults × this.
+    pub io_ms_per_fault: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            fanout: 4,
+            objects: 100,
+            k: 5,
+            range_fraction: 0.1,
+            buffer_pages: road_storage::DEFAULT_BUFFER_PAGES,
+            metric: WeightKind::Distance,
+            seed: 0xEDB7_2009,
+            io_ms_per_fault: 2.0,
+        }
+    }
+}
+
+/// Generates the network for `ds` at this scale.
+pub fn network(ds: Dataset, scale: &ExpScale, params: &Params) -> RoadNetwork {
+    ds.generate_scaled(scale.factor(ds), params.seed).expect("feasible dataset targets")
+}
+
+/// Hierarchy depth for a dataset at a scale: the paper's `l` at full
+/// size, size-adjusted below it.
+pub fn levels(ds: Dataset, g: &RoadNetwork, scale: &ExpScale, params: &Params) -> u32 {
+    if scale.factor(ds) >= 1.0 {
+        ds.default_levels()
+    } else {
+        ds.suggested_levels(g.num_edges(), params.fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args = |s: &str| vec!["bin".to_string(), "--scale".to_string(), s.to_string()];
+        assert_eq!(ExpScale::from_arg_list(&args("small")).name, "small");
+        assert_eq!(ExpScale::from_arg_list(&args("full")).name, "full");
+        assert_eq!(ExpScale::from_arg_list(&args("bogus")).name, "medium");
+        assert_eq!(ExpScale::from_arg_list(&["bin".to_string()]).name, "medium");
+    }
+
+    #[test]
+    fn network_and_levels() {
+        let p = Params::default();
+        let g = network(Dataset::CaHighways, &SMALL, &p);
+        assert!(g.num_nodes() > 500);
+        let l = levels(Dataset::CaHighways, &g, &SMALL, &p);
+        assert!((2..=10).contains(&l));
+        // Full scale uses the paper's settings.
+        assert_eq!(Dataset::CaHighways.default_levels(), 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 13 — index construction time and index size on CA while the
+//! object cardinality grows from 10 to 1,000.
+//!
+//! The paper's punchline: NetExp / Euclidean / ROAD stay flat (ROAD's
+//! Route Overlay is object-independent), while DistIdx explodes — 242 MB
+//! and ~half an hour at 1,000 objects.
+
+use super::Ctx;
+use crate::runner::EngineKind;
+use crate::table::{fmt_mb, fmt_secs, print_table};
+use crate::{config, runner, workload};
+use road_network::generator::Dataset;
+
+/// The paper's object cardinalities.
+pub const CARDINALITIES: [usize; 5] = [10, 50, 100, 500, 1000];
+
+/// Runs the experiment and prints its two tables (time, size).
+pub fn run(ctx: &Ctx) {
+    let ds = Dataset::CaHighways;
+    let g = config::network(ds, &ctx.scale, &ctx.params);
+    let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+    let factor = ctx.scale.factor(ds);
+
+    let mut time_rows = Vec::new();
+    let mut size_rows = Vec::new();
+    for base in CARDINALITIES {
+        let count = ctx.scaled_count(base, factor);
+        let objects = workload::uniform_objects(&g, count, ctx.params.seed + base as u64);
+        let mut time_row = vec![format!("{base}")];
+        let mut size_row = vec![format!("{base}")];
+        for kind in EngineKind::ALL {
+            let engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
+            time_row.push(fmt_secs(engine.build_seconds()));
+            size_row.push(fmt_mb(engine.index_size_bytes()));
+        }
+        time_rows.push(time_row);
+        size_rows.push(size_row);
+    }
+    let header = ["|O|", "NetExp", "Euclidean", "DistIdx", "ROAD"];
+    print_table(
+        &format!("Figure 13a — index construction time on {} (seconds)", ds.name()),
+        &header,
+        &time_rows,
+    );
+    print_table(
+        &format!("Figure 13b — index size on {}", ds.name()),
+        &header,
+        &size_rows,
+    );
+}

@@ -1,0 +1,126 @@
+//! Figure 17 — kNN query performance: (a) varying k on CA, (b) varying
+//! object cardinality on CA, (c) across networks.
+
+use super::Ctx;
+use crate::runner::EngineKind;
+use crate::table::{fmt_f, fmt_ms, print_table};
+use crate::{config, runner, workload};
+use road_core::model::ObjectFilter;
+use road_network::generator::Dataset;
+
+/// Which sub-figure to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Axis {
+    K,
+    Objects,
+    Network,
+}
+
+impl Axis {
+    /// Parses `--axis k|objects|network` (None = all three).
+    pub fn from_args() -> Option<Axis> {
+        let args: Vec<String> = std::env::args().collect();
+        let i = args.iter().position(|a| a == "--axis")?;
+        match args.get(i + 1).map(String::as_str) {
+            Some("k") => Some(Axis::K),
+            Some("objects") => Some(Axis::Objects),
+            Some("network") => Some(Axis::Network),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the chosen sub-figures (all when `axis` is `None`).
+pub fn run(ctx: &Ctx, axis: Option<Axis>) {
+    if axis.is_none() || axis == Some(Axis::K) {
+        run_vary_k(ctx);
+    }
+    if axis.is_none() || axis == Some(Axis::Objects) {
+        run_vary_objects(ctx);
+    }
+    if axis.is_none() || axis == Some(Axis::Network) {
+        run_vary_network(ctx);
+    }
+}
+
+fn run_vary_k(ctx: &Ctx) {
+    let ds = Dataset::CaHighways;
+    let g = config::network(ds, &ctx.scale, &ctx.params);
+    let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+    let count = ctx.scaled_count(ctx.params.objects, ctx.scale.factor(ds));
+    let objects = workload::uniform_objects(&g, count, ctx.params.seed + 17);
+    let nodes = workload::query_nodes(&g, ctx.scale.queries, ctx.params.seed + 171);
+
+    let mut rows = Vec::new();
+    let mut engines: Vec<_> = EngineKind::ALL
+        .iter()
+        .map(|&k| runner::build_engine(k, &g, &objects, &ctx.params, levels))
+        .collect();
+    for k in [1usize, 5, 10] {
+        let mut row = vec![format!("k={k}")];
+        let mut io = vec![format!("k={k}")];
+        for engine in engines.iter_mut() {
+            let stats = runner::measure_knn(engine.as_mut(), &nodes, k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            row.push(fmt_ms(stats.avg_ms));
+            io.push(fmt_f(stats.avg_faults));
+        }
+        row.extend(io.into_iter().skip(1));
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 17a — kNN on {} (|O| = 100): time (ms) and I/O (pages)", ds.name()),
+        &["k", "NetExp", "Euclidean", "DistIdx", "ROAD", "NetExp io", "Euclidean io", "DistIdx io", "ROAD io"],
+        &rows,
+    );
+}
+
+fn run_vary_objects(ctx: &Ctx) {
+    let ds = Dataset::CaHighways;
+    let g = config::network(ds, &ctx.scale, &ctx.params);
+    let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+    let nodes = workload::query_nodes(&g, ctx.scale.queries, ctx.params.seed + 172);
+    let factor = ctx.scale.factor(ds);
+
+    let mut rows = Vec::new();
+    for base in super::fig13::CARDINALITIES {
+        let count = ctx.scaled_count(base, factor);
+        let objects = workload::uniform_objects(&g, count, ctx.params.seed + base as u64);
+        let mut row = vec![format!("{base}")];
+        for kind in EngineKind::ALL {
+            let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
+            let stats =
+                runner::measure_knn(engine.as_mut(), &nodes, ctx.params.k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            row.push(fmt_ms(stats.avg_ms));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 17b — kNN on {} (k = 5) vs object cardinality: time (ms)", ds.name()),
+        &["|O|", "NetExp", "Euclidean", "DistIdx", "ROAD"],
+        &rows,
+    );
+}
+
+fn run_vary_network(ctx: &Ctx) {
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let g = config::network(ds, &ctx.scale, &ctx.params);
+        let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+        let count = ctx.scaled_count(ctx.params.objects, ctx.scale.factor(ds));
+        let objects = workload::uniform_objects(&g, count, ctx.params.seed + 17);
+        let nodes = workload::query_nodes(&g, ctx.scale.queries, ctx.params.seed + 173);
+        let mut row = vec![ds.name().to_string()];
+        for kind in EngineKind::ALL {
+            let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
+            let stats =
+                runner::measure_knn(engine.as_mut(), &nodes, ctx.params.k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            row.push(fmt_ms(stats.avg_ms));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 17c — kNN across networks (|O| = 100, k = 5): time (ms)",
+        &["network", "NetExp", "Euclidean", "DistIdx", "ROAD"],
+        &rows,
+    );
+}

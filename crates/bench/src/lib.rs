@@ -1,0 +1,26 @@
+//! # road-bench
+//!
+//! Experiment harness reproducing every table and figure of the ROAD
+//! paper's evaluation (Section 6). Each `fig*` binary regenerates one
+//! figure; `exp_all` runs the whole suite (that output is what
+//! `EXPERIMENTS.md` records). Criterion microbenches for the hot paths
+//! live under `benches/`.
+//!
+//! ```text
+//! cargo run --release -p road-bench --bin exp_all -- --scale medium
+//! cargo run --release -p road-bench --bin fig17_knn -- --axis k
+//! ```
+//!
+//! Scales (`--scale`):
+//! * `small`  — CI-sized: every network heavily scaled down;
+//! * `medium` — CA at paper size, NA/SF at 25% (default);
+//! * `full`   — the paper's exact network sizes.
+
+pub mod config;
+pub mod experiments;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use config::{ExpScale, Params};
+pub use runner::{build_engine, EngineKind};

@@ -1,0 +1,164 @@
+//! Engine factory and measurement helpers.
+
+use crate::config::Params;
+use road_baselines::road_engine::RoadEngineConfig;
+use road_baselines::{DistIdxEngine, Engine, EuclideanEngine, NetExpEngine, RoadEngine};
+use road_core::model::{Object, ObjectFilter};
+use road_network::graph::RoadNetwork;
+use road_network::{NodeId, Weight};
+use std::time::Instant;
+
+/// The four approaches of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    NetExp,
+    Euclidean,
+    DistIdx,
+    Road,
+}
+
+impl EngineKind {
+    /// Figure order in the paper.
+    pub const ALL: [EngineKind; 4] =
+        [EngineKind::NetExp, EngineKind::Euclidean, EngineKind::DistIdx, EngineKind::Road];
+
+    /// Label used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::NetExp => "NetExp",
+            EngineKind::Euclidean => "Euclidean",
+            EngineKind::DistIdx => "DistIdx",
+            EngineKind::Road => "ROAD",
+        }
+    }
+}
+
+/// Builds one engine over a copy of the network and objects.
+pub fn build_engine(
+    kind: EngineKind,
+    g: &RoadNetwork,
+    objects: &[Object],
+    params: &Params,
+    levels: u32,
+) -> Box<dyn Engine> {
+    match kind {
+        EngineKind::NetExp => Box::new(NetExpEngine::build(
+            g.clone(),
+            params.metric,
+            objects.to_vec(),
+            params.buffer_pages,
+        )),
+        EngineKind::Euclidean => Box::new(EuclideanEngine::build(
+            g.clone(),
+            params.metric,
+            objects.to_vec(),
+            params.buffer_pages,
+        )),
+        EngineKind::DistIdx => Box::new(DistIdxEngine::build(
+            g.clone(),
+            params.metric,
+            objects.to_vec(),
+            params.buffer_pages,
+        )),
+        EngineKind::Road => Box::new(
+            RoadEngine::build(
+                g.clone(),
+                params.metric,
+                objects.to_vec(),
+                params.buffer_pages,
+                RoadEngineConfig {
+                    fanout: params.fanout,
+                    levels,
+                    prune_transitive: true,
+                },
+            )
+            .expect("framework builds"),
+        ),
+    }
+}
+
+/// Averages over a query batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// Mean *processing* time in milliseconds: measured CPU time plus
+    /// simulated disk latency for the page faults (the paper's metric is
+    /// end-to-end time on a disk-resident index).
+    pub avg_ms: f64,
+    /// Mean measured CPU milliseconds only.
+    pub avg_cpu_ms: f64,
+    /// Mean simulated page faults.
+    pub avg_faults: f64,
+    /// Mean node records touched.
+    pub avg_nodes: f64,
+}
+
+fn measure(
+    nodes: &[NodeId],
+    io_ms_per_fault: f64,
+    mut run: impl FnMut(NodeId) -> road_baselines::QueryCost,
+) -> QueryStats {
+    let mut total_ms = 0.0;
+    let mut faults = 0u64;
+    let mut visited = 0usize;
+    for &n in nodes {
+        let t = Instant::now();
+        let cost = run(n);
+        total_ms += t.elapsed().as_secs_f64() * 1e3;
+        faults += cost.page_faults;
+        visited += cost.nodes_visited;
+    }
+    let q = nodes.len().max(1) as f64;
+    let avg_cpu_ms = total_ms / q;
+    let avg_faults = faults as f64 / q;
+    QueryStats {
+        avg_ms: avg_cpu_ms + avg_faults * io_ms_per_fault,
+        avg_cpu_ms,
+        avg_faults,
+        avg_nodes: visited as f64 / q,
+    }
+}
+
+/// Runs `knn` at every query node and averages.
+pub fn measure_knn(
+    engine: &mut dyn Engine,
+    nodes: &[NodeId],
+    k: usize,
+    filter: &ObjectFilter,
+    io_ms_per_fault: f64,
+) -> QueryStats {
+    measure(nodes, io_ms_per_fault, |n| engine.knn(n, k, filter))
+}
+
+/// Runs `range` at every query node and averages.
+pub fn measure_range(
+    engine: &mut dyn Engine,
+    nodes: &[NodeId],
+    radius: Weight,
+    filter: &ObjectFilter,
+    io_ms_per_fault: f64,
+) -> QueryStats {
+    measure(nodes, io_ms_per_fault, |n| engine.range(n, radius, filter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use road_network::generator::simple;
+
+    #[test]
+    fn factory_builds_all_engines_and_they_answer() {
+        let g = simple::grid(8, 8, 1.0);
+        let objects = workload::uniform_objects(&g, 6, 1);
+        let params = Params::default();
+        let nodes = workload::query_nodes(&g, 5, 2);
+        for kind in EngineKind::ALL {
+            let mut e = build_engine(kind, &g, &objects, &params, 2);
+            assert_eq!(e.name(), kind.name());
+            let stats = measure_knn(e.as_mut(), &nodes, 3, &ObjectFilter::Any, 2.0);
+            assert!(stats.avg_ms >= 0.0);
+            let stats = measure_range(e.as_mut(), &nodes, Weight::new(5.0), &ObjectFilter::Any, 2.0);
+            assert!(stats.avg_faults >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Markdown table output for experiment results.
+
+/// Prints a titled GitHub-flavoured markdown table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Milliseconds with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+/// Bytes as MB.
+pub fn fmt_mb(bytes: usize) -> String {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    if mb >= 100.0 {
+        format!("{mb:.0}MB")
+    } else if mb >= 1.0 {
+        format!("{mb:.1}MB")
+    } else {
+        format!("{:.0}KB", bytes as f64 / 1024.0)
+    }
+}
+
+/// Plain float.
+pub fn fmt_f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(250.0), "250");
+        assert_eq!(fmt_ms(2.5), "2.50");
+        assert_eq!(fmt_ms(0.25), "0.250");
+        assert_eq!(fmt_secs(120.0), "120");
+        assert_eq!(fmt_secs(2.0), "2.00");
+        assert_eq!(fmt_secs(0.004), "4.00ms");
+        assert_eq!(fmt_mb(250 * 1024 * 1024), "250MB");
+        assert_eq!(fmt_mb(5 * 1024 * 1024 / 2), "2.5MB");
+        assert_eq!(fmt_mb(10 * 1024), "10KB");
+        assert_eq!(fmt_f(3.16), "3.2");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+}

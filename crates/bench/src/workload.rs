@@ -1,0 +1,125 @@
+//! Workload generation: objects and query nodes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::model::{CategoryId, Object, ObjectId};
+use road_network::graph::{RoadNetwork, WeightKind};
+use road_network::{EdgeId, NodeId};
+
+/// Objects "evenly distributed over the road network" (Section 6): edges
+/// are sampled with probability proportional to their length, positions
+/// uniform along the edge — spatially uniform placement.
+pub fn uniform_objects(g: &RoadNetwork, count: usize, seed: u64) -> Vec<Object> {
+    let edges: Vec<EdgeId> = g.edge_ids().collect();
+    let lengths: Vec<f64> = edges.iter().map(|&e| g.weight(e, WeightKind::Distance).get()).collect();
+    let total: f64 = lengths.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut target = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut idx = 0;
+        for (j, &len) in lengths.iter().enumerate() {
+            if target <= len {
+                idx = j;
+                break;
+            }
+            target -= len;
+            idx = j;
+        }
+        out.push(Object::new(
+            ObjectId(i as u64),
+            edges[idx],
+            rng.random_range(0.0..=1.0),
+            CategoryId(0),
+        ));
+    }
+    out
+}
+
+/// Clustered objects (the paper's footnote 3: ROAD benefits more from
+/// uneven distributions): `clusters` random centres, objects on edges near
+/// them.
+pub fn clustered_objects(g: &RoadNetwork, count: usize, clusters: usize, seed: u64) -> Vec<Object> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<EdgeId> = g.edge_ids().collect();
+    // Cluster centres are random edge midpoints.
+    let centres: Vec<road_network::Point> = (0..clusters.max(1))
+        .map(|_| {
+            let e = edges[rng.random_range(0..edges.len())];
+            let (a, b) = g.edge(e).endpoints();
+            g.coord(a).midpoint(g.coord(b))
+        })
+        .collect();
+    let extent = g.bounding_rect();
+    let radius = (extent.width().max(extent.height()) * 0.05).max(1e-9);
+    // Index edges by proximity to each centre (linear scan, build-time only).
+    let mut near: Vec<Vec<EdgeId>> = vec![Vec::new(); centres.len()];
+    for &e in &edges {
+        let (a, b) = g.edge(e).endpoints();
+        let m = g.coord(a).midpoint(g.coord(b));
+        for (c, centre) in centres.iter().enumerate() {
+            if m.distance(*centre) <= radius {
+                near[c].push(e);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let c = i % centres.len();
+        let pool = if near[c].is_empty() { &edges } else { &near[c] };
+        out.push(Object::new(
+            ObjectId(i as u64),
+            pool[rng.random_range(0..pool.len())],
+            rng.random_range(0.0..=1.0),
+            CategoryId(0),
+        ));
+    }
+    out
+}
+
+/// Random query nodes ("100 queries issued at random positions").
+pub fn query_nodes(g: &RoadNetwork, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| NodeId(rng.random_range(0..g.num_nodes() as u32))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::generator::simple;
+
+    #[test]
+    fn uniform_objects_land_on_live_edges() {
+        let g = simple::grid(8, 8, 1.0);
+        let objs = uniform_objects(&g, 40, 1);
+        assert_eq!(objs.len(), 40);
+        for o in &objs {
+            assert!(!g.edge(o.edge).is_deleted());
+            assert!((0.0..=1.0).contains(&o.fraction));
+        }
+        // Deterministic.
+        let again = uniform_objects(&g, 40, 1);
+        assert_eq!(objs, again);
+    }
+
+    #[test]
+    fn clustered_objects_concentrate() {
+        let g = simple::grid(20, 20, 1.0);
+        let objs = clustered_objects(&g, 60, 2, 3);
+        assert_eq!(objs.len(), 60);
+        // Concentration check: the objects' midpoints should span far less
+        // area than the network.
+        let pts: Vec<_> = objs.iter().map(|o| o.position(&g)).collect();
+        let r = road_network::Rect::covering(pts.iter().copied());
+        let net = g.bounding_rect();
+        assert!(r.area() < net.area() * 0.9, "objects not clustered: {r:?}");
+    }
+
+    #[test]
+    fn query_nodes_in_bounds() {
+        let g = simple::grid(5, 5, 1.0);
+        for n in query_nodes(&g, 100, 7) {
+            assert!(n.index() < g.num_nodes());
+        }
+    }
+}

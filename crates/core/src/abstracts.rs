@@ -1,0 +1,191 @@
+//! Object abstracts (Definition 2, Lemma 1).
+//!
+//! An object abstract summarises the objects inside an Rnet so a search can
+//! decide — without descending — whether the Rnet may contain objects of
+//! interest. The paper suggests aggregated values, Bloom filters or
+//! signatures; the primary representation here is **exact per-category
+//! counts**, which (a) answer every filter our LDSQs use with no false
+//! positives, and (b) support decrement-on-delete, keeping Lemma 1
+//! (`O(R) = ⋃ O(R_i)`) true under object churn. A counting-Bloom summary
+//! over raw category ids can be enabled to model the compact
+//! representation's size/precision trade-off (ablation experiment).
+
+use crate::model::{CategoryId, ObjectFilter};
+use road_network::hash::FastMap;
+use road_spatial::CountingBloom;
+
+/// How abstracts answer "does this Rnet contain objects of interest?".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AbstractKind {
+    /// Exact per-category counters (no false positives).
+    #[default]
+    Counts,
+    /// Counting Bloom filter over category ids plus a total counter;
+    /// may yield false positives (wasted descents, never wrong answers).
+    Bloom,
+}
+
+/// The abstract of one Rnet.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectAbstract {
+    total: u32,
+    per_category: FastMap<u16, u32>,
+    bloom: Option<CountingBloom>,
+}
+
+impl ObjectAbstract {
+    /// An empty abstract of the given kind.
+    pub fn new(kind: AbstractKind) -> Self {
+        match kind {
+            AbstractKind::Counts => ObjectAbstract::default(),
+            AbstractKind::Bloom => ObjectAbstract {
+                total: 0,
+                per_category: FastMap::default(),
+                bloom: Some(CountingBloom::new(64, 3)),
+            },
+        }
+    }
+
+    /// Records one object of `category`.
+    pub fn insert(&mut self, category: CategoryId) {
+        self.total += 1;
+        if let Some(bloom) = &mut self.bloom {
+            bloom.insert(category.0 as u64);
+        } else {
+            *self.per_category.entry(category.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one object of `category`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when removing from an empty abstract —
+    /// that is always a directory bookkeeping bug.
+    pub fn remove(&mut self, category: CategoryId) {
+        debug_assert!(self.total > 0, "abstract underflow");
+        self.total = self.total.saturating_sub(1);
+        if let Some(bloom) = &mut self.bloom {
+            bloom.remove(category.0 as u64);
+        } else if let Some(c) = self.per_category.get_mut(&category.0) {
+            *c -= 1;
+            if *c == 0 {
+                self.per_category.remove(&category.0);
+            }
+        } else {
+            debug_assert!(false, "removing unknown category {category:?}");
+        }
+    }
+
+    /// Total number of objects summarised.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// `true` when no object is summarised.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// May the Rnet contain an object matching `filter`? Exact under
+    /// [`AbstractKind::Counts`]; may report false positives under Bloom.
+    pub fn may_match(&self, filter: &ObjectFilter) -> bool {
+        if self.total == 0 {
+            return false;
+        }
+        match filter {
+            ObjectFilter::Any => true,
+            ObjectFilter::Category(c) => self.may_have_category(*c),
+            ObjectFilter::AnyOf(cs) => cs.iter().any(|&c| self.may_have_category(c)),
+        }
+    }
+
+    fn may_have_category(&self, c: CategoryId) -> bool {
+        if let Some(bloom) = &self.bloom {
+            bloom.may_contain(c.0 as u64)
+        } else {
+            self.per_category.contains_key(&c.0)
+        }
+    }
+
+    /// Exact count for a category (counts representation only).
+    pub fn category_count(&self, c: CategoryId) -> Option<u32> {
+        if self.bloom.is_some() {
+            None
+        } else {
+            Some(self.per_category.get(&c.0).copied().unwrap_or(0))
+        }
+    }
+
+    /// Modelled serialized size in bytes (for the index-size experiments):
+    /// a 4-byte total plus either 6 bytes per distinct category or the
+    /// Bloom array.
+    pub fn size_bytes(&self) -> usize {
+        4 + match &self.bloom {
+            Some(b) => b.size_bytes(),
+            None => self.per_category.len() * 6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_track_inserts_and_removes() {
+        let mut a = ObjectAbstract::new(AbstractKind::Counts);
+        assert!(a.is_empty());
+        a.insert(CategoryId(1));
+        a.insert(CategoryId(1));
+        a.insert(CategoryId(2));
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.category_count(CategoryId(1)), Some(2));
+        assert!(a.may_match(&ObjectFilter::Category(CategoryId(2))));
+        assert!(!a.may_match(&ObjectFilter::Category(CategoryId(3))));
+        a.remove(CategoryId(2));
+        assert!(!a.may_match(&ObjectFilter::Category(CategoryId(2))));
+        assert!(a.may_match(&ObjectFilter::Any));
+        a.remove(CategoryId(1));
+        a.remove(CategoryId(1));
+        assert!(a.is_empty());
+        assert!(!a.may_match(&ObjectFilter::Any));
+    }
+
+    #[test]
+    fn any_of_filters() {
+        let mut a = ObjectAbstract::new(AbstractKind::Counts);
+        a.insert(CategoryId(5));
+        assert!(a.may_match(&ObjectFilter::AnyOf(vec![CategoryId(4), CategoryId(5)])));
+        assert!(!a.may_match(&ObjectFilter::AnyOf(vec![CategoryId(4)])));
+        assert!(!a.may_match(&ObjectFilter::AnyOf(vec![])));
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives_and_supports_delete() {
+        let mut a = ObjectAbstract::new(AbstractKind::Bloom);
+        for c in 0..20u16 {
+            a.insert(CategoryId(c));
+        }
+        for c in 0..20u16 {
+            assert!(a.may_match(&ObjectFilter::Category(CategoryId(c))));
+        }
+        for c in 0..20u16 {
+            a.remove(CategoryId(c));
+        }
+        assert!(a.is_empty());
+        assert!(!a.may_match(&ObjectFilter::Category(CategoryId(3))));
+        assert_eq!(a.category_count(CategoryId(3)), None, "bloom has no exact counts");
+    }
+
+    #[test]
+    fn size_model_grows_with_categories() {
+        let mut a = ObjectAbstract::new(AbstractKind::Counts);
+        let empty = a.size_bytes();
+        for c in 0..10u16 {
+            a.insert(CategoryId(c));
+        }
+        assert!(a.size_bytes() > empty);
+        let b = ObjectAbstract::new(AbstractKind::Bloom);
+        assert!(b.size_bytes() > 64, "bloom abstract pays its array");
+    }
+}

@@ -1,0 +1,381 @@
+//! The Association Directory (Section 3.4, Figure 7).
+//!
+//! The directory maps node ids to the objects on their incident edges
+//! (with offsets) and Rnet ids to object abstracts — cleanly separated
+//! from the Route Overlay, which is the framework's headline design
+//! property: map providers maintain the network, content providers map
+//! their objects onto it on the fly, and several directories (one per
+//! object type) can coexist over one overlay.
+//!
+//! Object insertion and deletion (Section 5.1) touch only this structure:
+//! the node associations of the edge's endpoints and the abstracts of the
+//! enclosing Rnet chain, `O(l)` work per update.
+
+use crate::abstracts::{AbstractKind, ObjectAbstract};
+use crate::hierarchy::{RnetHierarchy, RnetId};
+use crate::model::{CategoryId, Object, ObjectFilter, ObjectId};
+use crate::RoadError;
+use road_network::graph::RoadNetwork;
+use road_network::hash::FastMap;
+use road_network::{EdgeId, NodeId};
+
+/// An object directory over one Rnet hierarchy.
+pub struct AssociationDirectory {
+    kind: AbstractKind,
+    objects: FastMap<u64, Object>,
+    node_objects: FastMap<u32, Vec<ObjectId>>,
+    edge_objects: FastMap<u32, Vec<ObjectId>>,
+    abstracts: Vec<ObjectAbstract>,
+}
+
+impl AssociationDirectory {
+    /// An empty directory sized for `hier`, with exact-count abstracts.
+    pub fn new(hier: &RnetHierarchy) -> Self {
+        Self::with_kind(hier, AbstractKind::Counts)
+    }
+
+    /// An empty directory with the chosen abstract representation.
+    pub fn with_kind(hier: &RnetHierarchy, kind: AbstractKind) -> Self {
+        AssociationDirectory {
+            kind,
+            objects: FastMap::default(),
+            node_objects: FastMap::default(),
+            edge_objects: FastMap::default(),
+            abstracts: (0..hier.num_rnets()).map(|_| ObjectAbstract::new(kind)).collect(),
+        }
+    }
+
+    /// The abstract representation this directory uses.
+    pub fn abstract_kind(&self) -> AbstractKind {
+        self.kind
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the directory holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Looks an object up by id.
+    pub fn object(&self, id: ObjectId) -> Option<&Object> {
+        self.objects.get(&id.0)
+    }
+
+    /// Iterates all objects (arbitrary order).
+    pub fn objects(&self) -> impl Iterator<Item = &Object> {
+        self.objects.values()
+    }
+
+    /// Inserts an object (Section 5.1): associates it with both endpoint
+    /// nodes and bumps the abstracts of its Rnet chain.
+    pub fn insert(
+        &mut self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        object: Object,
+    ) -> Result<(), RoadError> {
+        if self.objects.contains_key(&object.id.0) {
+            return Err(RoadError::DuplicateObject(object.id));
+        }
+        if object.edge.index() >= g.edge_slots() || g.edge(object.edge).is_deleted() {
+            return Err(RoadError::EdgeUnavailable(object.edge));
+        }
+        if !(object.fraction.is_finite() && (0.0..=1.0).contains(&object.fraction)) {
+            return Err(RoadError::BadPlacement(format!(
+                "fraction {} outside [0, 1]",
+                object.fraction
+            )));
+        }
+        let leaf = hier.leaf_of_edge(object.edge);
+        if !leaf.is_valid() {
+            return Err(RoadError::BadPlacement(format!(
+                "edge {} is not assigned to any Rnet",
+                object.edge
+            )));
+        }
+        let (a, b) = g.edge(object.edge).endpoints();
+        self.node_objects.entry(a.0).or_default().push(object.id);
+        self.node_objects.entry(b.0).or_default().push(object.id);
+        self.edge_objects.entry(object.edge.0).or_default().push(object.id);
+        let mut r = leaf;
+        while r.is_valid() {
+            self.abstracts[r.0 as usize].insert(object.category);
+            r = hier.parent(r);
+        }
+        self.objects.insert(object.id.0, object);
+        Ok(())
+    }
+
+    /// Removes an object (Section 5.1), returning it.
+    pub fn remove(
+        &mut self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        id: ObjectId,
+    ) -> Result<Object, RoadError> {
+        let object = self.objects.remove(&id.0).ok_or(RoadError::UnknownObject(id))?;
+        let (a, b) = g.edge(object.edge).endpoints();
+        if let Some(v) = self.node_objects.get_mut(&a.0) {
+            v.retain(|&o| o != id);
+        }
+        if let Some(v) = self.node_objects.get_mut(&b.0) {
+            v.retain(|&o| o != id);
+        }
+        if let Some(v) = self.edge_objects.get_mut(&object.edge.0) {
+            v.retain(|&o| o != id);
+        }
+        let mut r = hier.leaf_of_edge(object.edge);
+        while r.is_valid() {
+            self.abstracts[r.0 as usize].remove(object.category);
+            r = hier.parent(r);
+        }
+        Ok(object)
+    }
+
+    /// Updates an object's category attribute in place (the paper's
+    /// "changes of object attributes" case).
+    pub fn update_category(
+        &mut self,
+        hier: &RnetHierarchy,
+        id: ObjectId,
+        category: CategoryId,
+    ) -> Result<CategoryId, RoadError> {
+        let object = self.objects.get_mut(&id.0).ok_or(RoadError::UnknownObject(id))?;
+        let old = object.category;
+        if old == category {
+            return Ok(old);
+        }
+        object.category = category;
+        let edge = object.edge;
+        let mut r = hier.leaf_of_edge(edge);
+        while r.is_valid() {
+            let a = &mut self.abstracts[r.0 as usize];
+            a.remove(old);
+            a.insert(category);
+            r = hier.parent(r);
+        }
+        Ok(old)
+    }
+
+    /// Objects associated with node `n` (those on its incident edges).
+    pub fn objects_at_node(&self, n: NodeId) -> impl Iterator<Item = &Object> {
+        self.node_objects
+            .get(&n.0)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.objects.get(&id.0))
+    }
+
+    /// `true` when some object is associated with node `n`.
+    pub fn node_has_objects(&self, n: NodeId) -> bool {
+        self.node_objects.get(&n.0).map(|v| !v.is_empty()).unwrap_or(false)
+    }
+
+    /// Objects on edge `e`.
+    pub fn objects_on_edge(&self, e: EdgeId) -> impl Iterator<Item = &Object> {
+        self.edge_objects
+            .get(&e.0)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.objects.get(&id.0))
+    }
+
+    /// The abstract of an Rnet.
+    pub fn abstract_of(&self, r: RnetId) -> &ObjectAbstract {
+        &self.abstracts[r.0 as usize]
+    }
+
+    /// SearchObject against an Rnet: may it contain objects matching the
+    /// filter? (Figure 10, line 7.)
+    #[inline]
+    pub fn rnet_may_match(&self, r: RnetId, filter: &ObjectFilter) -> bool {
+        self.abstracts[r.0 as usize].may_match(filter)
+    }
+
+    /// Count of stored objects matching `filter` (exact, full scan).
+    pub fn matching_count(&self, filter: &ObjectFilter) -> usize {
+        self.objects.values().filter(|o| filter.matches(o)).count()
+    }
+
+    /// Modelled serialized size in bytes: per-node associations (node id +
+    /// object id + offset per entry) plus non-empty Rnet abstracts — the
+    /// quantities Figure 13/14 charge to ROAD's object side.
+    pub fn size_bytes(&self) -> usize {
+        let node_entries: usize = self.node_objects.values().map(|v| v.len()).sum();
+        let node_bytes = node_entries * 20 + self.node_objects.len() * 8;
+        let abstract_bytes: usize =
+            self.abstracts.iter().filter(|a| !a.is_empty()).map(|a| a.size_bytes() + 8).sum();
+        node_bytes + abstract_bytes
+    }
+
+    /// Checks Lemma 1 (`O(R) = ⋃ O(R_i)`) and association consistency
+    /// against a from-scratch recount. Test helper.
+    pub fn validate(&self, g: &RoadNetwork, hier: &RnetHierarchy) -> Result<(), String> {
+        // Recount abstract totals per Rnet.
+        let mut totals = vec![0u32; hier.num_rnets()];
+        for o in self.objects.values() {
+            let mut r = hier.leaf_of_edge(o.edge);
+            while r.is_valid() {
+                totals[r.0 as usize] += 1;
+                r = hier.parent(r);
+            }
+        }
+        for (i, a) in self.abstracts.iter().enumerate() {
+            if a.total() != totals[i] {
+                return Err(format!("abstract R{i}: total {} != recount {}", a.total(), totals[i]));
+            }
+        }
+        // Node associations match edge endpoints.
+        for o in self.objects.values() {
+            let (a, b) = g.edge(o.edge).endpoints();
+            for n in [a, b] {
+                let ok = self
+                    .node_objects
+                    .get(&n.0)
+                    .map(|v| v.contains(&o.id))
+                    .unwrap_or(false);
+                if !ok {
+                    return Err(format!("{:?} missing from node {n} association", o.id));
+                }
+            }
+        }
+        // No dangling associations.
+        for (n, list) in &self.node_objects {
+            for id in list {
+                if !self.objects.contains_key(&id.0) {
+                    return Err(format!("node {n} references deleted {id:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyConfig;
+    use road_network::generator::simple;
+
+    fn setup() -> (RoadNetwork, RnetHierarchy) {
+        let g = simple::grid(8, 8, 1.0);
+        let hier = RnetHierarchy::build(&g, &HierarchyConfig::default()).unwrap();
+        (g, hier)
+    }
+
+    fn obj(id: u64, e: EdgeId, cat: u16) -> Object {
+        Object::new(ObjectId(id), e, 0.5, CategoryId(cat))
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_and_lemma1() {
+        let (g, hier) = setup();
+        let mut ad = AssociationDirectory::new(&hier);
+        let edges: Vec<EdgeId> = g.edge_ids().take(10).collect();
+        for (i, &e) in edges.iter().enumerate() {
+            ad.insert(&g, &hier, obj(i as u64, e, (i % 3) as u16)).unwrap();
+        }
+        assert_eq!(ad.len(), 10);
+        ad.validate(&g, &hier).unwrap();
+        // Level-1 abstracts must sum to the object count (Lemma 1).
+        let total: u32 = hier.rnets_at_level(1).map(|r| ad.abstract_of(r).total()).sum();
+        assert_eq!(total, 10);
+        for i in 0..10u64 {
+            let o = ad.remove(&g, &hier, ObjectId(i)).unwrap();
+            assert_eq!(o.id, ObjectId(i));
+        }
+        assert!(ad.is_empty());
+        ad.validate(&g, &hier).unwrap();
+        assert!(hier.rnets_at_level(1).all(|r| ad.abstract_of(r).is_empty()));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_error() {
+        let (g, hier) = setup();
+        let mut ad = AssociationDirectory::new(&hier);
+        let e = g.edge_ids().next().unwrap();
+        ad.insert(&g, &hier, obj(1, e, 0)).unwrap();
+        assert!(matches!(
+            ad.insert(&g, &hier, obj(1, e, 0)),
+            Err(RoadError::DuplicateObject(_))
+        ));
+        assert!(matches!(ad.remove(&g, &hier, ObjectId(9)), Err(RoadError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn bad_placements_error() {
+        let (g, hier) = setup();
+        let mut ad = AssociationDirectory::new(&hier);
+        let e = g.edge_ids().next().unwrap();
+        let mut o = obj(1, e, 0);
+        o.fraction = 1.5;
+        assert!(matches!(ad.insert(&g, &hier, o), Err(RoadError::BadPlacement(_))));
+        let mut o = obj(2, e, 0);
+        o.fraction = f64::NAN;
+        assert!(matches!(ad.insert(&g, &hier, o), Err(RoadError::BadPlacement(_))));
+        let o = obj(3, EdgeId(9999), 0);
+        assert!(matches!(ad.insert(&g, &hier, o), Err(RoadError::EdgeUnavailable(_))));
+    }
+
+    #[test]
+    fn node_and_edge_associations() {
+        let (g, hier) = setup();
+        let mut ad = AssociationDirectory::new(&hier);
+        let e = g.edge_ids().next().unwrap();
+        let (a, b) = g.edge(e).endpoints();
+        ad.insert(&g, &hier, obj(1, e, 0)).unwrap();
+        ad.insert(&g, &hier, obj(2, e, 1)).unwrap();
+        assert_eq!(ad.objects_at_node(a).count(), 2);
+        assert_eq!(ad.objects_at_node(b).count(), 2);
+        assert!(ad.node_has_objects(a));
+        assert_eq!(ad.objects_on_edge(e).count(), 2);
+        ad.remove(&g, &hier, ObjectId(1)).unwrap();
+        assert_eq!(ad.objects_at_node(a).count(), 1);
+    }
+
+    #[test]
+    fn category_update_rewrites_abstracts() {
+        let (g, hier) = setup();
+        let mut ad = AssociationDirectory::new(&hier);
+        let e = g.edge_ids().next().unwrap();
+        ad.insert(&g, &hier, obj(1, e, 0)).unwrap();
+        let leaf = hier.leaf_of_edge(e);
+        assert!(ad.rnet_may_match(leaf, &ObjectFilter::Category(CategoryId(0))));
+        ad.update_category(&hier, ObjectId(1), CategoryId(7)).unwrap();
+        assert!(!ad.rnet_may_match(leaf, &ObjectFilter::Category(CategoryId(0))));
+        assert!(ad.rnet_may_match(leaf, &ObjectFilter::Category(CategoryId(7))));
+        ad.validate(&g, &hier).unwrap();
+        assert_eq!(ad.matching_count(&ObjectFilter::Category(CategoryId(7))), 1);
+    }
+
+    #[test]
+    fn multiple_directories_over_one_overlay() {
+        // The paper's flexibility claim: different object types in
+        // different directories over the same hierarchy.
+        let (g, hier) = setup();
+        let mut hotels = AssociationDirectory::new(&hier);
+        let mut fuel = AssociationDirectory::with_kind(&hier, AbstractKind::Bloom);
+        let e = g.edge_ids().next().unwrap();
+        hotels.insert(&g, &hier, obj(1, e, 0)).unwrap();
+        fuel.insert(&g, &hier, obj(1, e, 5)).unwrap(); // same id, no clash
+        assert_eq!(hotels.len(), 1);
+        assert_eq!(fuel.len(), 1);
+        let leaf = hier.leaf_of_edge(e);
+        assert!(fuel.rnet_may_match(leaf, &ObjectFilter::Category(CategoryId(5))));
+    }
+
+    #[test]
+    fn size_model_is_monotone() {
+        let (g, hier) = setup();
+        let mut ad = AssociationDirectory::new(&hier);
+        let s0 = ad.size_bytes();
+        for (i, e) in g.edge_ids().take(20).enumerate() {
+            ad.insert(&g, &hier, obj(i as u64, e, 0)).unwrap();
+        }
+        assert!(ad.size_bytes() > s0);
+    }
+}

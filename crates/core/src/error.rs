@@ -1,0 +1,73 @@
+//! Error type for the ROAD framework.
+
+use crate::model::ObjectId;
+use road_network::{EdgeId, NetworkError, NodeId};
+use std::fmt;
+
+/// Errors produced by framework construction, queries and maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadError {
+    /// An underlying network operation failed.
+    Network(NetworkError),
+    /// Bad framework configuration (fanout/levels).
+    InvalidConfig(String),
+    /// The object id is already present in the directory.
+    DuplicateObject(ObjectId),
+    /// No object with this id exists in the directory.
+    UnknownObject(ObjectId),
+    /// An object placement was invalid (dead edge, fraction out of range).
+    BadPlacement(String),
+    /// A query referenced a node outside the network.
+    NodeOutOfBounds(NodeId),
+    /// An edge operation referenced a missing or deleted edge.
+    EdgeUnavailable(EdgeId),
+    /// The edge still carries objects in the given directory, so it cannot
+    /// be removed without orphaning them.
+    EdgeHasObjects(EdgeId, usize),
+}
+
+impl fmt::Display for RoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadError::Network(e) => write!(f, "network error: {e}"),
+            RoadError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RoadError::DuplicateObject(o) => write!(f, "object {o:?} already exists"),
+            RoadError::UnknownObject(o) => write!(f, "object {o:?} does not exist"),
+            RoadError::BadPlacement(msg) => write!(f, "bad object placement: {msg}"),
+            RoadError::NodeOutOfBounds(n) => write!(f, "query node {n} is out of bounds"),
+            RoadError::EdgeUnavailable(e) => write!(f, "edge {e} is missing or deleted"),
+            RoadError::EdgeHasObjects(e, k) => {
+                write!(f, "edge {e} still carries {k} object(s); relocate them first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoadError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for RoadError {
+    fn from(e: NetworkError) -> Self {
+        RoadError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RoadError::Network(NetworkError::SelfLoop(NodeId(3)));
+        assert!(e.to_string().contains("n3"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = RoadError::EdgeHasObjects(EdgeId(1), 2);
+        assert!(e.to_string().contains("2 object"));
+    }
+}

@@ -1,0 +1,498 @@
+//! The ROAD framework facade: construction, queries and network
+//! maintenance.
+//!
+//! `RoadFramework` owns the road network together with its Route Overlay
+//! (Rnet hierarchy + shortcut store), keeping the two consistent across
+//! edge-weight changes and topology changes (Section 5.2). Association
+//! Directories are intentionally *not* owned: the clean separation between
+//! network and objects is the framework's core design property, letting
+//! several object sets share one overlay.
+
+use crate::association::AssociationDirectory;
+use crate::hierarchy::{HierarchyConfig, RnetHierarchy, RnetId};
+use crate::search::{self, KnnQuery, NoopObserver, RangeQuery, SearchObserver, SearchResult};
+use crate::shortcut::{BuildScratch, ShortcutOptions, ShortcutStore};
+use crate::RoadError;
+use road_network::graph::{RoadNetwork, WeightKind};
+use road_network::hash::FastSet;
+use road_network::partition::PartitionOptions;
+use road_network::{EdgeId, NodeId, Point, Weight};
+
+/// Framework configuration.
+#[derive(Clone, Debug, Default)]
+pub struct RoadConfig {
+    /// The distance metric shortcuts are built for.
+    pub metric: WeightKind,
+    /// Rnet hierarchy shape.
+    pub hierarchy: HierarchyConfig,
+    /// Shortcut construction options.
+    pub shortcuts: ShortcutOptions,
+}
+
+/// Counters describing one maintenance operation (Section 5.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Rnets whose shortcuts were recomputed ("refreshed").
+    pub rnets_refreshed: usize,
+    /// Refreshed Rnets whose shortcut set actually changed.
+    pub rnets_changed: usize,
+    /// Nodes promoted to border nodes.
+    pub borders_promoted: usize,
+    /// Nodes demoted from border nodes.
+    pub borders_demoted: usize,
+}
+
+/// The ROAD framework over one road network.
+pub struct RoadFramework {
+    g: RoadNetwork,
+    cfg: RoadConfig,
+    hier: RnetHierarchy,
+    shortcuts: ShortcutStore,
+    scratch: BuildScratch,
+}
+
+impl RoadFramework {
+    /// Builds the framework: partitions the network into the Rnet
+    /// hierarchy and computes all shortcuts bottom-up.
+    pub fn build(g: RoadNetwork, cfg: RoadConfig) -> Result<Self, RoadError> {
+        let hier = RnetHierarchy::build(&g, &cfg.hierarchy)?;
+        let shortcuts = ShortcutStore::build(&g, &hier, cfg.metric, &cfg.shortcuts);
+        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+    }
+
+    /// Fluent construction helper.
+    pub fn builder(g: RoadNetwork) -> RoadBuilder {
+        RoadBuilder { g, cfg: RoadConfig::default() }
+    }
+
+    /// Assembles a framework from pre-built parts (persistence restore and
+    /// custom-partition construction); validates the hierarchy against the
+    /// network.
+    pub(crate) fn from_parts(
+        g: RoadNetwork,
+        cfg: RoadConfig,
+        hier: RnetHierarchy,
+        shortcuts: ShortcutStore,
+    ) -> Result<Self, RoadError> {
+        hier.validate(&g).map_err(RoadError::InvalidConfig)?;
+        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+    }
+
+    /// Builds the framework over a caller-supplied leaf partition (e.g.
+    /// administrative boundaries — the paper's "partitioning based on
+    /// network semantics"). `leaf_index_of(edge)` maps every live edge to
+    /// a finest-Rnet index in `0..fanout^levels`; shortcuts are then
+    /// computed as usual.
+    pub fn build_with_partition(
+        g: RoadNetwork,
+        cfg: RoadConfig,
+        leaf_index_of: impl Fn(EdgeId) -> u32,
+    ) -> Result<Self, RoadError> {
+        let hier = RnetHierarchy::from_leaf_assignment(
+            &g,
+            cfg.hierarchy.fanout,
+            cfg.hierarchy.levels,
+            leaf_index_of,
+        )?;
+        let shortcuts = ShortcutStore::build(&g, &hier, cfg.metric, &cfg.shortcuts);
+        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+    }
+
+    /// Serializes the framework (network + hierarchy + shortcuts); see
+    /// [`crate::persist`] for the format and rationale.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::persist::to_bytes(self)
+    }
+
+    /// Restores a framework serialized with [`RoadFramework::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RoadError> {
+        crate::persist::from_bytes(bytes)
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.g
+    }
+
+    /// The Rnet hierarchy.
+    pub fn hierarchy(&self) -> &RnetHierarchy {
+        &self.hier
+    }
+
+    /// The shortcut store.
+    pub fn shortcuts(&self) -> &ShortcutStore {
+        &self.shortcuts
+    }
+
+    /// The metric this framework's shortcuts are built for.
+    pub fn metric(&self) -> WeightKind {
+        self.cfg.metric
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RoadConfig {
+        &self.cfg
+    }
+
+    /// Modelled Route Overlay size in bytes: per-node records (adjacency +
+    /// shortcut-tree entries) plus the shortcut store — the quantity the
+    /// index-size experiments charge to ROAD's network side.
+    pub fn overlay_size_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for n in self.g.node_ids() {
+            bytes += 16; // node header + coordinates
+            bytes += 8 * self.g.degree(n); // adjacency entries
+            bytes += 8 * self.hier.bordered_rnets(n).len(); // shortcut-tree entries
+        }
+        bytes + self.shortcuts.size_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (Section 4)
+    // ------------------------------------------------------------------
+
+    /// Evaluates a kNN query against a directory.
+    pub fn knn(
+        &self,
+        ad: &AssociationDirectory,
+        query: &KnnQuery,
+    ) -> Result<SearchResult, RoadError> {
+        self.knn_observed(ad, query, &mut NoopObserver)
+    }
+
+    /// kNN with an I/O-accounting observer.
+    pub fn knn_observed(
+        &self,
+        ad: &AssociationDirectory,
+        query: &KnnQuery,
+        observer: &mut dyn SearchObserver,
+    ) -> Result<SearchResult, RoadError> {
+        search::execute(
+            self,
+            Some(ad),
+            query.node,
+            &query.filter,
+            search::Mode::Knn(query.k, query.max_distance),
+            observer,
+        )
+    }
+
+    /// Evaluates a range query against a directory.
+    pub fn range(
+        &self,
+        ad: &AssociationDirectory,
+        query: &RangeQuery,
+    ) -> Result<SearchResult, RoadError> {
+        self.range_observed(ad, query, &mut NoopObserver)
+    }
+
+    /// Range query with an I/O-accounting observer.
+    pub fn range_observed(
+        &self,
+        ad: &AssociationDirectory,
+        query: &RangeQuery,
+        observer: &mut dyn SearchObserver,
+    ) -> Result<SearchResult, RoadError> {
+        search::execute(
+            self,
+            Some(ad),
+            query.node,
+            &query.filter,
+            search::Mode::Range(query.radius),
+            observer,
+        )
+    }
+
+    /// Aggregate kNN over a query group (ref \[19\]'s ANN queries on the
+    /// ROAD overlay): one pruned expansion per group member collects every
+    /// matching object's distance; the aggregates are combined and the k
+    /// best returned. Objects unreachable from *any* group member are
+    /// excluded (their aggregate is undefined).
+    pub fn aggregate_knn(
+        &self,
+        ad: &AssociationDirectory,
+        query: &crate::search::AggregateKnnQuery,
+    ) -> Result<Vec<crate::search::SearchHit>, RoadError> {
+        if query.nodes.is_empty() {
+            return Err(RoadError::InvalidConfig("aggregate query needs >= 1 node".into()));
+        }
+        use road_network::hash::FastMap;
+        let mut acc: FastMap<u64, (Weight, usize)> = FastMap::default();
+        for &q in &query.nodes {
+            let res = search::execute(
+                self,
+                Some(ad),
+                q,
+                &query.filter,
+                search::Mode::Range(Weight::INFINITY),
+                &mut NoopObserver,
+            )?;
+            for hit in res.hits {
+                let entry = acc.entry(hit.object.0).or_insert((Weight::ZERO, 0));
+                entry.0 = query.aggregate.combine(entry.0, hit.distance);
+                entry.1 += 1;
+            }
+        }
+        let mut hits: Vec<crate::search::SearchHit> = acc
+            .into_iter()
+            .filter(|&(_, (_, seen))| seen == query.nodes.len())
+            .map(|(o, (d, _))| crate::search::SearchHit {
+                object: crate::model::ObjectId(o),
+                distance: d,
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.object.cmp(&b.object)));
+        hits.truncate(query.k);
+        Ok(hits)
+    }
+
+    /// Point-to-point network distance through the overlay: with no
+    /// objects to find, every Rnet not containing the target is bypassed
+    /// via shortcuts, so this is hierarchical routing in the style of
+    /// HEPV/HiTi — a capability ROAD gets for free.
+    pub fn network_distance(&self, from: NodeId, to: NodeId) -> Result<Option<Weight>, RoadError> {
+        let res = search::execute(
+            self,
+            None,
+            from,
+            &crate::model::ObjectFilter::Any,
+            search::Mode::ToNode(to),
+            &mut NoopObserver,
+        )?;
+        Ok(res.distance_to_node(to))
+    }
+
+    /// Point-to-point shortest path through the overlay, fully expanded to
+    /// physical edges.
+    pub fn shortest_path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Option<road_network::Path>, RoadError> {
+        let res = search::execute(
+            self,
+            None,
+            from,
+            &crate::model::ObjectFilter::Any,
+            search::Mode::ToNode(to),
+            &mut NoopObserver,
+        )?;
+        Ok(res.path_to_node(self, to))
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance (Section 5.2)
+    // ------------------------------------------------------------------
+
+    /// Changes the (framework-metric) weight of an edge and repairs the
+    /// affected shortcuts by filter-and-refresh: the enclosing finest Rnet
+    /// is recomputed, and the update propagates to the parent level only
+    /// while shortcut sets keep changing (Lemma 2).
+    pub fn set_edge_weight(
+        &mut self,
+        e: EdgeId,
+        weight: Weight,
+    ) -> Result<UpdateOutcome, RoadError> {
+        let old = self.g.set_weight(e, self.cfg.metric, weight)?;
+        let mut outcome = UpdateOutcome::default();
+        if old == weight {
+            return Ok(outcome);
+        }
+        let mut r = self.hier.leaf_of_edge(e);
+        while r.is_valid() {
+            outcome.rnets_refreshed += 1;
+            let changed = self.shortcuts.refresh_rnet(
+                &self.g,
+                &self.hier,
+                self.cfg.metric,
+                r,
+                &self.cfg.shortcuts,
+                &mut self.scratch,
+            );
+            if !changed {
+                break; // Lemma 2: parents depend only on child shortcut distances
+            }
+            outcome.rnets_changed += 1;
+            r = self.hier.parent(r);
+        }
+        Ok(outcome)
+    }
+
+    /// Adds a new intersection (used when road construction introduces new
+    /// nodes); connect it with [`RoadFramework::add_edge`].
+    pub fn add_node(&mut self, at: Point) -> NodeId {
+        self.g.add_node(at)
+    }
+
+    /// Adds a road segment (Section 5.2.2, "addition of a new edge").
+    ///
+    /// The edge joins the finest Rnet of one of its endpoints' existing
+    /// edges; endpoints whose incident edges now span several Rnets are
+    /// promoted to border nodes and all affected Rnets' shortcuts are
+    /// refreshed.
+    pub fn add_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        weights: (Weight, Weight, Weight),
+    ) -> Result<(EdgeId, UpdateOutcome), RoadError> {
+        // Choose the host leaf Rnet before mutating anything: prefer a leaf
+        // shared by both endpoints (Case 1), then a's side, then b's
+        // (Case 2 promotes the far endpoint to a border node).
+        let leaf_candidates = |n: NodeId| -> Vec<RnetId> {
+            self.g
+                .neighbors(n)
+                .map(|(e, _)| self.hier.leaf_of_edge(e))
+                .filter(|r| r.is_valid())
+                .collect()
+        };
+        let leaves_a = leaf_candidates(a);
+        let leaves_b = leaf_candidates(b);
+        let leaf = leaves_a
+            .iter()
+            .find(|r| leaves_b.contains(r))
+            .or(leaves_a.first())
+            .or(leaves_b.first())
+            .copied()
+            .unwrap_or_else(|| {
+                // Two isolated nodes: host in the first finest Rnet.
+                self.hier.rnets_at_level(self.hier.levels()).next().expect("hierarchy has leaves")
+            });
+        let e = self.g.add_edge(a, b, weights.0, weights.1, weights.2)?;
+        self.hier.assign_edge(e, leaf);
+        Ok((e, self.repair_after_topology_change(&[a, b], leaf)))
+    }
+
+    /// Removes a road segment (Section 5.2.2, "deletion of an existing
+    /// edge"). Fails if any of the given directories still has objects on
+    /// the edge (they would silently become unreachable).
+    pub fn remove_edge(
+        &mut self,
+        e: EdgeId,
+        directories: &[&AssociationDirectory],
+    ) -> Result<UpdateOutcome, RoadError> {
+        for ad in directories {
+            let count = ad.objects_on_edge(e).count();
+            if count > 0 {
+                return Err(RoadError::EdgeHasObjects(e, count));
+            }
+        }
+        if e.index() >= self.g.edge_slots() || self.g.edge(e).is_deleted() {
+            return Err(RoadError::EdgeUnavailable(e));
+        }
+        let (a, b) = self.g.edge(e).endpoints();
+        let leaf = self.hier.leaf_of_edge(e);
+        self.g.remove_edge(e)?;
+        self.hier.unassign_edge(e);
+        Ok(self.repair_after_topology_change(&[a, b], leaf))
+    }
+
+    /// After a topology change touching `nodes` and leaf Rnet `leaf`:
+    /// refresh border bookkeeping, then recompute shortcuts for the
+    /// ancestor closure of every affected Rnet, finest level first.
+    fn repair_after_topology_change(&mut self, nodes: &[NodeId], leaf: RnetId) -> UpdateOutcome {
+        fn add_chain(hier: &RnetHierarchy, mut r: RnetId, set: &mut FastSet<u32>) {
+            while r.is_valid() {
+                set.insert(r.0);
+                r = hier.parent(r);
+            }
+        }
+        let mut outcome = UpdateOutcome::default();
+        let mut affected: FastSet<u32> = FastSet::default();
+        if leaf.is_valid() {
+            add_chain(&self.hier, leaf, &mut affected);
+        }
+        for &n in nodes {
+            let (gained, lost) = self.hier.refresh_node_borders(&self.g, n);
+            outcome.borders_promoted += usize::from(!gained.is_empty());
+            outcome.borders_demoted += usize::from(!lost.is_empty());
+            for r in gained.into_iter().chain(lost) {
+                add_chain(&self.hier, r, &mut affected);
+            }
+            // Every Rnet the node still borders may gain/lose shortcuts
+            // through the changed edge set.
+            for &r in self.hier.bordered_rnets(n) {
+                add_chain(&self.hier, r, &mut affected);
+            }
+        }
+        // Refresh finest-first so parents see up-to-date child shortcuts.
+        let mut order: Vec<RnetId> = affected.iter().map(|&r| RnetId(r)).collect();
+        order.sort_by_key(|&r| std::cmp::Reverse(self.hier.level_of(r)));
+        for r in order {
+            outcome.rnets_refreshed += 1;
+            let changed = self.shortcuts.refresh_rnet(
+                &self.g,
+                &self.hier,
+                self.cfg.metric,
+                r,
+                &self.cfg.shortcuts,
+                &mut self.scratch,
+            );
+            outcome.rnets_changed += usize::from(changed);
+        }
+        outcome
+    }
+
+    /// Full consistency check against fresh rebuilds (tests only — this is
+    /// as expensive as constructing the framework).
+    pub fn verify(&self) -> Result<(), String> {
+        self.hier.validate(&self.g)?;
+        self.shortcuts
+            .verify_against_rebuild(&self.g, &self.hier, self.cfg.metric, &self.cfg.shortcuts)
+    }
+}
+
+impl std::fmt::Debug for RoadFramework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoadFramework")
+            .field("nodes", &self.g.num_nodes())
+            .field("edges", &self.g.num_edges())
+            .field("levels", &self.hier.levels())
+            .field("fanout", &self.hier.fanout())
+            .field("shortcuts", &self.shortcuts.num_shortcuts())
+            .finish()
+    }
+}
+
+/// Fluent builder returned by [`RoadFramework::builder`].
+pub struct RoadBuilder {
+    g: RoadNetwork,
+    cfg: RoadConfig,
+}
+
+impl RoadBuilder {
+    /// Sets the partition fanout `p` (power of two; paper default 4).
+    pub fn fanout(mut self, p: usize) -> Self {
+        self.cfg.hierarchy.fanout = p;
+        self
+    }
+
+    /// Sets the number of hierarchy levels `l`.
+    pub fn levels(mut self, l: u32) -> Self {
+        self.cfg.hierarchy.levels = l;
+        self
+    }
+
+    /// Sets the distance metric.
+    pub fn metric(mut self, kind: WeightKind) -> Self {
+        self.cfg.metric = kind;
+        self
+    }
+
+    /// Enables or disables Lemma-4 shortcut pruning.
+    pub fn prune_transitive_shortcuts(mut self, on: bool) -> Self {
+        self.cfg.shortcuts.prune_transitive = on;
+        self
+    }
+
+    /// Overrides partitioner tuning.
+    pub fn partition_options(mut self, opts: PartitionOptions) -> Self {
+        self.cfg.hierarchy.partition = opts;
+        self
+    }
+
+    /// Builds the framework.
+    pub fn build(self) -> Result<RoadFramework, RoadError> {
+        RoadFramework::build(self.g, self.cfg)
+    }
+}

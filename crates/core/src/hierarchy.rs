@@ -1,0 +1,664 @@
+//! The Rnet hierarchy (Definitions 1 and 4, Section 3.3).
+//!
+//! The whole network (the implicit level-0 Rnet) is partitioned into `p`
+//! Rnets, each recursively partitioned into `p` children, for `l` levels.
+//! Edges belong to exactly one Rnet per level (Definition 4 condition 1);
+//! nodes incident to edges of two different Rnets at some level are the
+//! *border nodes* of those Rnets — the only entrances and exits a traversal
+//! can use.
+//!
+//! We materialise edge membership only at the finest level: the Rnet ids
+//! are numbered so a leaf's ancestor at any level is integer arithmetic
+//! (`index / p^(l - level)`), which is also what makes the Route Overlay's
+//! "flattened" storage possible. Border-node sets are maintained per Rnet,
+//! and per node we keep the list of Rnets it borders ordered by level —
+//! exactly the *shortcut tree* shape of Figure 6.
+
+use road_network::graph::RoadNetwork;
+use road_network::hash::{FastMap, FastSet};
+use road_network::partition::{partition_edges, PartitionOptions};
+use road_network::{EdgeId, NodeId};
+use std::fmt;
+
+/// Identifier of an Rnet in the hierarchy (level-order numbering).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RnetId(pub u32);
+
+impl RnetId {
+    /// Sentinel for "no Rnet".
+    pub const NONE: RnetId = RnetId(u32::MAX);
+
+    /// `true` unless this is the sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RnetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "R{}", self.0)
+        } else {
+            write!(f, "R<none>")
+        }
+    }
+}
+
+/// Configuration of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct HierarchyConfig {
+    /// Partition fanout `p` (a power of two; the paper uses 4).
+    pub fanout: usize,
+    /// Number of levels `l` (the paper uses 4 for CA, 8 for NA/SF).
+    pub levels: u32,
+    /// Partitioner tuning.
+    pub partition: PartitionOptions,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig { fanout: 4, levels: 4, partition: PartitionOptions::default() }
+    }
+}
+
+/// The Rnet hierarchy over a road network.
+pub struct RnetHierarchy {
+    fanout: u32,
+    levels: u32,
+    /// `level_offsets[lv - 1]` = id of the first Rnet at level `lv`;
+    /// a trailing entry holds the total count.
+    level_offsets: Vec<u32>,
+    /// Edge lists of the finest-level Rnets, indexed by leaf *index*.
+    leaf_edges: Vec<Vec<EdgeId>>,
+    /// Finest Rnet of each edge slot (NONE for deleted edges).
+    leaf_of_edge: Vec<RnetId>,
+    /// Border nodes per Rnet id.
+    borders: Vec<Vec<NodeId>>,
+    /// For each border node: the Rnets it borders, sorted by level asc.
+    node_rnets: FastMap<u32, Vec<RnetId>>,
+}
+
+impl RnetHierarchy {
+    /// Builds the hierarchy by recursive geometric + KL partitioning.
+    pub fn build(g: &RoadNetwork, cfg: &HierarchyConfig) -> Result<Self, crate::RoadError> {
+        if !cfg.fanout.is_power_of_two() || cfg.fanout < 2 {
+            return Err(crate::RoadError::InvalidConfig(format!(
+                "fanout must be a power of two >= 2, got {}",
+                cfg.fanout
+            )));
+        }
+        if cfg.levels == 0 || cfg.levels > 12 {
+            return Err(crate::RoadError::InvalidConfig(format!(
+                "levels must be in [1, 12], got {}",
+                cfg.levels
+            )));
+        }
+        let p = cfg.fanout as u32;
+        let l = cfg.levels;
+
+        // Level offsets: level lv has p^lv Rnets.
+        let mut level_offsets = Vec::with_capacity(l as usize + 1);
+        let mut acc = 0u64;
+        for lv in 1..=l {
+            level_offsets.push(acc as u32);
+            acc += (p as u64).pow(lv);
+            if acc > u32::MAX as u64 {
+                return Err(crate::RoadError::InvalidConfig(format!(
+                    "hierarchy too large: {acc} Rnets"
+                )));
+            }
+        }
+        level_offsets.push(acc as u32);
+
+        // Recursive edge partitioning; group order defines child indexes.
+        let mut groups: Vec<Vec<EdgeId>> = vec![g.edge_ids().collect()];
+        for _lv in 1..=l {
+            let mut next = Vec::with_capacity(groups.len() * cfg.fanout);
+            for group in &groups {
+                let assignment = partition_edges(g, group, cfg.fanout, &cfg.partition);
+                let mut parts: Vec<Vec<EdgeId>> = vec![Vec::new(); cfg.fanout];
+                for (i, &e) in group.iter().enumerate() {
+                    parts[assignment[i] as usize].push(e);
+                }
+                next.extend(parts);
+            }
+            groups = next;
+        }
+        let leaf_edges = groups;
+        debug_assert_eq!(leaf_edges.len() as u64, (p as u64).pow(l));
+
+        let leaf_base = level_offsets[l as usize - 1];
+        let mut leaf_of_edge = vec![RnetId::NONE; g.edge_slots()];
+        for (leaf_idx, edges) in leaf_edges.iter().enumerate() {
+            for &e in edges {
+                leaf_of_edge[e.index()] = RnetId(leaf_base + leaf_idx as u32);
+            }
+        }
+
+        let mut hier = RnetHierarchy {
+            fanout: p,
+            levels: l,
+            level_offsets,
+            leaf_edges,
+            leaf_of_edge,
+            borders: vec![Vec::new(); acc as usize],
+            node_rnets: FastMap::default(),
+        };
+        for n in g.node_ids() {
+            hier.install_node_borders(g, n);
+        }
+        Ok(hier)
+    }
+
+    /// Builds a hierarchy from an *explicit* leaf assignment instead of the
+    /// built-in partitioner: `leaf_index_of(edge)` gives each live edge's
+    /// finest-Rnet index in `0..fanout^levels`.
+    ///
+    /// This enables the paper's "partitioning based on network semantics"
+    /// (country → state → county → township) and is also how a persisted
+    /// framework restores its hierarchy without re-partitioning.
+    pub fn from_leaf_assignment(
+        g: &RoadNetwork,
+        fanout: usize,
+        levels: u32,
+        leaf_index_of: impl Fn(EdgeId) -> u32,
+    ) -> Result<Self, crate::RoadError> {
+        if !fanout.is_power_of_two() || fanout < 2 {
+            return Err(crate::RoadError::InvalidConfig(format!(
+                "fanout must be a power of two >= 2, got {fanout}"
+            )));
+        }
+        if levels == 0 || levels > 12 {
+            return Err(crate::RoadError::InvalidConfig(format!(
+                "levels must be in [1, 12], got {levels}"
+            )));
+        }
+        let p = fanout as u32;
+        let mut level_offsets = Vec::with_capacity(levels as usize + 1);
+        let mut acc = 0u64;
+        for lv in 1..=levels {
+            level_offsets.push(acc as u32);
+            acc += (p as u64).pow(lv);
+            if acc > u32::MAX as u64 {
+                return Err(crate::RoadError::InvalidConfig(format!(
+                    "hierarchy too large: {acc} Rnets"
+                )));
+            }
+        }
+        level_offsets.push(acc as u32);
+        let num_leaves = (p as u64).pow(levels) as usize;
+        let mut leaf_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); num_leaves];
+        let mut leaf_of_edge = vec![RnetId::NONE; g.edge_slots()];
+        let leaf_base = level_offsets[levels as usize - 1];
+        for e in g.edge_ids() {
+            let idx = leaf_index_of(e);
+            if idx as usize >= num_leaves {
+                return Err(crate::RoadError::InvalidConfig(format!(
+                    "edge {e} assigned to leaf {idx}, but only {num_leaves} leaves exist"
+                )));
+            }
+            leaf_edges[idx as usize].push(e);
+            leaf_of_edge[e.index()] = RnetId(leaf_base + idx);
+        }
+        let mut hier = RnetHierarchy {
+            fanout: p,
+            levels,
+            level_offsets,
+            leaf_edges,
+            leaf_of_edge,
+            borders: vec![Vec::new(); acc as usize],
+            node_rnets: FastMap::default(),
+        };
+        for n in g.node_ids() {
+            hier.install_node_borders(g, n);
+        }
+        Ok(hier)
+    }
+
+    /// Leaf index (within the finest level) of a live edge; used by
+    /// persistence to round-trip the assignment.
+    pub fn leaf_index_of_edge(&self, e: EdgeId) -> Option<u32> {
+        let leaf = self.leaf_of_edge(e);
+        if leaf.is_valid() {
+            Some(leaf.0 - self.level_offsets[self.levels as usize - 1])
+        } else {
+            None
+        }
+    }
+
+    /// Partition fanout `p`.
+    pub fn fanout(&self) -> usize {
+        self.fanout as usize
+    }
+
+    /// Number of levels `l`.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total number of Rnets across all levels.
+    pub fn num_rnets(&self) -> usize {
+        *self.level_offsets.last().unwrap() as usize
+    }
+
+    /// All Rnet ids at `level` (1-based).
+    pub fn rnets_at_level(&self, level: u32) -> impl Iterator<Item = RnetId> {
+        assert!(level >= 1 && level <= self.levels);
+        let lo = self.level_offsets[level as usize - 1];
+        let hi = self.level_offsets[level as usize];
+        (lo..hi).map(RnetId)
+    }
+
+    /// The level (1-based) of an Rnet.
+    pub fn level_of(&self, r: RnetId) -> u32 {
+        debug_assert!(r.is_valid());
+        match self.level_offsets.binary_search(&r.0) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// Index of `r` within its level.
+    fn index_in_level(&self, r: RnetId) -> u32 {
+        r.0 - self.level_offsets[self.level_of(r) as usize - 1]
+    }
+
+    /// The parent Rnet (NONE for level-1 Rnets).
+    pub fn parent(&self, r: RnetId) -> RnetId {
+        let lv = self.level_of(r);
+        if lv <= 1 {
+            return RnetId::NONE;
+        }
+        let idx = self.index_in_level(r) / self.fanout;
+        RnetId(self.level_offsets[lv as usize - 2] + idx)
+    }
+
+    /// Child Rnets (empty for finest-level Rnets).
+    pub fn children(&self, r: RnetId) -> Vec<RnetId> {
+        let lv = self.level_of(r);
+        if lv >= self.levels {
+            return Vec::new();
+        }
+        let idx = self.index_in_level(r);
+        let base = self.level_offsets[lv as usize] + idx * self.fanout;
+        (base..base + self.fanout).map(RnetId).collect()
+    }
+
+    /// `true` for finest-level Rnets.
+    pub fn is_leaf(&self, r: RnetId) -> bool {
+        self.level_of(r) == self.levels
+    }
+
+    /// The finest Rnet an edge belongs to.
+    pub fn leaf_of_edge(&self, e: EdgeId) -> RnetId {
+        self.leaf_of_edge.get(e.index()).copied().unwrap_or(RnetId::NONE)
+    }
+
+    /// The Rnet containing `e` at the given level.
+    pub fn rnet_of_edge_at(&self, e: EdgeId, level: u32) -> RnetId {
+        let leaf = self.leaf_of_edge(e);
+        if !leaf.is_valid() {
+            return RnetId::NONE;
+        }
+        self.ancestor_at(leaf, level)
+    }
+
+    /// Ancestor of `r` at `level` (≤ its own level).
+    pub fn ancestor_at(&self, r: RnetId, level: u32) -> RnetId {
+        let lv = self.level_of(r);
+        assert!(level >= 1 && level <= lv);
+        let idx = self.index_in_level(r) / self.fanout.pow(lv - level);
+        RnetId(self.level_offsets[level as usize - 1] + idx)
+    }
+
+    /// Edges of a finest-level Rnet.
+    pub fn leaf_edge_list(&self, r: RnetId) -> &[EdgeId] {
+        debug_assert!(self.is_leaf(r));
+        let idx = self.index_in_level(r) as usize;
+        &self.leaf_edges[idx]
+    }
+
+    /// Border nodes of an Rnet.
+    pub fn borders(&self, r: RnetId) -> &[NodeId] {
+        &self.borders[r.index()]
+    }
+
+    /// The Rnets `n` borders, sorted by level ascending (the shape of the
+    /// node's shortcut tree); empty for interior nodes.
+    pub fn bordered_rnets(&self, n: NodeId) -> &[RnetId] {
+        self.node_rnets.get(&n.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` if `n` is a border node of `r`.
+    pub fn is_border_of(&self, n: NodeId, r: RnetId) -> bool {
+        self.bordered_rnets(n).contains(&r)
+    }
+
+    /// The coarsest level at which `n` is a border node (`None` = interior).
+    pub fn border_level(&self, n: NodeId) -> Option<u32> {
+        self.bordered_rnets(n).first().map(|&r| self.level_of(r))
+    }
+
+    /// Distinct Rnets at `level` containing edges incident to `n`.
+    pub fn node_rnets_at_level(&self, g: &RoadNetwork, n: NodeId, level: u32) -> Vec<RnetId> {
+        let mut out = Vec::new();
+        for (e, _) in g.neighbors(n) {
+            let r = self.rnet_of_edge_at(e, level);
+            if r.is_valid() && !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Computes the Rnets `n` should border from its current incident
+    /// edges: for each level from the coarsest where its edges span two
+    /// Rnets down to the finest, every Rnet containing one of its edges.
+    fn compute_node_borders(&self, g: &RoadNetwork, n: NodeId) -> Vec<RnetId> {
+        // Distinct leaves of incident edges.
+        let mut leaves: Vec<u32> = Vec::new();
+        for (e, _) in g.neighbors(n) {
+            let r = self.leaf_of_edge(e);
+            if r.is_valid() {
+                let idx = r.0 - self.level_offsets[self.levels as usize - 1];
+                if !leaves.contains(&idx) {
+                    leaves.push(idx);
+                }
+            }
+        }
+        if leaves.len() < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for lv in 1..=self.levels {
+            let shift = self.fanout.pow(self.levels - lv);
+            let mut at_level: Vec<u32> = leaves.iter().map(|&i| i / shift).collect();
+            at_level.sort_unstable();
+            at_level.dedup();
+            if at_level.len() < 2 {
+                continue; // not yet a border at this coarse level
+            }
+            let base = self.level_offsets[lv as usize - 1];
+            out.extend(at_level.into_iter().map(|i| RnetId(base + i)));
+        }
+        out
+    }
+
+    fn install_node_borders(&mut self, g: &RoadNetwork, n: NodeId) {
+        let rnets = self.compute_node_borders(g, n);
+        if rnets.is_empty() {
+            return;
+        }
+        for &r in &rnets {
+            self.borders[r.index()].push(n);
+        }
+        self.node_rnets.insert(n.0, rnets);
+    }
+
+    // -----------------------------------------------------------------
+    // Maintenance hooks (Section 5.2): the framework mutates edge
+    // membership and refreshes border bookkeeping through these.
+    // -----------------------------------------------------------------
+
+    /// Registers a new edge slot as belonging to leaf Rnet `leaf`.
+    pub(crate) fn assign_edge(&mut self, e: EdgeId, leaf: RnetId) {
+        debug_assert!(self.is_leaf(leaf));
+        if e.index() >= self.leaf_of_edge.len() {
+            self.leaf_of_edge.resize(e.index() + 1, RnetId::NONE);
+        }
+        debug_assert!(!self.leaf_of_edge[e.index()].is_valid(), "edge already assigned");
+        self.leaf_of_edge[e.index()] = leaf;
+        let idx = self.index_in_level(leaf) as usize;
+        self.leaf_edges[idx].push(e);
+    }
+
+    /// Unregisters a deleted edge from its leaf Rnet.
+    pub(crate) fn unassign_edge(&mut self, e: EdgeId) {
+        let leaf = self.leaf_of_edge[e.index()];
+        if !leaf.is_valid() {
+            return;
+        }
+        self.leaf_of_edge[e.index()] = RnetId::NONE;
+        let idx = self.index_in_level(leaf) as usize;
+        self.leaf_edges[idx].retain(|&x| x != e);
+    }
+
+    /// Recomputes which Rnets `n` borders after its incident edges changed.
+    /// Returns `(gained, lost)` Rnet lists (promotion / demotion).
+    pub(crate) fn refresh_node_borders(
+        &mut self,
+        g: &RoadNetwork,
+        n: NodeId,
+    ) -> (Vec<RnetId>, Vec<RnetId>) {
+        let new = self.compute_node_borders(g, n);
+        let old = self.node_rnets.get(&n.0).cloned().unwrap_or_default();
+        let gained: Vec<RnetId> = new.iter().copied().filter(|r| !old.contains(r)).collect();
+        let lost: Vec<RnetId> = old.iter().copied().filter(|r| !new.contains(r)).collect();
+        for &r in &lost {
+            self.borders[r.index()].retain(|&m| m != n);
+        }
+        for &r in &gained {
+            self.borders[r.index()].push(n);
+        }
+        if new.is_empty() {
+            self.node_rnets.remove(&n.0);
+        } else {
+            self.node_rnets.insert(n.0, new);
+        }
+        (gained, lost)
+    }
+
+    /// Checks Definition 4 and the border-node derivation. Test helper.
+    pub fn validate(&self, g: &RoadNetwork) -> Result<(), String> {
+        // 1. Every live edge belongs to exactly one leaf Rnet; leaf lists
+        //    partition the live edges.
+        let mut seen: FastSet<u32> = FastSet::default();
+        for edges in &self.leaf_edges {
+            for &e in edges {
+                if g.edge(e).is_deleted() {
+                    return Err(format!("leaf list holds deleted edge {e}"));
+                }
+                if !seen.insert(e.0) {
+                    return Err(format!("edge {e} in two leaf Rnets"));
+                }
+            }
+        }
+        for e in g.edge_ids() {
+            if !seen.contains(&e.0) {
+                return Err(format!("edge {e} not assigned to any leaf Rnet"));
+            }
+            if !self.leaf_of_edge(e).is_valid() {
+                return Err(format!("edge {e} has no leaf pointer"));
+            }
+        }
+        // 2. leaf_of_edge agrees with leaf lists.
+        let leaf_base = self.level_offsets[self.levels as usize - 1];
+        for (idx, edges) in self.leaf_edges.iter().enumerate() {
+            let id = RnetId(leaf_base + idx as u32);
+            for &e in edges {
+                if self.leaf_of_edge(e) != id {
+                    return Err(format!("edge {e} leaf pointer mismatch"));
+                }
+            }
+        }
+        // 3. Border derivation matches Definition 1/4 at every level.
+        for n in g.node_ids() {
+            let expect = self.compute_node_borders(g, n);
+            let got = self.bordered_rnets(n);
+            if got != expect.as_slice() {
+                return Err(format!("node {n} border list mismatch: {got:?} vs {expect:?}"));
+            }
+            for &r in got {
+                if !self.borders(r).contains(&n) {
+                    return Err(format!("border list of {r:?} is missing {n}"));
+                }
+            }
+        }
+        // 4. Rnet border lists contain only genuine borders.
+        for (ri, list) in self.borders.iter().enumerate() {
+            for &n in list {
+                if !self.bordered_rnets(n).contains(&RnetId(ri as u32)) {
+                    return Err(format!("{n} listed as border of R{ri} but does not border it"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::generator::simple;
+
+    fn build_grid(w: usize, h: usize, fanout: usize, levels: u32) -> (RoadNetwork, RnetHierarchy) {
+        let g = simple::grid(w, h, 1.0);
+        let cfg = HierarchyConfig { fanout, levels, partition: PartitionOptions::default() };
+        let hier = RnetHierarchy::build(&g, &cfg).unwrap();
+        (g, hier)
+    }
+
+    #[test]
+    fn builds_and_validates_on_grids() {
+        for (fanout, levels) in [(2, 3), (4, 2), (4, 3)] {
+            let (g, hier) = build_grid(10, 10, fanout, levels);
+            hier.validate(&g).unwrap();
+            assert_eq!(hier.fanout(), fanout);
+            assert_eq!(hier.levels(), levels);
+            let expect: usize = (1..=levels).map(|lv| fanout.pow(lv)).sum();
+            assert_eq!(hier.num_rnets(), expect);
+        }
+    }
+
+    #[test]
+    fn id_arithmetic_roundtrips() {
+        let (_, hier) = build_grid(8, 8, 4, 3);
+        for lv in 1..=3 {
+            for r in hier.rnets_at_level(lv) {
+                assert_eq!(hier.level_of(r), lv);
+                if lv > 1 {
+                    let p = hier.parent(r);
+                    assert_eq!(hier.level_of(p), lv - 1);
+                    assert!(hier.children(p).contains(&r));
+                    assert_eq!(hier.ancestor_at(r, lv - 1), p);
+                    assert_eq!(hier.ancestor_at(r, lv), r);
+                }
+                if lv < 3 {
+                    for c in hier.children(r) {
+                        assert_eq!(hier.parent(c), r);
+                    }
+                } else {
+                    assert!(hier.is_leaf(r));
+                    assert!(hier.children(r).is_empty());
+                }
+            }
+        }
+        let top = hier.rnets_at_level(1).next().unwrap();
+        assert_eq!(hier.parent(top), RnetId::NONE);
+    }
+
+    #[test]
+    fn every_edge_has_a_leaf_and_consistent_ancestors() {
+        let (g, hier) = build_grid(9, 9, 4, 3);
+        for e in g.edge_ids() {
+            let leaf = hier.leaf_of_edge(e);
+            assert!(leaf.is_valid());
+            assert!(hier.is_leaf(leaf));
+            assert!(hier.leaf_edge_list(leaf).contains(&e));
+            for lv in 1..=3 {
+                assert_eq!(hier.rnet_of_edge_at(e, lv), hier.ancestor_at(leaf, lv));
+            }
+        }
+    }
+
+    #[test]
+    fn border_levels_are_upward_closed() {
+        let (g, hier) = build_grid(12, 12, 4, 3);
+        let mut border_count = 0;
+        for n in g.node_ids() {
+            let rnets = hier.bordered_rnets(n);
+            if rnets.is_empty() {
+                continue;
+            }
+            border_count += 1;
+            let bl = hier.border_level(n).unwrap();
+            // Once a border, a border at every finer level.
+            for lv in bl..=hier.levels() {
+                assert!(
+                    rnets.iter().any(|&r| hier.level_of(r) == lv),
+                    "{n} border at {bl} but not at {lv}"
+                );
+            }
+            // Levels are sorted ascending.
+            let levels: Vec<u32> = rnets.iter().map(|&r| hier.level_of(r)).collect();
+            assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+            // It borders at least two Rnets at its border level.
+            let at_bl = rnets.iter().filter(|&&r| hier.level_of(r) == bl).count();
+            assert!(at_bl >= 2, "{n} borders only {at_bl} Rnet at level {bl}");
+        }
+        assert!(border_count > 0, "a partitioned grid must have border nodes");
+        assert!(
+            border_count < g.num_nodes(),
+            "not every node should be a border node"
+        );
+    }
+
+    #[test]
+    fn chain_borders_are_cut_points() {
+        // A chain partitioned into 2 at one level: exactly 1 border node.
+        let g = simple::chain(32, 1.0);
+        let cfg = HierarchyConfig { fanout: 2, levels: 1, partition: PartitionOptions::default() };
+        let hier = RnetHierarchy::build(&g, &cfg).unwrap();
+        hier.validate(&g).unwrap();
+        let all_borders: FastSet<u32> =
+            hier.rnets_at_level(1).flat_map(|r| hier.borders(r).iter().map(|n| n.0)).collect();
+        assert_eq!(all_borders.len(), 1, "one cut point expected: {all_borders:?}");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let g = simple::grid(4, 4, 1.0);
+        let bad = HierarchyConfig { fanout: 3, levels: 2, partition: PartitionOptions::default() };
+        assert!(RnetHierarchy::build(&g, &bad).is_err());
+        let bad = HierarchyConfig { fanout: 4, levels: 0, partition: PartitionOptions::default() };
+        assert!(RnetHierarchy::build(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn deeper_than_meaningful_levels_still_validate() {
+        // 3 edges, 2 levels of fanout 4: most leaves are empty.
+        let g = simple::chain(4, 1.0);
+        let cfg = HierarchyConfig { fanout: 4, levels: 2, partition: PartitionOptions::default() };
+        let hier = RnetHierarchy::build(&g, &cfg).unwrap();
+        hier.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn maintenance_hooks_keep_validity() {
+        let (mut g, mut hier) = build_grid(6, 6, 2, 2);
+        // Delete an edge and unassign it.
+        let e = g.edge_ids().next().unwrap();
+        let (a, b) = g.edge(e).endpoints();
+        g.remove_edge(e).unwrap();
+        hier.unassign_edge(e);
+        hier.refresh_node_borders(&g, a);
+        hier.refresh_node_borders(&g, b);
+        hier.validate(&g).unwrap();
+        // Add a fresh edge far away and assign it to the leaf of a
+        // neighbouring edge.
+        let (u, v) = (NodeId(30), NodeId(25)); // not adjacent in a 6-grid
+        let ew = road_network::Weight::new(3.0);
+        let new_e = g.add_edge(u, v, ew, ew, road_network::Weight::ZERO).unwrap();
+        let leaf = hier.leaf_of_edge(g.neighbors(u).next().unwrap().0);
+        hier.assign_edge(new_e, leaf);
+        hier.refresh_node_borders(&g, u);
+        hier.refresh_node_borders(&g, v);
+        hier.validate(&g).unwrap();
+    }
+}

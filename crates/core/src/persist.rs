@@ -1,0 +1,191 @@
+//! Framework persistence: serialize a built `RoadFramework` — network,
+//! Rnet assignment and all shortcuts — to a flat byte buffer, and restore
+//! it without re-partitioning or re-running any Dijkstra.
+//!
+//! Rationale: the expensive part of ROAD is constructing the Route Overlay
+//! (Figures 13/14/19 measure it in minutes-to-hours at paper scale). A
+//! deployment builds once, ships the overlay, and every server loads it in
+//! I/O-bound time. Association Directories are intentionally *not* part of
+//! the format — objects belong to content providers and are remapped on
+//! the fly, which is the framework's separation-of-concerns story.
+//!
+//! The format is versioned and little-endian throughout:
+//!
+//! ```text
+//! magic "ROADFW01"
+//! u8  metric          (0 distance, 1 travel-time, 2 toll)
+//! u8  prune_transitive
+//! u32 fanout, u32 levels
+//! u32 num_nodes, then per node: f64 x, f64 y
+//! u32 edge_slots, then per slot:
+//!     u32 a, u32 b, f64 distance, f64 travel_time, f64 toll, u8 deleted
+//! per slot: u32 leaf index (u32::MAX = none/deleted)
+//! shortcut store (see `ShortcutStore::serialize_into`)
+//! ```
+
+use crate::framework::{RoadConfig, RoadFramework};
+use crate::hierarchy::RnetHierarchy;
+use crate::shortcut::ShortcutStore;
+use crate::RoadError;
+use road_network::graph::{RoadNetwork, WeightKind};
+use road_network::{EdgeId, Point, Weight};
+
+const MAGIC: &[u8; 8] = b"ROADFW01";
+const NO_LEAF: u32 = u32::MAX;
+
+fn metric_tag(kind: WeightKind) -> u8 {
+    match kind {
+        WeightKind::Distance => 0,
+        WeightKind::TravelTime => 1,
+        WeightKind::Toll => 2,
+    }
+}
+
+fn metric_from_tag(tag: u8) -> Result<WeightKind, RoadError> {
+    match tag {
+        0 => Ok(WeightKind::Distance),
+        1 => Ok(WeightKind::TravelTime),
+        2 => Ok(WeightKind::Toll),
+        other => Err(corrupt(format!("unknown metric tag {other}"))),
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> RoadError {
+    RoadError::InvalidConfig(format!("persisted framework: {}", msg.into()))
+}
+
+/// Serializes a built framework.
+pub fn to_bytes(fw: &RoadFramework) -> Vec<u8> {
+    let g = fw.network();
+    let hier = fw.hierarchy();
+    // Rough capacity: coords + edges dominate.
+    let mut out = Vec::with_capacity(64 + g.num_nodes() * 16 + g.edge_slots() * 40);
+    out.extend_from_slice(MAGIC);
+    out.push(metric_tag(fw.metric()));
+    out.push(fw.config().shortcuts.prune_transitive as u8);
+    out.extend_from_slice(&(hier.fanout() as u32).to_le_bytes());
+    out.extend_from_slice(&hier.levels().to_le_bytes());
+    out.extend_from_slice(&(g.num_nodes() as u32).to_le_bytes());
+    for n in g.node_ids() {
+        let p = g.coord(n);
+        out.extend_from_slice(&p.x.to_le_bytes());
+        out.extend_from_slice(&p.y.to_le_bytes());
+    }
+    out.extend_from_slice(&(g.edge_slots() as u32).to_le_bytes());
+    for i in 0..g.edge_slots() {
+        let e = EdgeId(i as u32);
+        let rec = g.edge(e);
+        let (a, b) = rec.endpoints();
+        out.extend_from_slice(&a.0.to_le_bytes());
+        out.extend_from_slice(&b.0.to_le_bytes());
+        for kind in WeightKind::ALL {
+            out.extend_from_slice(&rec.weight(kind).get().to_le_bytes());
+        }
+        out.push(rec.is_deleted() as u8);
+    }
+    for i in 0..g.edge_slots() {
+        let idx = hier.leaf_index_of_edge(EdgeId(i as u32)).unwrap_or(NO_LEAF);
+        out.extend_from_slice(&idx.to_le_bytes());
+    }
+    fw.shortcuts().serialize_into(&mut out);
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RoadError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| corrupt("length overflow"))?;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| corrupt("truncated buffer"))?;
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, RoadError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, RoadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, RoadError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Restores a framework serialized by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(corrupt("bad magic (not a ROAD framework file?)"));
+    }
+    let metric = metric_from_tag(r.u8()?)?;
+    let prune = r.u8()? != 0;
+    let fanout = r.u32()? as usize;
+    let levels = r.u32()?;
+
+    // --- network -------------------------------------------------------
+    let num_nodes = r.u32()? as usize;
+    let mut builder = RoadNetwork::builder();
+    for _ in 0..num_nodes {
+        let x = r.f64()?;
+        let y = r.f64()?;
+        builder.add_node(Point::new(x, y));
+    }
+    let edge_slots = r.u32()? as usize;
+    let mut deleted = Vec::new();
+    for i in 0..edge_slots {
+        let a = road_network::NodeId(r.u32()?);
+        let b = road_network::NodeId(r.u32()?);
+        let d = Weight::try_new(r.f64()?).map_err(|e| corrupt(e.to_string()))?;
+        let t = Weight::try_new(r.f64()?).map_err(|e| corrupt(e.to_string()))?;
+        let toll = Weight::try_new(r.f64()?).map_err(|e| corrupt(e.to_string()))?;
+        builder.add_edge_full(a, b, d, t, toll).map_err(|e| corrupt(e.to_string()))?;
+        if r.u8()? != 0 {
+            deleted.push(EdgeId(i as u32));
+        }
+    }
+    let mut g = builder.build();
+    for e in deleted {
+        g.remove_edge(e).map_err(|e2| corrupt(e2.to_string()))?;
+    }
+
+    // --- hierarchy -----------------------------------------------------
+    let mut leaf_idx = Vec::with_capacity(edge_slots);
+    for _ in 0..edge_slots {
+        leaf_idx.push(r.u32()?);
+    }
+    for e in g.edge_ids() {
+        if leaf_idx[e.index()] == NO_LEAF {
+            return Err(corrupt(format!("live edge {e} has no leaf assignment")));
+        }
+    }
+    let hier =
+        RnetHierarchy::from_leaf_assignment(&g, fanout, levels, |e| leaf_idx[e.index()])?;
+
+    // --- shortcuts -----------------------------------------------------
+    let mut pos = r.pos;
+    let shortcuts = ShortcutStore::deserialize(bytes, &mut pos).map_err(corrupt)?;
+    if pos != bytes.len() {
+        return Err(corrupt(format!("{} trailing bytes", bytes.len() - pos)));
+    }
+
+    let mut cfg = RoadConfig { metric, ..Default::default() };
+    cfg.hierarchy.fanout = fanout;
+    cfg.hierarchy.levels = levels;
+    cfg.shortcuts.prune_transitive = prune;
+    RoadFramework::from_parts(g, cfg, hier, shortcuts)
+}
+
+/// Saves to a file.
+pub fn save_to(fw: &RoadFramework, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(fw))
+}
+
+/// Loads from a file.
+pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<RoadFramework, RoadError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| corrupt(format!("cannot read file: {e}")))?;
+    from_bytes(&bytes)
+}

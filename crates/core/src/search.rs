@@ -1,0 +1,540 @@
+//! LDSQ evaluation: `kNNSearch`, `RangeSearch` and `ChoosePath`
+//! (Section 4, Figures 9 and 10).
+//!
+//! The engine is a network expansion over the Route Overlay: a priority
+//! queue holds pending *nodes and objects* in non-descending distance
+//! order. Settling a node looks its objects up in the Association
+//! Directory and then runs `ChoosePath`, which walks the node's shortcut
+//! tree top-down: an Rnet whose object abstract cannot match the query's
+//! filter is **bypassed** — its border nodes are enqueued through
+//! shortcuts without visiting anything inside — while Rnets that may
+//! contain matches are *descended* level by level until physical edges are
+//! relaxed. The first `k` objects popped are the kNNs; a range search
+//! terminates when the expansion front passes the radius.
+
+use crate::association::AssociationDirectory;
+use crate::framework::RoadFramework;
+use crate::hierarchy::RnetId;
+use crate::model::{ObjectFilter, ObjectId};
+use crate::RoadError;
+use road_network::dijkstra;
+use road_network::hash::{FastMap, FastSet};
+use road_network::path::Path;
+use road_network::{EdgeId, NodeId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A k-nearest-neighbour query (e.g. Q2 in the paper's introduction).
+#[derive(Clone, Debug)]
+pub struct KnnQuery {
+    /// The query node `n_q`.
+    pub node: NodeId,
+    /// Number of neighbours to retrieve.
+    pub k: usize,
+    /// Attribute predicate `A`.
+    pub filter: ObjectFilter,
+    /// Optional distance cap: the *bounded kNN* combination ("the 5
+    /// nearest hotels, but only within 20 minutes"). `None` = plain kNN.
+    pub max_distance: Option<Weight>,
+}
+
+impl KnnQuery {
+    /// A kNN query with no attribute filter.
+    pub fn new(node: NodeId, k: usize) -> Self {
+        KnnQuery { node, k, filter: ObjectFilter::Any, max_distance: None }
+    }
+
+    /// Adds an attribute filter.
+    pub fn with_filter(mut self, filter: ObjectFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Caps the distance (bounded kNN). The search stops at the cap even
+    /// when fewer than `k` objects exist inside it.
+    pub fn within(mut self, max_distance: Weight) -> Self {
+        self.max_distance = Some(max_distance);
+        self
+    }
+}
+
+/// A range query (e.g. Q1 in the paper's introduction).
+#[derive(Clone, Debug)]
+pub struct RangeQuery {
+    /// The query node `n_q`.
+    pub node: NodeId,
+    /// Distance bound `D` under the framework's metric.
+    pub radius: Weight,
+    /// Attribute predicate `A`.
+    pub filter: ObjectFilter,
+}
+
+impl RangeQuery {
+    /// A range query with no attribute filter.
+    pub fn new(node: NodeId, radius: Weight) -> Self {
+        RangeQuery { node, radius, filter: ObjectFilter::Any }
+    }
+
+    /// Adds an attribute filter.
+    pub fn with_filter(mut self, filter: ObjectFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+}
+
+/// One answer object with its network distance from the query node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchHit {
+    /// The object.
+    pub object: ObjectId,
+    /// `||n_q, o||`.
+    pub distance: Weight,
+}
+
+/// How an aggregate query combines the distances from its query nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Aggregate {
+    /// Minimise the total distance over all query nodes (a meeting point
+    /// cheap for the whole group).
+    #[default]
+    Sum,
+    /// Minimise the worst distance over all query nodes (fair for the
+    /// farthest member).
+    Max,
+}
+
+impl Aggregate {
+    pub(crate) fn combine(self, acc: Weight, d: Weight) -> Weight {
+        match self {
+            Aggregate::Sum => acc + d,
+            Aggregate::Max => acc.max(d),
+        }
+    }
+}
+
+/// An aggregate k-nearest-neighbour query over a *group* of query nodes
+/// (the ANN queries of the paper's ref \[19\], evaluated here on the ROAD
+/// overlay): find the k objects minimising the aggregate of their network
+/// distances from every group member.
+#[derive(Clone, Debug)]
+pub struct AggregateKnnQuery {
+    /// The query group `Q` (at least one node).
+    pub nodes: Vec<NodeId>,
+    /// Number of answers.
+    pub k: usize,
+    /// Attribute predicate.
+    pub filter: ObjectFilter,
+    /// Distance combinator.
+    pub aggregate: Aggregate,
+}
+
+impl AggregateKnnQuery {
+    /// A sum-aggregate query with no filter.
+    pub fn new(nodes: Vec<NodeId>, k: usize) -> Self {
+        AggregateKnnQuery { nodes, k, filter: ObjectFilter::Any, aggregate: Aggregate::Sum }
+    }
+
+    /// Sets the combinator.
+    pub fn with_aggregate(mut self, aggregate: Aggregate) -> Self {
+        self.aggregate = aggregate;
+        self
+    }
+
+    /// Adds an attribute filter.
+    pub fn with_filter(mut self, filter: ObjectFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+}
+
+/// Work counters of one search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes settled (popped un-visited from the queue).
+    pub nodes_settled: usize,
+    /// Physical edges relaxed.
+    pub edges_relaxed: usize,
+    /// Shortcuts relaxed (jumps taken over bypassed Rnets).
+    pub shortcuts_taken: usize,
+    /// Rnets bypassed after an abstract miss.
+    pub rnets_bypassed: usize,
+    /// Rnets descended into because their abstract may match.
+    pub rnets_descended: usize,
+    /// Object abstracts consulted.
+    pub abstract_checks: usize,
+    /// Objects read from the directory at settled nodes.
+    pub objects_read: usize,
+    /// Priority-queue pushes.
+    pub heap_pushes: usize,
+}
+
+/// Hook for I/O accounting: the experiment harness maps these events onto
+/// simulated pages. All methods default to no-ops.
+pub trait SearchObserver {
+    /// A node record was loaded (adjacency + shortcut tree).
+    fn node_settled(&mut self, _n: NodeId) {}
+    /// An Rnet abstract was consulted in the Association Directory.
+    fn abstract_checked(&mut self, _r: RnetId) {}
+    /// An object record was read.
+    fn object_read(&mut self, _o: ObjectId) {}
+}
+
+/// The default do-nothing observer.
+pub struct NoopObserver;
+impl SearchObserver for NoopObserver {}
+
+/// How a hop in the predecessor chain was made.
+#[derive(Clone, Copy, Debug)]
+enum Hop {
+    Edge(EdgeId),
+    Shortcut(RnetId),
+}
+
+/// Result of a kNN or range search.
+pub struct SearchResult {
+    /// Answer objects in non-descending distance order.
+    pub hits: Vec<SearchHit>,
+    /// Work counters.
+    pub stats: SearchStats,
+    source: NodeId,
+    dist: FastMap<u32, Weight>,
+    pred: FastMap<u32, (u32, Hop)>,
+}
+
+impl SearchResult {
+    /// The settled network distance of `n`, if the search reached it.
+    pub fn distance_to_node(&self, n: NodeId) -> Option<Weight> {
+        self.dist.get(&n.0).copied()
+    }
+
+    /// Reconstructs the full physical path from the query node to `n`,
+    /// expanding every shortcut hop. `None` if the search never settled
+    /// `n`.
+    pub fn path_to_node(&self, fw: &RoadFramework, n: NodeId) -> Option<Path> {
+        self.dist.get(&n.0)?;
+        let mut hops = Vec::new();
+        let mut cur = n.0;
+        while cur != self.source.0 {
+            let &(prev, hop) = self.pred.get(&cur)?;
+            hops.push((prev, hop, cur));
+            cur = prev;
+        }
+        hops.reverse();
+        let mut path = Path::trivial(self.source);
+        for (prev, hop, cur) in hops {
+            let seg = match hop {
+                Hop::Edge(e) => Path::from_parts(
+                    vec![NodeId(prev), NodeId(cur)],
+                    vec![e],
+                    fw.network().weight(e, fw.metric()),
+                ),
+                Hop::Shortcut(r) => {
+                    let sc = fw.shortcuts().between(r, NodeId(prev), NodeId(cur))?;
+                    fw.shortcuts().expand(
+                        fw.network(),
+                        fw.hierarchy(),
+                        fw.metric(),
+                        r,
+                        NodeId(prev),
+                        sc,
+                    )?
+                }
+            };
+            path.extend(&seg);
+        }
+        Some(path)
+    }
+
+    /// Path to a hit: the node path to the cheaper endpoint of the
+    /// object's edge, plus `(edge, offset along it)` for the last leg.
+    pub fn path_to_hit(
+        &self,
+        fw: &RoadFramework,
+        ad: &AssociationDirectory,
+        hit: &SearchHit,
+    ) -> Option<(Path, EdgeId, Weight)> {
+        let object = ad.object(hit.object)?;
+        let (a, b) = fw.network().edge(object.edge).endpoints();
+        let kind = fw.metric();
+        let via_a = self
+            .distance_to_node(a)
+            .map(|d| d + object.offset_from(fw.network(), kind, a));
+        let via_b = self
+            .distance_to_node(b)
+            .map(|d| d + object.offset_from(fw.network(), kind, b));
+        let endpoint = match (via_a, via_b) {
+            (Some(da), Some(db)) => {
+                if da <= db {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(_), None) => a,
+            (None, Some(_)) => b,
+            (None, None) => return None,
+        };
+        let path = self.path_to_node(fw, endpoint)?;
+        let offset = object.offset_from(fw.network(), kind, endpoint);
+        Some((path, object.edge, offset))
+    }
+}
+
+/// Search mode: the three termination disciplines of the engine.
+pub(crate) enum Mode {
+    /// k results, optionally capped by a distance bound.
+    Knn(usize, Option<Weight>),
+    Range(Weight),
+    /// Point-to-point distance query: expand until the target settles.
+    /// With no objects to find, every Rnet not containing the target is
+    /// bypassed, giving HEPV/HiTi-style hierarchical routing for free.
+    ToNode(NodeId),
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+enum QueueKey {
+    Object(u64),
+    Node(u32),
+}
+
+/// Core expansion shared by kNN, range and point-to-point queries.
+pub(crate) fn execute(
+    fw: &RoadFramework,
+    ad: Option<&AssociationDirectory>,
+    source: NodeId,
+    filter: &ObjectFilter,
+    mode: Mode,
+    observer: &mut dyn SearchObserver,
+) -> Result<SearchResult, RoadError> {
+    let g = fw.network();
+    let hier = fw.hierarchy();
+    let shortcuts = fw.shortcuts();
+    let kind = fw.metric();
+    if source.index() >= g.num_nodes() {
+        return Err(RoadError::NodeOutOfBounds(source));
+    }
+
+    let mut stats = SearchStats::default();
+    let mut hits: Vec<SearchHit> = Vec::new();
+    let mut dist: FastMap<u32, Weight> = FastMap::default();
+    let mut pred: FastMap<u32, (u32, Hop)> = FastMap::default();
+    let mut settled_nodes: FastSet<u32> = FastSet::default();
+    let mut seen_objects: FastSet<u64> = FastSet::default();
+    let mut heap: BinaryHeap<Reverse<(Weight, QueueKey)>> = BinaryHeap::new();
+
+    let want = match mode {
+        Mode::Knn(k, _) => k,
+        _ => usize::MAX,
+    };
+    let bound = match mode {
+        Mode::Knn(_, b) => b,
+        Mode::Range(r) => Some(r),
+        Mode::ToNode(_) => None,
+    };
+    if want == 0 {
+        return Ok(SearchResult { hits, stats, source, dist, pred });
+    }
+
+    dist.insert(source.0, Weight::ZERO);
+    heap.push(Reverse((Weight::ZERO, QueueKey::Node(source.0))));
+    stats.heap_pushes += 1;
+
+    // Local helper: relax an edge or shortcut towards `to`.
+    macro_rules! relax {
+        ($from:expr, $to:expr, $nd:expr, $hop:expr) => {{
+            let cur = dist.get(&$to).copied().unwrap_or(Weight::INFINITY);
+            if $nd < cur && !settled_nodes.contains(&$to) {
+                dist.insert($to, $nd);
+                pred.insert($to, ($from, $hop));
+                heap.push(Reverse(($nd, QueueKey::Node($to))));
+                stats.heap_pushes += 1;
+            }
+        }};
+    }
+
+    while let Some(Reverse((d, key))) = heap.pop() {
+        match key {
+            QueueKey::Object(oid) => {
+                if !seen_objects.insert(oid) {
+                    continue;
+                }
+                hits.push(SearchHit { object: ObjectId(oid), distance: d });
+                if hits.len() >= want {
+                    break;
+                }
+            }
+            QueueKey::Node(n) => {
+                if !settled_nodes.insert(n) {
+                    continue; // stale entry
+                }
+                if d > dist.get(&n).copied().unwrap_or(Weight::INFINITY) {
+                    continue;
+                }
+                stats.nodes_settled += 1;
+                observer.node_settled(NodeId(n));
+                if let Some(b) = bound {
+                    if d > b {
+                        break; // expansion front passed the cap
+                    }
+                }
+                if let Mode::ToNode(t) = mode {
+                    if t.0 == n {
+                        break;
+                    }
+                }
+                // --- SearchObject: collect objects at this node --------
+                if let Some(ad) = ad {
+                    for object in ad.objects_at_node(NodeId(n)) {
+                        stats.objects_read += 1;
+                        observer.object_read(object.id);
+                        if !filter.matches(object) || seen_objects.contains(&object.id.0) {
+                            continue;
+                        }
+                        let total = d + object.offset_from(g, kind, NodeId(n));
+                        if let Some(b) = bound {
+                            if total > b {
+                                continue;
+                            }
+                        }
+                        heap.push(Reverse((total, QueueKey::Object(object.id.0))));
+                        stats.heap_pushes += 1;
+                    }
+                }
+                // --- ChoosePath: pick edges and shortcuts to relax -----
+                let bordered = hier.bordered_rnets(NodeId(n));
+                if bordered.is_empty() {
+                    // Interior node: the shortcut tree is a single leaf
+                    // holding the physical edges.
+                    for (e, v) in g.neighbors(NodeId(n)) {
+                        let w = g.weight(e, kind);
+                        if w.is_infinite() {
+                            continue;
+                        }
+                        stats.edges_relaxed += 1;
+                        relax!(n, v.0, d + w, Hop::Edge(e));
+                    }
+                    continue;
+                }
+                let top_level = hier.level_of(bordered[0]);
+                let mut stack: Vec<RnetId> = bordered
+                    .iter()
+                    .copied()
+                    .filter(|&r| hier.level_of(r) == top_level)
+                    .collect();
+                while let Some(r) = stack.pop() {
+                    stats.abstract_checks += 1;
+                    observer.abstract_checked(r);
+                    let may_match =
+                        ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false);
+                    let must_enter = match mode {
+                        Mode::ToNode(t) => rnet_contains_node(fw, r, t),
+                        _ => false,
+                    };
+                    if !may_match && !must_enter {
+                        // Bypass: jump to the Rnet's other borders.
+                        stats.rnets_bypassed += 1;
+                        for sc in shortcuts.from(r, NodeId(n)) {
+                            stats.shortcuts_taken += 1;
+                            relax!(n, sc.to.0, d + sc.dist, Hop::Shortcut(r));
+                        }
+                    } else if hier.is_leaf(r) {
+                        stats.rnets_descended += 1;
+                        for (e, v) in g.neighbors(NodeId(n)) {
+                            if hier.leaf_of_edge(e) != r {
+                                continue;
+                            }
+                            let w = g.weight(e, kind);
+                            if w.is_infinite() {
+                                continue;
+                            }
+                            stats.edges_relaxed += 1;
+                            relax!(n, v.0, d + w, Hop::Edge(e));
+                        }
+                    } else {
+                        stats.rnets_descended += 1;
+                        let lv = hier.level_of(r);
+                        for &c in bordered {
+                            if hier.level_of(c) == lv + 1 && hier.parent(c) == r {
+                                stack.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(SearchResult { hits, stats, source, dist, pred })
+}
+
+/// Does Rnet `r` contain node `t` (as member or border)?
+fn rnet_contains_node(fw: &RoadFramework, r: RnetId, t: NodeId) -> bool {
+    let hier = fw.hierarchy();
+    if hier.is_border_of(t, r) {
+        return true;
+    }
+    let lv = hier.level_of(r);
+    fw.network()
+        .neighbors(t)
+        .any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r)
+}
+
+/// Brute-force oracle used by tests and benchmarks: plain network
+/// expansion (no shortcuts, no abstracts), the INE algorithm of ref \[16\].
+pub fn oracle_knn(
+    fw: &RoadFramework,
+    ad: &AssociationDirectory,
+    query: &KnnQuery,
+) -> Vec<SearchHit> {
+    oracle(fw, ad, query.node, &query.filter, Some(query.k), query.max_distance)
+}
+
+/// Brute-force range oracle.
+pub fn oracle_range(
+    fw: &RoadFramework,
+    ad: &AssociationDirectory,
+    query: &RangeQuery,
+) -> Vec<SearchHit> {
+    oracle(fw, ad, query.node, &query.filter, None, Some(query.radius))
+}
+
+fn oracle(
+    fw: &RoadFramework,
+    ad: &AssociationDirectory,
+    source: NodeId,
+    filter: &ObjectFilter,
+    k: Option<usize>,
+    radius: Option<Weight>,
+) -> Vec<SearchHit> {
+    let g = fw.network();
+    let kind = fw.metric();
+    let mut dij = dijkstra::Dijkstra::for_network(g);
+    let mut best: FastMap<u64, Weight> = FastMap::default();
+    dij.expand(g, kind, source, |n, d| {
+        if let Some(r) = radius {
+            if d > r {
+                return dijkstra::Control::Break;
+            }
+        }
+        for object in ad.objects_at_node(n) {
+            if !filter.matches(object) {
+                continue;
+            }
+            let total = d + object.offset_from(g, kind, n);
+            let cur = best.get(&object.id.0).copied().unwrap_or(Weight::INFINITY);
+            if total < cur {
+                best.insert(object.id.0, total);
+            }
+        }
+        dijkstra::Control::Continue
+    });
+    let mut hits: Vec<SearchHit> = best
+        .into_iter()
+        .map(|(o, d)| SearchHit { object: ObjectId(o), distance: d })
+        .filter(|h| radius.map(|r| h.distance <= r).unwrap_or(true))
+        .collect();
+    hits.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.object.cmp(&b.object)));
+    if let Some(k) = k {
+        hits.truncate(k);
+    }
+    hits
+}

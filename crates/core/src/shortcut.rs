@@ -1,0 +1,605 @@
+//! Shortcuts (Definition 3) and their bottom-up construction (Lemma 2).
+//!
+//! For every Rnet, shortcuts connect its border nodes along shortest paths
+//! *restricted to the Rnet* — the compositional variant Lemma 2 computes:
+//! finest-level shortcuts come from Dijkstra runs confined to the Rnet's
+//! physical edges, and level-`i` shortcuts run over an overlay graph whose
+//! edges are the level-`i+1` shortcuts of the Rnet's children. (Any global
+//! shortest path decomposes at border nodes into intra-Rnet segments, so
+//! this preserves all network distances; see DESIGN.md §1.)
+//!
+//! Lemma 4 pruning: a shortcut whose path passes through *another border of
+//! the same Rnet* is transitively reachable via that border's own shortcuts
+//! at equal total distance, so it is dropped. This keeps the overlay graphs
+//! and Route Overlay sparse without losing correctness.
+//!
+//! Each shortcut stores its intermediate *waypoints* — physical nodes at
+//! the finest level, child border nodes above — which is exactly the
+//! paper's representation `S(n1,n3) = (S(n1,nd), S(nd,n3))`; the recursive
+//! [`ShortcutStore::expand`] turns a shortcut back into a full physical
+//! [`Path`].
+
+use crate::hierarchy::{RnetHierarchy, RnetId};
+use road_network::dijkstra::{LocalDijkstra, LocalEdge};
+use road_network::graph::{RoadNetwork, WeightKind};
+use road_network::hash::FastMap;
+use road_network::path::Path;
+use road_network::{NodeId, Weight};
+
+/// One directed shortcut out of a border node.
+#[derive(Clone, Debug)]
+pub struct ShortcutEdge {
+    /// Target border node.
+    pub to: NodeId,
+    /// Shortest-path distance within the Rnet.
+    pub dist: Weight,
+    /// Intermediate waypoints: physical nodes (finest level) or child
+    /// border nodes (upper levels); endpoints excluded.
+    pub via: Vec<NodeId>,
+}
+
+/// Shortcut construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct ShortcutOptions {
+    /// Apply Lemma 4: drop shortcuts covered by other shortcuts of the
+    /// same Rnet. On by default; the ablation benchmark switches it off.
+    pub prune_transitive: bool,
+}
+
+impl Default for ShortcutOptions {
+    fn default() -> Self {
+        ShortcutOptions { prune_transitive: true }
+    }
+}
+
+/// All shortcuts of the hierarchy, grouped per Rnet and source node.
+pub struct ShortcutStore {
+    /// `per_rnet[r]` maps a border-node id to its outgoing shortcuts in `r`.
+    per_rnet: Vec<FastMap<u32, Vec<ShortcutEdge>>>,
+    num_shortcuts: usize,
+}
+
+impl ShortcutStore {
+    /// Builds every Rnet's shortcuts bottom-up (finest level first).
+    pub fn build(
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        opts: &ShortcutOptions,
+    ) -> Self {
+        let mut store = ShortcutStore {
+            per_rnet: (0..hier.num_rnets()).map(|_| FastMap::default()).collect(),
+            num_shortcuts: 0,
+        };
+        let mut scratch = BuildScratch::default();
+        for level in (1..=hier.levels()).rev() {
+            for r in hier.rnets_at_level(level) {
+                let map = store.compute_rnet_map(g, hier, kind, r, opts, &mut scratch);
+                store.replace_rnet(r, map);
+            }
+        }
+        store
+    }
+
+    /// Outgoing shortcuts of node `n` within Rnet `r`.
+    #[inline]
+    pub fn from(&self, r: RnetId, n: NodeId) -> &[ShortcutEdge] {
+        self.per_rnet[r.0 as usize].get(&n.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The stored shortcut `from -> to` within `r`, if kept.
+    pub fn between(&self, r: RnetId, from: NodeId, to: NodeId) -> Option<&ShortcutEdge> {
+        self.from(r, from).iter().find(|sc| sc.to == to)
+    }
+
+    /// Total number of stored (directed) shortcuts.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Modelled serialized size: 16 bytes per shortcut header plus 4 bytes
+    /// per waypoint.
+    pub fn size_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for map in &self.per_rnet {
+            for list in map.values() {
+                for sc in list {
+                    bytes += 16 + 4 * sc.via.len();
+                }
+            }
+        }
+        bytes
+    }
+
+    fn replace_rnet(&mut self, r: RnetId, map: FastMap<u32, Vec<ShortcutEdge>>) {
+        let slot = &mut self.per_rnet[r.0 as usize];
+        let old: usize = slot.values().map(Vec::len).sum();
+        let new: usize = map.values().map(Vec::len).sum();
+        *slot = map;
+        self.num_shortcuts = self.num_shortcuts - old + new;
+    }
+
+    /// Recomputes one Rnet's shortcuts in place; returns `true` when the
+    /// shortcut set changed (the signal that drives upward propagation in
+    /// the filter-and-refresh maintenance of Section 5.2).
+    pub(crate) fn refresh_rnet(
+        &mut self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        r: RnetId,
+        opts: &ShortcutOptions,
+        scratch: &mut BuildScratch,
+    ) -> bool {
+        let new = self.compute_rnet_map(g, hier, kind, r, opts, scratch);
+        let changed = !Self::maps_equivalent(&self.per_rnet[r.0 as usize], &new);
+        self.replace_rnet(r, new);
+        changed
+    }
+
+    fn maps_equivalent(
+        a: &FastMap<u32, Vec<ShortcutEdge>>,
+        b: &FastMap<u32, Vec<ShortcutEdge>>,
+    ) -> bool {
+        let flatten = |m: &FastMap<u32, Vec<ShortcutEdge>>| {
+            let mut v: Vec<(u32, u32, Weight)> = m
+                .iter()
+                .flat_map(|(&from, list)| list.iter().map(move |sc| (from, sc.to.0, sc.dist)))
+                .collect();
+            v.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)).then(x.2.cmp(&y.2)));
+            v
+        };
+        let (fa, fb) = (flatten(a), flatten(b));
+        fa.len() == fb.len()
+            && fa
+                .iter()
+                .zip(&fb)
+                .all(|(x, y)| x.0 == y.0 && x.1 == y.1 && x.2.approx_eq(y.2))
+    }
+
+    /// Computes the shortcut map of one Rnet from the network (finest
+    /// level) or from its children's current shortcuts (upper levels).
+    fn compute_rnet_map(
+        &self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        r: RnetId,
+        opts: &ShortcutOptions,
+        scratch: &mut BuildScratch,
+    ) -> FastMap<u32, Vec<ShortcutEdge>> {
+        let borders = hier.borders(r);
+        let mut out: FastMap<u32, Vec<ShortcutEdge>> = FastMap::default();
+        if borders.len() < 2 {
+            return out;
+        }
+        // --- Assemble the local graph ---------------------------------
+        scratch.clear();
+        if hier.is_leaf(r) {
+            for &e in hier.leaf_edge_list(r) {
+                let w = g.weight(e, kind);
+                let (a, b) = g.edge(e).endpoints();
+                let (la, lb) = (scratch.local(a.0), scratch.local(b.0));
+                scratch.adj[la as usize].push(LocalEdge { to: lb, weight: w, label: e.0 });
+                scratch.adj[lb as usize].push(LocalEdge { to: la, weight: w, label: e.0 });
+            }
+        } else {
+            for child in hier.children(r) {
+                for (&from, list) in &self.per_rnet[child.0 as usize] {
+                    let lf = scratch.local(from);
+                    for sc in list {
+                        let lt = scratch.local(sc.to.0);
+                        scratch.adj[lf as usize].push(LocalEdge {
+                            to: lt,
+                            weight: sc.dist,
+                            label: 0,
+                        });
+                    }
+                }
+            }
+        }
+        // --- Dijkstra per border --------------------------------------
+        let border_locals: Vec<u32> = borders
+            .iter()
+            .filter_map(|&b| scratch.local_of.get(&b.0).copied())
+            .collect();
+        if border_locals.len() < 2 {
+            return out;
+        }
+        let is_border: FastMap<u32, ()> = border_locals.iter().map(|&l| (l, ())).collect();
+        for (bi, &b) in borders.iter().enumerate() {
+            let Some(&src) = scratch.local_of.get(&b.0) else { continue };
+            scratch.dij.run(&scratch.adj, src, &border_locals);
+            let mut list: Vec<ShortcutEdge> = Vec::new();
+            'targets: for (ti, &t) in borders.iter().enumerate() {
+                if ti == bi {
+                    continue;
+                }
+                let Some(&dst) = scratch.local_of.get(&t.0) else { continue };
+                let dist = scratch.dij.dist(dst);
+                if dist.is_infinite() {
+                    continue; // internally disconnected Rnet: no shortcut
+                }
+                // Walk the predecessor chain to collect waypoints.
+                let mut via: Vec<NodeId> = Vec::new();
+                let mut cur = dst;
+                while let Some((prev, _label)) = scratch.dij.pred(cur) {
+                    if prev == src {
+                        break;
+                    }
+                    if opts.prune_transitive && is_border.contains_key(&prev) {
+                        continue 'targets; // Lemma 4: covered by other shortcuts
+                    }
+                    via.push(NodeId(scratch.global[prev as usize]));
+                    cur = prev;
+                }
+                via.reverse();
+                list.push(ShortcutEdge { to: t, dist, via });
+            }
+            if !list.is_empty() {
+                out.insert(b.0, list);
+            }
+        }
+        out
+    }
+
+    /// Expands a shortcut of Rnet `r` starting at `from` into the full
+    /// physical path, weighted under `kind` (the metric the store was
+    /// built with). Returns `None` only on store inconsistency.
+    pub fn expand(
+        &self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        r: RnetId,
+        from: NodeId,
+        sc: &ShortcutEdge,
+    ) -> Option<Path> {
+        let mut seq = Vec::with_capacity(sc.via.len() + 2);
+        seq.push(from);
+        seq.extend_from_slice(&sc.via);
+        seq.push(sc.to);
+        let mut path = Path::trivial(from);
+        if hier.is_leaf(r) {
+            for hop in seq.windows(2) {
+                let e = g.edge_between(hop[0], hop[1])?;
+                let seg =
+                    Path::from_parts(vec![hop[0], hop[1]], vec![e], g.weight(e, kind));
+                path.extend(&seg);
+            }
+        } else {
+            let children = hier.children(r);
+            for hop in seq.windows(2) {
+                // Pick the child providing the cheapest (u, v) shortcut.
+                let mut best: Option<(RnetId, &ShortcutEdge)> = None;
+                for &c in &children {
+                    if let Some(s) = self.between(c, hop[0], hop[1]) {
+                        if best.map(|(_, bs)| s.dist < bs.dist).unwrap_or(true) {
+                            best = Some((c, s));
+                        }
+                    }
+                }
+                let (c, s) = best?;
+                let seg = self.expand(g, hier, kind, c, hop[0], s)?;
+                path.extend(&seg);
+            }
+        }
+        Some(path)
+    }
+
+    /// Appends a flat binary encoding of the store to `out` (see
+    /// [`crate::persist`] for the enclosing format).
+    pub(crate) fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.per_rnet.len() as u32).to_le_bytes());
+        for map in &self.per_rnet {
+            out.extend_from_slice(&(map.len() as u32).to_le_bytes());
+            // Deterministic order for reproducible files.
+            let mut sources: Vec<_> = map.keys().copied().collect();
+            sources.sort_unstable();
+            for from in sources {
+                let list = &map[&from];
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for sc in list {
+                    out.extend_from_slice(&sc.to.0.to_le_bytes());
+                    out.extend_from_slice(&sc.dist.get().to_le_bytes());
+                    out.extend_from_slice(&(sc.via.len() as u32).to_le_bytes());
+                    for w in &sc.via {
+                        out.extend_from_slice(&w.0.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a store previously written by
+    /// [`ShortcutStore::serialize_into`]; `pos` is advanced past it.
+    pub(crate) fn deserialize(buf: &[u8], pos: &mut usize) -> Result<Self, String> {
+        let read_u32 = |buf: &[u8], pos: &mut usize| -> Result<u32, String> {
+            let end = *pos + 4;
+            let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
+            *pos = end;
+            Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        let read_f64 = |buf: &[u8], pos: &mut usize| -> Result<f64, String> {
+            let end = *pos + 8;
+            let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
+            *pos = end;
+            Ok(f64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let num_rnets = read_u32(buf, pos)? as usize;
+        let mut per_rnet = Vec::with_capacity(num_rnets);
+        let mut num_shortcuts = 0usize;
+        for _ in 0..num_rnets {
+            let num_sources = read_u32(buf, pos)? as usize;
+            let mut map: FastMap<u32, Vec<ShortcutEdge>> = FastMap::default();
+            for _ in 0..num_sources {
+                let from = read_u32(buf, pos)?;
+                let num_edges = read_u32(buf, pos)? as usize;
+                let mut list = Vec::with_capacity(num_edges);
+                for _ in 0..num_edges {
+                    let to = read_u32(buf, pos)?;
+                    let dist = read_f64(buf, pos)?;
+                    if dist.is_nan() || dist < 0.0 {
+                        return Err(format!("corrupt shortcut distance {dist}"));
+                    }
+                    let via_len = read_u32(buf, pos)? as usize;
+                    let mut via = Vec::with_capacity(via_len);
+                    for _ in 0..via_len {
+                        via.push(NodeId(read_u32(buf, pos)?));
+                    }
+                    list.push(ShortcutEdge { to: NodeId(to), dist: Weight::new(dist), via });
+                }
+                num_shortcuts += list.len();
+                map.insert(from, list);
+            }
+            per_rnet.push(map);
+        }
+        Ok(ShortcutStore { per_rnet, num_shortcuts })
+    }
+
+    /// Rebuilds from scratch and verifies this store describes the same
+    /// distances — the maintenance tests' ground truth.
+    pub fn verify_against_rebuild(
+        &self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        opts: &ShortcutOptions,
+    ) -> Result<(), String> {
+        let fresh = ShortcutStore::build(g, hier, kind, opts);
+        for (i, (a, b)) in self.per_rnet.iter().zip(&fresh.per_rnet).enumerate() {
+            if !Self::maps_equivalent(a, b) {
+                return Err(format!("Rnet R{i} shortcuts diverge from a fresh rebuild"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reusable allocations for shortcut computation.
+#[derive(Default)]
+pub(crate) struct BuildScratch {
+    local_of: FastMap<u32, u32>,
+    global: Vec<u32>,
+    adj: Vec<Vec<LocalEdge>>,
+    dij: LocalDijkstra,
+}
+
+impl BuildScratch {
+    fn clear(&mut self) {
+        self.local_of.clear();
+        self.global.clear();
+        self.adj.clear();
+    }
+
+    fn local(&mut self, global: u32) -> u32 {
+        if let Some(&l) = self.local_of.get(&global) {
+            return l;
+        }
+        let l = self.global.len() as u32;
+        self.local_of.insert(global, l);
+        self.global.push(global);
+        self.adj.push(Vec::new());
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyConfig;
+    use road_network::dijkstra::Dijkstra;
+    use road_network::generator::simple;
+
+    fn build(
+        g: &RoadNetwork,
+        fanout: usize,
+        levels: u32,
+        prune: bool,
+    ) -> (RnetHierarchy, ShortcutStore) {
+        let cfg = HierarchyConfig { fanout, levels, ..Default::default() };
+        let hier = RnetHierarchy::build(g, &cfg).unwrap();
+        let store = ShortcutStore::build(
+            g,
+            &hier,
+            WeightKind::Distance,
+            &ShortcutOptions { prune_transitive: prune },
+        );
+        (hier, store)
+    }
+
+    /// Every stored shortcut must equal the Rnet-restricted shortest-path
+    /// distance between its endpoints.
+    fn assert_shortcuts_exact(g: &RoadNetwork, hier: &RnetHierarchy, store: &ShortcutStore) {
+        let mut dij = Dijkstra::for_network(g);
+        for lv in 1..=hier.levels() {
+            for r in hier.rnets_at_level(lv) {
+                for &b in hier.borders(r) {
+                    for sc in store.from(r, b) {
+                        let want = {
+                            let mut found = None;
+                            dij.expand_filtered_multi(
+                                g,
+                                WeightKind::Distance,
+                                &[(b, Weight::ZERO)],
+                                |e| hier.rnet_of_edge_at(e, lv) == r,
+                                &mut |n, d| {
+                                    if n == sc.to {
+                                        found = Some(d);
+                                        road_network::dijkstra::Control::Break
+                                    } else {
+                                        road_network::dijkstra::Control::Continue
+                                    }
+                                },
+                            );
+                            found
+                        };
+                        let want = want.unwrap_or(Weight::INFINITY);
+                        assert!(
+                            sc.dist.approx_eq(want),
+                            "{r:?} shortcut {b}->{} = {} but restricted SP = {}",
+                            sc.to,
+                            sc.dist,
+                            want
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_shortcuts_bridge_segments() {
+        let g = simple::chain(16, 1.0);
+        let (hier, store) = build(&g, 2, 2, true);
+        assert!(store.num_shortcuts() > 0);
+        assert_shortcuts_exact(&g, &hier, &store);
+    }
+
+    #[test]
+    fn grid_shortcuts_match_restricted_dijkstra() {
+        let g = simple::grid(8, 8, 1.0);
+        let (hier, store) = build(&g, 4, 2, true);
+        assert!(store.num_shortcuts() > 0);
+        assert_shortcuts_exact(&g, &hier, &store);
+    }
+
+    #[test]
+    fn unpruned_store_is_superset_of_pruned() {
+        let g = simple::grid(9, 7, 1.0);
+        let (_, pruned) = build(&g, 4, 2, true);
+        let (hier, full) = build(&g, 4, 2, false);
+        assert!(full.num_shortcuts() >= pruned.num_shortcuts());
+        assert_shortcuts_exact(&g, &hier, &full);
+        // Pruning must actually remove something on a grid this size.
+        assert!(
+            full.num_shortcuts() > pruned.num_shortcuts(),
+            "Lemma 4 pruning had no effect: {} vs {}",
+            full.num_shortcuts(),
+            pruned.num_shortcuts()
+        );
+    }
+
+    #[test]
+    fn expansion_yields_valid_physical_paths() {
+        let g = simple::grid(8, 8, 1.0);
+        let (hier, store) = build(&g, 4, 2, true);
+        let mut expanded = 0;
+        for lv in 1..=hier.levels() {
+            for r in hier.rnets_at_level(lv) {
+                for &b in hier.borders(r) {
+                    for sc in store.from(r, b) {
+                        let p = store
+                            .expand(&g, &hier, WeightKind::Distance, r, b, sc)
+                            .expect("expandable");
+                        assert_eq!(p.source(), b);
+                        assert_eq!(p.target(), sc.to);
+                        assert!(p.validate(&g, WeightKind::Distance), "invalid path");
+                        assert!(
+                            p.total().approx_eq(sc.dist),
+                            "expanded dist {} != shortcut dist {}",
+                            p.total(),
+                            sc.dist
+                        );
+                        expanded += 1;
+                    }
+                }
+            }
+        }
+        assert!(expanded > 0);
+    }
+
+    #[test]
+    fn pruned_shortcut_paths_avoid_other_borders() {
+        let g = simple::grid(10, 10, 1.0);
+        let (hier, store) = build(&g, 4, 2, true);
+        for lv in 1..=hier.levels() {
+            for r in hier.rnets_at_level(lv) {
+                let borders = hier.borders(r);
+                for &b in borders {
+                    for sc in store.from(r, b) {
+                        for w in &sc.via {
+                            assert!(
+                                !borders.contains(w),
+                                "{r:?}: kept shortcut {b}->{} passes border {w}",
+                                sc.to
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_detects_weight_changes() {
+        let mut g = simple::grid(6, 6, 1.0);
+        let (hier, mut store) = build(&g, 4, 2, true);
+        let mut scratch = BuildScratch::default();
+        // Pick an edge inside some leaf Rnet with shortcuts.
+        let e = g.edge_ids().next().unwrap();
+        let leaf = hier.leaf_of_edge(e);
+        // No-op refresh: nothing changed.
+        let changed =
+            store.refresh_rnet(&g, &hier, WeightKind::Distance, leaf, &Default::default(), &mut scratch);
+        assert!(!changed, "refresh without a weight change must be a no-op");
+        // Make the edge very expensive and refresh.
+        g.set_weight(e, WeightKind::Distance, Weight::new(100.0)).unwrap();
+        store.refresh_rnet(&g, &hier, WeightKind::Distance, leaf, &Default::default(), &mut scratch);
+        // Full rebuild equivalence after refreshing every ancestor chain.
+        let mut r = leaf;
+        while r.is_valid() {
+            store.refresh_rnet(&g, &hier, WeightKind::Distance, r, &Default::default(), &mut scratch);
+            r = hier.parent(r);
+        }
+        store
+            .verify_against_rebuild(&g, &hier, WeightKind::Distance, &Default::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn travel_time_metric_builds_distinct_shortcuts() {
+        let g = road_network::generator::Dataset::CaHighways.generate_scaled(0.02, 5).unwrap();
+        let cfg = HierarchyConfig { fanout: 4, levels: 2, ..Default::default() };
+        let hier = RnetHierarchy::build(&g, &cfg).unwrap();
+        let dist_store =
+            ShortcutStore::build(&g, &hier, WeightKind::Distance, &Default::default());
+        let time_store =
+            ShortcutStore::build(&g, &hier, WeightKind::TravelTime, &Default::default());
+        // Same topology, different weights.
+        let mut diverged = false;
+        for r in hier.rnets_at_level(hier.levels()) {
+            for &b in hier.borders(r) {
+                for sc in dist_store.from(r, b) {
+                    if let Some(t) = time_store.between(r, b, sc.to) {
+                        if !t.dist.approx_eq(sc.dist) {
+                            diverged = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(diverged, "time-metric shortcuts should differ from distance-metric ones");
+    }
+}

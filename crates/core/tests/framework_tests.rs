@@ -1,0 +1,599 @@
+//! Crate-level tests: search correctness against a brute-force oracle and
+//! maintenance consistency on randomized workloads.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::prelude::*;
+use road_core::search::{oracle_knn, oracle_range};
+use road_network::generator::{simple, Dataset};
+use road_network::graph::RoadNetwork;
+
+/// Deterministically scatters `count` objects over the network's edges.
+fn scatter_objects(
+    fw: &RoadFramework,
+    count: usize,
+    categories: u16,
+    seed: u64,
+) -> AssociationDirectory {
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let g = fw.network();
+    let edges: Vec<_> = g.edge_ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..count {
+        let e = edges[rng.random_range(0..edges.len())];
+        let o = Object::new(
+            ObjectId(i as u64),
+            e,
+            rng.random_range(0.0..=1.0),
+            CategoryId(rng.random_range(0..categories.max(1))),
+        );
+        ad.insert(g, fw.hierarchy(), o).unwrap();
+    }
+    ad
+}
+
+fn build(net: RoadNetwork, fanout: usize, levels: u32) -> RoadFramework {
+    RoadFramework::builder(net).fanout(fanout).levels(levels).build().unwrap()
+}
+
+fn assert_hits_equal(got: &[SearchHit], want: &[SearchHit], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: hit count {} vs {}", got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert!(
+            g.distance.approx_eq(w.distance),
+            "{ctx}: distance {} vs {}",
+            g.distance,
+            w.distance
+        );
+    }
+    // Same multiset of objects at equal distances (order may tie-break
+    // differently): compare sorted by (distance, id).
+    let norm = |hs: &[SearchHit]| {
+        let mut v: Vec<(u64, String)> =
+            hs.iter().map(|h| (h.object.0, format!("{:.6}", h.distance.get()))).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(got), norm(want), "{ctx}: object sets differ");
+}
+
+#[test]
+fn knn_matches_oracle_on_grid() {
+    let fw = build(simple::grid(15, 15, 1.0), 4, 3);
+    let ad = scatter_objects(&fw, 25, 3, 42);
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+        let k = rng.random_range(1..8);
+        let q = KnnQuery::new(node, k);
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        assert_hits_equal(&got.hits, &want, &format!("knn seed {seed} node {node} k {k}"));
+    }
+}
+
+#[test]
+fn knn_with_category_filter_matches_oracle() {
+    let fw = build(simple::grid(12, 12, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 30, 4, 7);
+    for cat in 0..4u16 {
+        let q = KnnQuery::new(NodeId(5), 3).with_filter(ObjectFilter::Category(CategoryId(cat)));
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        assert_hits_equal(&got.hits, &want, &format!("cat {cat}"));
+        assert!(got.hits.iter().all(|h| {
+            ad.object(h.object).unwrap().category == CategoryId(cat)
+        }));
+    }
+}
+
+#[test]
+fn range_matches_oracle_on_random_networks() {
+    for seed in 0..10u64 {
+        let net = simple::random_connected(120, 40, seed);
+        let fw = build(net, 2, 3);
+        let ad = scatter_objects(&fw, 18, 2, seed * 3 + 1);
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        for _ in 0..5 {
+            let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+            let radius = Weight::new(rng.random_range(5.0..80.0));
+            let q = RangeQuery::new(node, radius);
+            let got = fw.range(&ad, &q).unwrap();
+            let want = oracle_range(&fw, &ad, &q);
+            assert_hits_equal(&got.hits, &want, &format!("range seed {seed} node {node}"));
+        }
+    }
+}
+
+#[test]
+fn knn_matches_oracle_on_ca_like_network() {
+    let net = Dataset::CaHighways.generate_scaled(0.03, 11).unwrap();
+    let fw = build(net, 4, 3);
+    let ad = scatter_objects(&fw, 12, 1, 5);
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..15 {
+        let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+        let q = KnnQuery::new(node, 5);
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        assert_hits_equal(&got.hits, &want, &format!("CA node {node}"));
+    }
+}
+
+#[test]
+fn search_bypasses_rnets_and_takes_shortcuts() {
+    // Few objects on a large network: most Rnets are empty and must be
+    // bypassed; the whole point of the framework.
+    let fw = build(simple::grid(20, 20, 1.0), 4, 3);
+    let ad = scatter_objects(&fw, 3, 1, 1);
+    let q = KnnQuery::new(NodeId(0), 1);
+    let res = fw.knn(&ad, &q).unwrap();
+    assert_eq!(res.hits.len(), 1);
+    assert!(res.stats.rnets_bypassed > 0, "no Rnet was bypassed: {:?}", res.stats);
+    assert!(res.stats.shortcuts_taken > 0, "no shortcut was taken: {:?}", res.stats);
+    // And it must beat plain expansion on settled nodes.
+    let brute = {
+        let mut dij = road_network::dijkstra::Dijkstra::for_network(fw.network());
+        let mut settled = 0;
+        let target = res.hits[0].distance;
+        dij.expand(fw.network(), fw.metric(), NodeId(0), |_, d| {
+            if d > target {
+                road_network::dijkstra::Control::Break
+            } else {
+                settled += 1;
+                road_network::dijkstra::Control::Continue
+            }
+        });
+        settled
+    };
+    assert!(
+        res.stats.nodes_settled < brute,
+        "ROAD settled {} nodes, plain expansion {brute}",
+        res.stats.nodes_settled
+    );
+}
+
+#[test]
+fn path_reconstruction_is_valid_and_matches_distance() {
+    let fw = build(simple::grid(14, 14, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 10, 1, 3);
+    let q = KnnQuery::new(NodeId(100), 4);
+    let res = fw.knn(&ad, &q).unwrap();
+    assert_eq!(res.hits.len(), 4);
+    for hit in &res.hits {
+        let (path, edge, offset) = res.path_to_hit(&fw, &ad, hit).expect("path");
+        assert!(path.validate(fw.network(), fw.metric()), "invalid path for {:?}", hit.object);
+        assert_eq!(path.source(), NodeId(100));
+        let total = path.total() + offset;
+        assert!(
+            total.approx_eq(hit.distance),
+            "path {} + offset {} != hit distance {}",
+            path.total(),
+            offset,
+            hit.distance
+        );
+        let o = ad.object(hit.object).unwrap();
+        assert_eq!(o.edge, edge);
+    }
+}
+
+#[test]
+fn point_to_point_distance_matches_dijkstra() {
+    let net = Dataset::CaHighways.generate_scaled(0.02, 3).unwrap();
+    let fw = build(net, 4, 3);
+    let mut rng = StdRng::seed_from_u64(17);
+    let n = fw.network().num_nodes() as u32;
+    for _ in 0..12 {
+        let a = NodeId(rng.random_range(0..n));
+        let b = NodeId(rng.random_range(0..n));
+        let want = road_network::dijkstra::shortest_path_weight(fw.network(), fw.metric(), a, b);
+        let got = fw.network_distance(a, b).unwrap();
+        match (got, want) {
+            (Some(g), Some(w)) => assert!(g.approx_eq(w), "{a}->{b}: {g} vs {w}"),
+            (g, w) => assert_eq!(g.is_some(), w.is_some(), "{a}->{b} reachability"),
+        }
+        if let Some(p) = fw.shortest_path(a, b).unwrap() {
+            assert!(p.validate(fw.network(), fw.metric()));
+            assert!(p.total().approx_eq(want.unwrap()));
+        }
+    }
+}
+
+#[test]
+fn k_larger_than_objects_returns_all() {
+    let fw = build(simple::grid(8, 8, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 4, 1, 2);
+    let res = fw.knn(&ad, &KnnQuery::new(NodeId(0), 50)).unwrap();
+    assert_eq!(res.hits.len(), 4);
+    // k = 0 is a valid degenerate query.
+    let res = fw.knn(&ad, &KnnQuery::new(NodeId(0), 0)).unwrap();
+    assert!(res.hits.is_empty());
+}
+
+#[test]
+fn empty_directory_returns_nothing() {
+    let fw = build(simple::grid(6, 6, 1.0), 2, 2);
+    let ad = AssociationDirectory::new(fw.hierarchy());
+    let res = fw.knn(&ad, &KnnQuery::new(NodeId(0), 3)).unwrap();
+    assert!(res.hits.is_empty());
+    let res = fw.range(&ad, &RangeQuery::new(NodeId(0), Weight::new(100.0))).unwrap();
+    assert!(res.hits.is_empty());
+}
+
+#[test]
+fn out_of_bounds_query_node_errors() {
+    let fw = build(simple::grid(4, 4, 1.0), 2, 1);
+    let ad = AssociationDirectory::new(fw.hierarchy());
+    assert!(fw.knn(&ad, &KnnQuery::new(NodeId(999), 1)).is_err());
+}
+
+#[test]
+fn zero_radius_range_finds_only_colocated_objects() {
+    let fw = build(simple::grid(6, 6, 1.0), 2, 2);
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let e = fw.network().edge_ids().next().unwrap();
+    let (a, _) = fw.network().edge(e).endpoints();
+    ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(1), e, 0.0, CategoryId(0)))
+        .unwrap();
+    let res = fw.range(&ad, &RangeQuery::new(a, Weight::ZERO)).unwrap();
+    assert_eq!(res.hits.len(), 1);
+    assert_eq!(res.hits[0].distance, Weight::ZERO);
+}
+
+// ---------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------
+
+#[test]
+fn weight_updates_keep_answers_correct() {
+    let mut fw = build(simple::grid(10, 10, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 12, 1, 8);
+    let mut rng = StdRng::seed_from_u64(21);
+    let edges: Vec<_> = fw.network().edge_ids().collect();
+    for step in 0..25 {
+        let e = edges[rng.random_range(0..edges.len())];
+        let w = Weight::new(rng.random_range(0.2..6.0));
+        fw.set_edge_weight(e, w).unwrap();
+        let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+        let q = KnnQuery::new(node, 3);
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        assert_hits_equal(&got.hits, &want, &format!("after update {step}"));
+    }
+    fw.verify().unwrap();
+}
+
+#[test]
+fn weight_update_propagation_stops_early() {
+    let mut fw = build(simple::grid(16, 16, 1.0), 4, 3);
+    // An edge deep inside a leaf Rnet, not on any shortcut: refreshing its
+    // leaf must not propagate anywhere.
+    let mut quiet = None;
+    for e in fw.network().edge_ids() {
+        let leaf = fw.hierarchy().leaf_of_edge(e);
+        let (a, b) = fw.network().edge(e).endpoints();
+        let covered = fw
+            .hierarchy()
+            .borders(leaf)
+            .iter()
+            .flat_map(|&bn| fw.shortcuts().from(leaf, bn))
+            .any(|sc| sc.via.contains(&a) || sc.via.contains(&b) || sc.to == a || sc.to == b);
+        if !covered
+            && !fw.hierarchy().bordered_rnets(a).contains(&leaf)
+            && !fw.hierarchy().bordered_rnets(b).contains(&leaf)
+        {
+            quiet = Some(e);
+            break;
+        }
+    }
+    if let Some(e) = quiet {
+        // Large increase on an uncovered edge: leaf refresh detects no
+        // change, propagation stops at level l.
+        let outcome = fw.set_edge_weight(e, Weight::new(50.0)).unwrap();
+        assert_eq!(outcome.rnets_refreshed, 1, "outcome: {outcome:?}");
+        assert_eq!(outcome.rnets_changed, 0);
+    }
+    // A no-op update refreshes nothing at all.
+    let e = fw.network().edge_ids().next().unwrap();
+    let w = fw.network().weight(e, fw.metric());
+    let outcome = fw.set_edge_weight(e, w).unwrap();
+    assert_eq!(outcome.rnets_refreshed, 0);
+}
+
+#[test]
+fn edge_deletion_and_restoration_keep_answers_correct() {
+    let mut fw = build(simple::grid(9, 9, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 10, 1, 4);
+    let mut rng = StdRng::seed_from_u64(31);
+    let edges: Vec<_> = fw.network().edge_ids().collect();
+    for step in 0..10 {
+        // The paper's edge-deletion experiment: weight to infinity, then
+        // restore — the graph stays structurally intact.
+        let e = edges[rng.random_range(0..edges.len())];
+        let original = fw.network().weight(e, fw.metric());
+        fw.set_edge_weight(e, Weight::INFINITY).unwrap();
+        let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+        let q = KnnQuery::new(node, 2);
+        assert_hits_equal(
+            &fw.knn(&ad, &q).unwrap().hits,
+            &oracle_knn(&fw, &ad, &q),
+            &format!("with edge {e} cut (step {step})"),
+        );
+        fw.set_edge_weight(e, original).unwrap();
+        assert_hits_equal(
+            &fw.knn(&ad, &q).unwrap().hits,
+            &oracle_knn(&fw, &ad, &q),
+            &format!("after restoring {e} (step {step})"),
+        );
+    }
+    fw.verify().unwrap();
+}
+
+#[test]
+fn structural_edge_addition_and_removal() {
+    let mut fw = build(simple::grid(8, 8, 1.0), 2, 2);
+    let ad = scatter_objects(&fw, 8, 1, 9);
+    // Add a diagonal highway across the grid (case 2: endpoints in
+    // different Rnets, promoting a border node).
+    let w = Weight::new(0.5);
+    let (e, outcome) = fw.add_edge(NodeId(0), NodeId(63), (w, w, Weight::ZERO)).unwrap();
+    assert!(outcome.rnets_refreshed > 0);
+    fw.verify().unwrap();
+    let q = KnnQuery::new(NodeId(0), 3);
+    assert_hits_equal(&fw.knn(&ad, &q).unwrap().hits, &oracle_knn(&fw, &ad, &q), "after add");
+    // Remove it again (no objects on it, so this must succeed).
+    let outcome = fw.remove_edge(e, &[&ad]).unwrap();
+    assert!(outcome.rnets_refreshed > 0);
+    fw.verify().unwrap();
+    assert_hits_equal(&fw.knn(&ad, &q).unwrap().hits, &oracle_knn(&fw, &ad, &q), "after remove");
+}
+
+#[test]
+fn removing_edge_with_objects_is_refused() {
+    let mut fw = build(simple::grid(6, 6, 1.0), 2, 2);
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let e = fw.network().edge_ids().next().unwrap();
+    ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(1), e, 0.3, CategoryId(0)))
+        .unwrap();
+    let err = fw.remove_edge(e, &[&ad]).unwrap_err();
+    assert!(matches!(err, road_core::RoadError::EdgeHasObjects(_, 1)));
+    // After relocating the object, removal succeeds.
+    ad.remove(fw.network(), fw.hierarchy(), ObjectId(1)).unwrap();
+    fw.remove_edge(e, &[&ad]).unwrap();
+    fw.verify().unwrap();
+}
+
+#[test]
+fn new_node_with_connecting_road() {
+    let mut fw = build(simple::grid(7, 7, 1.0), 2, 2);
+    let ad = scatter_objects(&fw, 6, 1, 13);
+    let n = fw.add_node(road_network::Point::new(3.5, 3.5));
+    let w = Weight::new(0.7);
+    let (_, _) = fw.add_edge(n, NodeId(24), (w, w, Weight::ZERO)).unwrap();
+    fw.verify().unwrap();
+    // Queries from the new node work and agree with the oracle.
+    let q = KnnQuery::new(n, 3);
+    assert_hits_equal(&fw.knn(&ad, &q).unwrap().hits, &oracle_knn(&fw, &ad, &q), "from new node");
+}
+
+#[test]
+fn random_maintenance_storm_stays_consistent() {
+    let mut fw = build(simple::grid(8, 8, 1.0), 2, 2);
+    let mut ad = scatter_objects(&fw, 10, 2, 77);
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut next_obj = 1000u64;
+    for step in 0..60 {
+        match rng.random_range(0..5) {
+            0 => {
+                // weight change
+                let edges: Vec<_> = fw.network().edge_ids().collect();
+                let e = edges[rng.random_range(0..edges.len())];
+                fw.set_edge_weight(e, Weight::new(rng.random_range(0.1..5.0))).unwrap();
+            }
+            1 => {
+                // object insert
+                let edges: Vec<_> = fw.network().edge_ids().collect();
+                let e = edges[rng.random_range(0..edges.len())];
+                let o = Object::new(
+                    ObjectId(next_obj),
+                    e,
+                    rng.random_range(0.0..=1.0),
+                    CategoryId(rng.random_range(0..2)),
+                );
+                next_obj += 1;
+                ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+            }
+            2 => {
+                // object delete (if any)
+                let id = ad.objects().next().map(|o| o.id);
+                if let Some(id) = id {
+                    ad.remove(fw.network(), fw.hierarchy(), id).unwrap();
+                }
+            }
+            3 => {
+                // structural add between random non-adjacent nodes
+                let n = fw.network().num_nodes() as u32;
+                let a = NodeId(rng.random_range(0..n));
+                let b = NodeId(rng.random_range(0..n));
+                if a != b && fw.network().edge_between(a, b).is_none() {
+                    let w = Weight::new(rng.random_range(0.5..3.0));
+                    fw.add_edge(a, b, (w, w, Weight::ZERO)).unwrap();
+                }
+            }
+            _ => {
+                // query + compare with oracle
+                let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+                let q = KnnQuery::new(node, 3);
+                assert_hits_equal(
+                    &fw.knn(&ad, &q).unwrap().hits,
+                    &oracle_knn(&fw, &ad, &q),
+                    &format!("storm step {step}"),
+                );
+            }
+        }
+    }
+    fw.verify().unwrap();
+    ad.validate(fw.network(), fw.hierarchy()).unwrap();
+}
+
+#[test]
+fn bounded_knn_combines_k_and_radius() {
+    let fw = build(simple::grid(12, 12, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 20, 1, 6);
+    for (k, cap) in [(3usize, 2.0f64), (5, 6.0), (20, 4.0), (2, 0.0)] {
+        let q = KnnQuery::new(NodeId(66), k).within(Weight::new(cap));
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = road_core::search::oracle_knn(&fw, &ad, &q);
+        assert_hits_equal(&got.hits, &want, &format!("bounded k={k} cap={cap}"));
+        assert!(got.hits.len() <= k);
+        for h in &got.hits {
+            assert!(h.distance <= Weight::new(cap));
+        }
+        // The bound must also cap the expansion itself (+1: the bounded
+        // search settles the first node past the cap before breaking).
+        let unbounded = fw.knn(&ad, &KnnQuery::new(NodeId(66), k)).unwrap();
+        assert!(got.stats.nodes_settled <= unbounded.stats.nodes_settled + 1);
+    }
+}
+
+#[test]
+fn aggregate_knn_matches_brute_force() {
+    use road_core::search::{Aggregate, AggregateKnnQuery};
+    let fw = build(simple::grid(11, 11, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 15, 1, 12);
+    let group = vec![NodeId(0), NodeId(60), NodeId(115)];
+    for aggregate in [Aggregate::Sum, Aggregate::Max] {
+        let q = AggregateKnnQuery::new(group.clone(), 4).with_aggregate(aggregate);
+        let got = fw.aggregate_knn(&ad, &q).unwrap();
+        // Brute force: per-object aggregate from plain Dijkstra runs.
+        let mut dij = road_network::dijkstra::Dijkstra::for_network(fw.network());
+        let mut best: Vec<(f64, u64)> = ad
+            .objects()
+            .map(|o| {
+                let (a, b) = fw.network().edge(o.edge).endpoints();
+                let mut agg: f64 = 0.0;
+                for &qn in &group {
+                    let da = dij
+                        .one_to_one(fw.network(), fw.metric(), qn, a)
+                        .map(|d| d + o.offset_from(fw.network(), fw.metric(), a));
+                    let db = dij
+                        .one_to_one(fw.network(), fw.metric(), qn, b)
+                        .map(|d| d + o.offset_from(fw.network(), fw.metric(), b));
+                    let d = match (da, db) {
+                        (Some(x), Some(y)) => x.min(y).get(),
+                        (Some(x), None) => x.get(),
+                        (None, Some(y)) => y.get(),
+                        (None, None) => f64::INFINITY,
+                    };
+                    agg = match aggregate {
+                        Aggregate::Sum => agg + d,
+                        Aggregate::Max => agg.max(d),
+                    };
+                }
+                (agg, o.id.0)
+            })
+            .collect();
+        best.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+        for (hit, (want_d, want_o)) in got.iter().zip(&best) {
+            assert_eq!(hit.object.0, *want_o, "{aggregate:?}");
+            assert!(
+                (hit.distance.get() - want_d).abs() < 1e-6,
+                "{aggregate:?}: {} vs {}",
+                hit.distance,
+                want_d
+            );
+        }
+        assert_eq!(got.len(), 4);
+    }
+    // Degenerate group.
+    assert!(fw.aggregate_knn(&ad, &AggregateKnnQuery::new(vec![], 1)).is_err());
+    // Single-member group equals plain kNN.
+    let single = fw.aggregate_knn(&ad, &AggregateKnnQuery::new(vec![NodeId(7)], 3)).unwrap();
+    let plain = fw.knn(&ad, &KnnQuery::new(NodeId(7), 3)).unwrap();
+    for (a, b) in single.iter().zip(&plain.hits) {
+        assert!(a.distance.approx_eq(b.distance));
+    }
+}
+
+#[test]
+fn search_stats_are_internally_consistent() {
+    let fw = build(simple::grid(14, 14, 1.0), 4, 3);
+    let ad = scatter_objects(&fw, 8, 2, 19);
+    for k in [1usize, 3, 7] {
+        let res = fw.knn(&ad, &KnnQuery::new(NodeId(97), k)).unwrap();
+        let s = res.stats;
+        // Every consulted abstract is either bypassed or descended into.
+        assert_eq!(
+            s.abstract_checks,
+            s.rnets_bypassed + s.rnets_descended,
+            "abstract accounting broken: {s:?}"
+        );
+        // Work happened and was recorded.
+        assert!(s.nodes_settled >= 1);
+        assert!(s.heap_pushes >= s.nodes_settled);
+        assert!(s.shortcuts_taken == 0 || s.rnets_bypassed > 0);
+    }
+}
+
+#[test]
+fn equal_distance_ties_prefer_objects_over_nodes() {
+    // An object exactly at a node (fraction 0) must be reported at the
+    // distance of that node, and popping it may not depend on whether the
+    // node is expanded first.
+    let fw = build(simple::chain(10, 1.0), 2, 2);
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let e = fw.network().edge_between(NodeId(4), NodeId(5)).unwrap();
+    let (a, _) = fw.network().edge(e).endpoints();
+    ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(1), e, 0.0, CategoryId(0)))
+        .unwrap();
+    let res = fw.knn(&ad, &KnnQuery::new(NodeId(0), 1)).unwrap();
+    assert_eq!(res.hits.len(), 1);
+    let node_dist = res.distance_to_node(a).unwrap();
+    assert!(res.hits[0].distance.approx_eq(node_dist));
+}
+
+#[test]
+fn disconnected_component_objects_are_unreachable() {
+    // Two grids glued into one id space with no connecting edge: objects
+    // in the far component are invisible to queries from the near one.
+    let mut b = road_network::graph::RoadNetwork::builder();
+    for i in 0..4 {
+        b.add_node(road_network::Point::new(i as f64, 0.0));
+    }
+    for i in 0..4 {
+        b.add_node(road_network::Point::new(i as f64, 10.0));
+    }
+    for i in 0..3u32 {
+        b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        b.add_edge(NodeId(i + 4), NodeId(i + 5), 1.0).unwrap();
+    }
+    let fw = build(b.build(), 2, 1);
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let far_edge = fw.network().edge_between(NodeId(4), NodeId(5)).unwrap();
+    let near_edge = fw.network().edge_between(NodeId(0), NodeId(1)).unwrap();
+    ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(1), far_edge, 0.5, CategoryId(0)))
+        .unwrap();
+    ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(2), near_edge, 0.5, CategoryId(0)))
+        .unwrap();
+    let res = fw.knn(&ad, &KnnQuery::new(NodeId(0), 5)).unwrap();
+    assert_eq!(res.hits.len(), 1, "only the same-component object is reachable");
+    assert_eq!(res.hits[0].object, ObjectId(2));
+    // Range across the gap likewise finds nothing extra.
+    let res = fw.range(&ad, &RangeQuery::new(NodeId(0), Weight::new(1e6))).unwrap();
+    assert_eq!(res.hits.len(), 1);
+}
+
+#[test]
+fn point_to_point_edge_cases() {
+    let fw = build(simple::grid(6, 6, 1.0), 2, 2);
+    // Distance to self is zero with a trivial path.
+    assert_eq!(fw.network_distance(NodeId(8), NodeId(8)).unwrap(), Some(Weight::ZERO));
+    let p = fw.shortest_path(NodeId(8), NodeId(8)).unwrap().unwrap();
+    assert!(p.is_empty());
+    assert_eq!(p.source(), NodeId(8));
+    // Adjacent nodes take the direct edge.
+    let d = fw.network_distance(NodeId(0), NodeId(1)).unwrap().unwrap();
+    assert_eq!(d, Weight::new(1.0));
+    // Out-of-bounds errors cleanly.
+    assert!(fw.network_distance(NodeId(999), NodeId(0)).is_err());
+}

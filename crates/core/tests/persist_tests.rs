@@ -1,0 +1,171 @@
+//! Persistence round-trip tests: a restored framework must be
+//! indistinguishable from the original — same answers, same shortcut
+//! distances, and fully maintainable afterwards.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::prelude::*;
+use road_core::search::oracle_knn;
+use road_network::generator::{simple, Dataset};
+use road_network::EdgeId;
+
+fn scatter(fw: &RoadFramework, count: usize, seed: u64) -> AssociationDirectory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    for i in 0..count {
+        let o = Object::new(
+            ObjectId(i as u64),
+            edges[rng.random_range(0..edges.len())],
+            rng.random_range(0.0..=1.0),
+            CategoryId(0),
+        );
+        ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+    }
+    ad
+}
+
+#[test]
+fn roundtrip_preserves_everything() {
+    let net = Dataset::CaHighways.generate_scaled(0.03, 21).unwrap();
+    let original = RoadFramework::builder(net)
+        .fanout(4)
+        .levels(3)
+        .metric(WeightKind::TravelTime)
+        .build()
+        .unwrap();
+    let bytes = original.to_bytes();
+    let restored = RoadFramework::from_bytes(&bytes).unwrap();
+
+    assert_eq!(restored.metric(), original.metric());
+    assert_eq!(restored.hierarchy().levels(), original.hierarchy().levels());
+    assert_eq!(restored.hierarchy().fanout(), original.hierarchy().fanout());
+    assert_eq!(restored.network().num_nodes(), original.network().num_nodes());
+    assert_eq!(restored.network().num_edges(), original.network().num_edges());
+    assert_eq!(
+        restored.shortcuts().num_shortcuts(),
+        original.shortcuts().num_shortcuts()
+    );
+    // The restored overlay is exactly what a fresh rebuild would produce.
+    restored.verify().unwrap();
+
+    // Identical query answers on a directory mapped onto each copy.
+    let ad_orig = scatter(&original, 12, 5);
+    let ad_rest = scatter(&restored, 12, 5);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let node = NodeId(rng.random_range(0..original.network().num_nodes() as u32));
+        let q = KnnQuery::new(node, 4);
+        let a = original.knn(&ad_orig, &q).unwrap();
+        let b = restored.knn(&ad_rest, &q).unwrap();
+        assert_eq!(a.hits.len(), b.hits.len());
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!(x.object, y.object);
+            assert!(x.distance.approx_eq(y.distance));
+        }
+    }
+}
+
+#[test]
+fn roundtrip_with_tombstoned_edges_and_maintenance() {
+    let mut fw = RoadFramework::builder(simple::grid(9, 9, 1.0)).fanout(2).levels(3).build().unwrap();
+    // Mutate before saving: weight changes and a structural deletion.
+    let e0 = fw.network().edge_ids().next().unwrap();
+    fw.set_edge_weight(e0, Weight::new(7.5)).unwrap();
+    let victim = fw.network().edge_ids().nth(20).unwrap();
+    fw.remove_edge(victim, &[]).unwrap();
+
+    let restored = RoadFramework::from_bytes(&fw.to_bytes()).unwrap();
+    assert_eq!(restored.network().num_edges(), fw.network().num_edges());
+    assert!(restored.network().edge(victim).is_deleted());
+    assert_eq!(restored.network().weight(e0, restored.metric()), Weight::new(7.5));
+    restored.verify().unwrap();
+
+    // The restored framework keeps maintaining correctly.
+    let mut restored = restored;
+    let ad = scatter(&restored, 8, 3);
+    let e1 = restored.network().edge_ids().nth(5).unwrap();
+    restored.set_edge_weight(e1, Weight::new(0.1)).unwrap();
+    let q = KnnQuery::new(NodeId(40), 3);
+    let got = restored.knn(&ad, &q).unwrap();
+    let want = oracle_knn(&restored, &ad, &q);
+    assert_eq!(got.hits.len(), want.len());
+    for (x, y) in got.hits.iter().zip(&want) {
+        assert!(x.distance.approx_eq(y.distance));
+    }
+}
+
+#[test]
+fn corrupt_inputs_are_rejected() {
+    let fw = RoadFramework::builder(simple::grid(4, 4, 1.0)).fanout(2).levels(2).build().unwrap();
+    let bytes = fw.to_bytes();
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    assert!(RoadFramework::from_bytes(&bad).is_err());
+    // Truncations at every prefix length must error, never panic.
+    for cut in [0, 1, 7, 8, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+        assert!(RoadFramework::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+    // Trailing garbage.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0u8; 3]);
+    assert!(RoadFramework::from_bytes(&padded).is_err());
+    // Bad metric tag.
+    let mut bad = bytes.clone();
+    bad[8] = 9;
+    assert!(RoadFramework::from_bytes(&bad).is_err());
+}
+
+#[test]
+fn file_roundtrip() {
+    let fw = RoadFramework::builder(simple::grid(6, 6, 1.0)).fanout(2).levels(2).build().unwrap();
+    let dir = std::env::temp_dir().join("road_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("overlay.roadfw");
+    road_core::persist::save_to(&fw, &path).unwrap();
+    let restored = road_core::persist::load_from(&path).unwrap();
+    restored.verify().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(road_core::persist::load_from(dir.join("missing.roadfw")).is_err());
+}
+
+#[test]
+fn custom_semantic_partition_builds_and_answers() {
+    // The paper's "partitioning based on network semantics": a 2x2
+    // quadrant split of a grid supplied by the caller, recursively (two
+    // levels of fanout 2 => 4 leaves = the quadrants).
+    let g = simple::grid(10, 10, 1.0);
+    let cfg = road_core::RoadConfig {
+        metric: WeightKind::Distance,
+        hierarchy: road_core::HierarchyConfig { fanout: 2, levels: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let quadrant = |e: EdgeId| -> u32 {
+        let (a, b) = g.edge(e).endpoints();
+        let m = g.coord(a).midpoint(g.coord(b));
+        let right = (m.x > 4.5) as u32;
+        let top = (m.y > 4.5) as u32;
+        top * 2 + right
+    };
+    let fw = RoadFramework::build_with_partition(g.clone(), cfg, quadrant).unwrap();
+    fw.hierarchy().validate(fw.network()).unwrap();
+    let ad = scatter(&fw, 10, 77);
+    let q = KnnQuery::new(NodeId(0), 3);
+    let got = fw.knn(&ad, &q).unwrap();
+    let want = oracle_knn(&fw, &ad, &q);
+    assert_eq!(got.hits.len(), want.len());
+    for (x, y) in got.hits.iter().zip(&want) {
+        assert!(x.distance.approx_eq(y.distance));
+    }
+    // Out-of-range assignments are rejected.
+    let bad = RoadFramework::build_with_partition(
+        g,
+        road_core::RoadConfig {
+            hierarchy: road_core::HierarchyConfig { fanout: 2, levels: 1, ..Default::default() },
+            ..Default::default()
+        },
+        |_| 7,
+    );
+    assert!(bad.is_err());
+}

@@ -1,0 +1,60 @@
+//! Error type for network construction and algorithms.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced by the network substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfBounds(NodeId),
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfBounds(EdgeId),
+    /// A weight was NaN or negative.
+    InvalidWeight(f64),
+    /// A self-loop `(n, n)` was added; the road model forbids them.
+    SelfLoop(NodeId),
+    /// The graph is not connected but the operation requires it.
+    Disconnected { components: usize },
+    /// An edge between the two nodes already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// The requested edge was already deleted (tombstoned).
+    EdgeDeleted(EdgeId),
+    /// Generator targets were infeasible (e.g. more edges than a planar
+    /// backbone can carry, or fewer than a spanning tree needs).
+    InfeasibleTargets(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::NodeOutOfBounds(n) => write!(f, "node {n} is out of bounds"),
+            NetworkError::EdgeOutOfBounds(e) => write!(f, "edge {e} is out of bounds"),
+            NetworkError::InvalidWeight(w) => write!(f, "invalid edge weight {w}"),
+            NetworkError::SelfLoop(n) => write!(f, "self-loop at {n} is not allowed"),
+            NetworkError::Disconnected { components } => {
+                write!(f, "network is disconnected ({components} components)")
+            }
+            NetworkError::DuplicateEdge(a, b) => {
+                write!(f, "an edge between {a} and {b} already exists")
+            }
+            NetworkError::EdgeDeleted(e) => write!(f, "edge {e} has been deleted"),
+            NetworkError::InfeasibleTargets(msg) => write!(f, "infeasible generator targets: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_human_readably() {
+        let e = NetworkError::Disconnected { components: 3 };
+        assert_eq!(e.to_string(), "network is disconnected (3 components)");
+        let e = NetworkError::SelfLoop(NodeId(4));
+        assert!(e.to_string().contains("n4"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's three evaluation networks as named presets.
+
+use super::{highway::HighwayConfig, streets::StreetsConfig};
+use crate::error::NetworkError;
+use crate::graph::RoadNetwork;
+
+/// One of the paper's evaluation datasets (Table 1), reproduced
+/// synthetically with matching statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Dataset {
+    /// California highways: 21,048 nodes / 21,693 edges.
+    CaHighways,
+    /// North-America highways: 175,813 nodes / 179,179 edges.
+    NaHighways,
+    /// San Francisco streets: 174,956 nodes / 223,001 edges.
+    SfStreets,
+}
+
+impl Dataset {
+    /// All three datasets in the order the paper tabulates them.
+    pub const ALL: [Dataset; 3] = [Dataset::CaHighways, Dataset::NaHighways, Dataset::SfStreets];
+
+    /// Short label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::CaHighways => "CA",
+            Dataset::NaHighways => "NA",
+            Dataset::SfStreets => "SF",
+        }
+    }
+
+    /// Node-count target (the real dataset's size).
+    pub fn node_target(self) -> usize {
+        match self {
+            Dataset::CaHighways => 21_048,
+            Dataset::NaHighways => 175_813,
+            Dataset::SfStreets => 174_956,
+        }
+    }
+
+    /// Edge-count target (the real dataset's size).
+    pub fn edge_target(self) -> usize {
+        match self {
+            Dataset::CaHighways => 21_693,
+            Dataset::NaHighways => 179_179,
+            Dataset::SfStreets => 223_001,
+        }
+    }
+
+    /// Default Rnet hierarchy depth the paper uses for this network
+    /// (Section 6: `l = 4` for CA, `l = 8` for NA and SF, with `p = 4`).
+    pub fn default_levels(self) -> u32 {
+        match self {
+            Dataset::CaHighways => 4,
+            Dataset::NaHighways => 8,
+            Dataset::SfStreets => 8,
+        }
+    }
+
+    /// Generates the full-size network.
+    pub fn generate(self, seed: u64) -> Result<RoadNetwork, NetworkError> {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generates a proportionally scaled-down version (`scale` in `(0, 1]`)
+    /// for CI and quick runs. `scale = 1.0` gives the paper-sized network.
+    pub fn generate_scaled(self, scale: f64, seed: u64) -> Result<RoadNetwork, NetworkError> {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let nodes = ((self.node_target() as f64 * scale) as usize).max(64);
+        // Preserve the cyclomatic number proportionally; it controls how
+        // "loopy" the network is, which is what distinguishes SF from NA.
+        let cyclomatic = self.edge_target() as i64 - self.node_target() as i64;
+        let edges = (nodes as i64 + (cyclomatic as f64 * scale).round() as i64).max(nodes as i64) as usize;
+        match self {
+            Dataset::CaHighways | Dataset::NaHighways => {
+                let backbone = match self {
+                    Dataset::CaHighways => (2_000.0 * scale) as usize,
+                    _ => (12_000.0 * scale) as usize,
+                }
+                .max(16);
+                super::highway::generate(&HighwayConfig {
+                    nodes,
+                    edges,
+                    backbone_nodes: backbone.min(nodes),
+                    extent: 1_000.0 * scale.sqrt(),
+                    seed: seed ^ self.seed_salt(),
+                })
+            }
+            Dataset::SfStreets => super::streets::generate(&StreetsConfig {
+                nodes,
+                edges,
+                extent: 120.0 * scale.sqrt(),
+                seed: seed ^ self.seed_salt(),
+            }),
+        }
+    }
+
+    /// Suggested hierarchy depth for a scaled network: deep enough that the
+    /// finest Rnets hold a few dozen edges, clamped to the paper's range.
+    pub fn suggested_levels(self, num_edges: usize, fanout: usize) -> u32 {
+        let fanout = fanout.max(2) as f64;
+        let mut l = 1u32;
+        let mut rnets = fanout;
+        while (num_edges as f64 / rnets) > 48.0 && l < 10 {
+            l += 1;
+            rnets *= fanout;
+        }
+        l.max(2)
+    }
+
+    fn seed_salt(self) -> u64 {
+        match self {
+            Dataset::CaHighways => 0xCA11F012_00000001,
+            Dataset::NaHighways => 0x0A0E12CA_00000002,
+            Dataset::SfStreets => 0x5AF2A9C0_00000003,
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_ca_matches_shape() {
+        let g = Dataset::CaHighways.generate_scaled(0.05, 1).unwrap();
+        assert_eq!(g.num_nodes(), (21_048.0 * 0.05) as usize);
+        assert_eq!(g.connected_components(), 1);
+        let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(ratio > 1.0 && ratio < 1.1, "highway ratio off: {ratio}");
+    }
+
+    #[test]
+    fn scaled_sf_is_denser_than_na() {
+        let sf = Dataset::SfStreets.generate_scaled(0.01, 1).unwrap();
+        let na = Dataset::NaHighways.generate_scaled(0.01, 1).unwrap();
+        let sf_ratio = sf.num_edges() as f64 / sf.num_nodes() as f64;
+        let na_ratio = na.num_edges() as f64 / na.num_nodes() as f64;
+        assert!(sf_ratio > na_ratio + 0.1, "SF {sf_ratio} vs NA {na_ratio}");
+    }
+
+    #[test]
+    fn names_and_defaults() {
+        assert_eq!(Dataset::CaHighways.name(), "CA");
+        assert_eq!(Dataset::CaHighways.default_levels(), 4);
+        assert_eq!(Dataset::SfStreets.default_levels(), 8);
+        assert_eq!(format!("{}", Dataset::NaHighways), "NA");
+    }
+
+    #[test]
+    fn suggested_levels_grow_with_size() {
+        let d = Dataset::CaHighways;
+        let small = d.suggested_levels(500, 4);
+        let large = d.suggested_levels(200_000, 4);
+        assert!(small < large);
+        assert!(small >= 2);
+        assert!(large <= 10);
+    }
+}

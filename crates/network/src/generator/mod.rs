@@ -1,0 +1,173 @@
+//! Seeded synthetic road networks.
+//!
+//! The paper evaluates on three real datasets from Li's collection \[14\]:
+//!
+//! * **CA** — California highways: 21,048 nodes / 21,693 edges,
+//! * **NA** — North-America highways: 175,813 nodes / 179,179 edges,
+//! * **SF** — San Francisco streets: 174,956 nodes / 223,001 edges.
+//!
+//! Those files are not redistributable and this session is offline, so we
+//! generate networks with the *same statistics that drive the paper's
+//! effects*: exact node/edge counts, the long degree-2 chains typical of
+//! highway data (edges/nodes ≈ 1.03), the denser lattice of a street map
+//! (≈ 1.27), planar embeddings, and positive weights correlated with
+//! Euclidean length (so the Euclidean baseline's lower bound is meaningful,
+//! with controllable slack). See `DESIGN.md` §4 for the substitution
+//! argument.
+//!
+//! [`simple`] additionally provides tiny deterministic shapes (grids,
+//! chains, rings) for unit and property tests.
+
+pub mod datasets;
+pub mod highway;
+pub mod simple;
+pub mod streets;
+
+pub use datasets::Dataset;
+
+use crate::graph::NetworkBuilder;
+use crate::ids::NodeId;
+use crate::weight::Weight;
+use rand::{Rng, RngExt};
+
+/// Proportional integer allocation by the largest-remainder method:
+/// distributes `total` units over items with the given non-negative
+/// weights; the result sums to exactly `total`.
+pub(crate) fn allocate_proportional(total: usize, weights: &[f64]) -> Vec<usize> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate: spread round-robin.
+        let mut out = vec![total / weights.len(); weights.len()];
+        for slot in out.iter_mut().take(total % weights.len()) {
+            *slot += 1;
+        }
+        return out;
+    }
+    let mut out = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / sum;
+        let base = exact.floor() as usize;
+        out.push(base);
+        assigned += base;
+        remainders.push((exact - base as f64, i));
+    }
+    let mut leftover = total - assigned;
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, i) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        out[i] += 1;
+        leftover -= 1;
+    }
+    out
+}
+
+/// Road class parameters applied to one backbone segment.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RoadClass {
+    /// km/h; converts distance to travel time.
+    pub speed_kmh: f64,
+    /// Toll charged per distance unit.
+    pub toll_rate: f64,
+    /// Multiplier ≥ 1 applied to Euclidean length to model curvature;
+    /// keeping it ≥ 1 preserves "Euclidean is a lower bound of network
+    /// distance", which the Euclidean baseline depends on.
+    pub curvature: f64,
+}
+
+/// Adds a chain of `subdivisions` intermediate nodes between existing nodes
+/// `from` and `to`, creating `subdivisions + 1` edges. Intermediate nodes
+/// are placed along the segment with a small perpendicular jitter so the
+/// embedding looks road-like rather than ruler-straight.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn add_subdivided_edge<R: Rng>(
+    b: &mut NetworkBuilder,
+    rng: &mut R,
+    from: NodeId,
+    from_xy: (f64, f64),
+    to: NodeId,
+    to_xy: (f64, f64),
+    subdivisions: usize,
+    class: RoadClass,
+) {
+    let (x0, y0) = from_xy;
+    let (x1, y1) = to_xy;
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let seg_len = (dx * dx + dy * dy).sqrt();
+    // Unit perpendicular; zero for coincident endpoints.
+    let (px, py) = if seg_len > 0.0 { (-dy / seg_len, dx / seg_len) } else { (0.0, 0.0) };
+    let jitter_amp = seg_len * 0.05;
+
+    let mut prev = from;
+    let mut prev_xy = crate::geometry::Point::new(x0, y0);
+    for i in 0..subdivisions {
+        let t = (i + 1) as f64 / (subdivisions + 1) as f64;
+        let off = rng.random_range(-1.0..1.0) * jitter_amp;
+        let p = crate::geometry::Point::new(x0 + dx * t + px * off, y0 + dy * t + py * off);
+        let n = b.add_node(p);
+        push_road_edge(b, rng, prev, prev_xy, n, p, class);
+        prev = n;
+        prev_xy = p;
+    }
+    push_road_edge(b, rng, prev, prev_xy, to, crate::geometry::Point::new(x1, y1), class);
+}
+
+fn push_road_edge<R: Rng>(
+    b: &mut NetworkBuilder,
+    rng: &mut R,
+    a: NodeId,
+    a_xy: crate::geometry::Point,
+    c: NodeId,
+    c_xy: crate::geometry::Point,
+    class: RoadClass,
+) {
+    let euclid = a_xy.distance(c_xy);
+    // Curvature jitter stays >= the class floor so admissibility holds.
+    let distance = euclid * (class.curvature + rng.random_range(0.0..0.08));
+    let speed = class.speed_kmh * rng.random_range(0.9..1.1);
+    let travel_time = if speed > 0.0 { distance / speed * 60.0 } else { 0.0 };
+    let toll = distance * class.toll_rate;
+    b.add_edge_full(
+        a,
+        c,
+        Weight::new(distance),
+        Weight::new(travel_time),
+        Weight::new(toll),
+    )
+    .expect("generator produced an invalid edge");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_sums_to_total() {
+        let alloc = allocate_proportional(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(alloc.iter().sum::<usize>(), 10);
+        let alloc = allocate_proportional(7, &[5.0, 1.0, 1.0]);
+        assert_eq!(alloc.iter().sum::<usize>(), 7);
+        assert!(alloc[0] >= 4, "heavy item should get the lion's share: {alloc:?}");
+    }
+
+    #[test]
+    fn allocation_handles_zero_weights() {
+        let alloc = allocate_proportional(5, &[0.0, 0.0]);
+        assert_eq!(alloc.iter().sum::<usize>(), 5);
+        assert!(allocate_proportional(3, &[]).is_empty());
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let a = allocate_proportional(13, &[0.3, 0.3, 0.4]);
+        let b = allocate_proportional(13, &[0.3, 0.3, 0.4]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,202 @@
+//! Street-grid network generator (SF analogue).
+//!
+//! City street maps are much denser than highway maps: SF has 174,956 nodes
+//! and 223,001 edges (ratio 1.27). We start from a perturbed lattice, delete
+//! a random subset of non-bridge edges (blocks, parks, one-ways collapsing)
+//! and subdivide the remainder until node and edge targets are met exactly.
+//! As in [`super::highway`], subdivision preserves `E - N`, so the lattice
+//! dimensions and deletion count are solved from the targets up front.
+
+use super::{add_subdivided_edge, allocate_proportional, RoadClass};
+use crate::error::NetworkError;
+use crate::graph::{NetworkBuilder, RoadNetwork};
+use crate::unionfind::UnionFind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Targets and tuning for [`generate`].
+#[derive(Clone, Debug)]
+pub struct StreetsConfig {
+    /// Exact number of nodes in the output.
+    pub nodes: usize,
+    /// Exact number of edges in the output.
+    pub edges: usize,
+    /// Side length of the square embedding region.
+    pub extent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a street-like network hitting the configured node and edge
+/// counts exactly.
+pub fn generate(cfg: &StreetsConfig) -> Result<RoadNetwork, NetworkError> {
+    // Solve lattice dimensions: W*H nodes with 2WH - W - H edges, such that
+    // after deleting down to E' = edges - S (S = nodes - WH subdivisions)
+    // the deletion count is non-negative and a spanning tree survives.
+    let side = ((cfg.nodes as f64 * 0.76).sqrt().floor() as usize).max(2);
+    let (w, h) = (side, side);
+    let n0 = w * h;
+    if n0 > cfg.nodes {
+        return Err(NetworkError::InfeasibleTargets(format!(
+            "lattice {w}x{h} already exceeds {} nodes",
+            cfg.nodes
+        )));
+    }
+    let s = cfg.nodes - n0;
+    if cfg.edges < s {
+        return Err(NetworkError::InfeasibleTargets("more subdivisions than edges".into()));
+    }
+    let e_keep = cfg.edges - s;
+    let e0 = 2 * w * h - w - h;
+    if e_keep > e0 {
+        return Err(NetworkError::InfeasibleTargets(format!(
+            "need to keep {e_keep} lattice edges but only {e0} exist; \
+             edge/node ratio too high for a street grid"
+        )));
+    }
+    if e_keep < n0 - 1 {
+        return Err(NetworkError::InfeasibleTargets(format!(
+            "keeping {e_keep} edges cannot span {n0} lattice nodes"
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cell = cfg.extent / (side.max(2) - 1) as f64;
+
+    // Perturbed lattice coordinates.
+    let mut pts = Vec::with_capacity(n0);
+    for y in 0..h {
+        for x in 0..w {
+            let jx = rng.random_range(-0.25..0.25) * cell;
+            let jy = rng.random_range(-0.25..0.25) * cell;
+            pts.push((x as f64 * cell + jx, y as f64 * cell + jy));
+        }
+    }
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+
+    // All lattice edges.
+    let mut lattice: Vec<(u32, u32)> = Vec::with_capacity(e0);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                lattice.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < h {
+                lattice.push((idx(x, y), idx(x, y + 1)));
+            }
+        }
+    }
+    debug_assert_eq!(lattice.len(), e0);
+
+    // Protect a random spanning tree, then keep a random subset of the
+    // remaining edges to reach e_keep.
+    lattice.shuffle(&mut rng);
+    let mut uf = UnionFind::new(n0);
+    let mut tree: Vec<(u32, u32)> = Vec::with_capacity(n0 - 1);
+    let mut rest: Vec<(u32, u32)> = Vec::with_capacity(e0 - (n0 - 1));
+    for &(a, b) in &lattice {
+        if uf.union(a, b) {
+            tree.push((a, b));
+        } else {
+            rest.push((a, b));
+        }
+    }
+    let extra_needed = e_keep - tree.len();
+    rest.truncate(extra_needed);
+    let kept: Vec<(u32, u32)> = tree.into_iter().chain(rest).collect();
+    debug_assert_eq!(kept.len(), e_keep);
+
+    // Subdivisions by length.
+    let lengths: Vec<f64> = kept
+        .iter()
+        .map(|&(a, b)| {
+            let (ax, ay) = pts[a as usize];
+            let (bx, by) = pts[b as usize];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        })
+        .collect();
+    let subdivisions = allocate_proportional(s, &lengths);
+
+    // Materialise with street-grade road classes; a few arterials are
+    // faster, nothing carries meaningful tolls.
+    let mut b = NetworkBuilder::with_capacity(cfg.nodes, cfg.edges);
+    let ids: Vec<crate::ids::NodeId> =
+        pts.iter().map(|&(x, y)| b.add_node(crate::geometry::Point::new(x, y))).collect();
+    for (i, &(u, v)) in kept.iter().enumerate() {
+        let arterial = rng.random_range(0.0..1.0) < 0.1;
+        let class = RoadClass {
+            speed_kmh: if arterial { 60.0 } else { 35.0 },
+            toll_rate: 0.005,
+            curvature: 1.01,
+        };
+        add_subdivided_edge(
+            &mut b,
+            &mut rng,
+            ids[u as usize],
+            pts[u as usize],
+            ids[v as usize],
+            pts[v as usize],
+            subdivisions[i],
+            class,
+        );
+    }
+    let g = b.build();
+    debug_assert_eq!(g.num_nodes(), cfg.nodes);
+    debug_assert_eq!(g.num_edges(), cfg.edges);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> StreetsConfig {
+        StreetsConfig { nodes: 1_000, edges: 1_280, extent: 100.0, seed: 7 }
+    }
+
+    #[test]
+    fn hits_exact_targets_and_is_connected() {
+        let g = generate(&small_cfg()).unwrap();
+        assert_eq!(g.num_nodes(), 1_000);
+        assert_eq!(g.num_edges(), 1_280);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small_cfg()).unwrap();
+        let b = generate(&small_cfg()).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.edge(ea).endpoints(), b.edge(eb).endpoints());
+        }
+    }
+
+    #[test]
+    fn denser_than_highways() {
+        let g = generate(&small_cfg()).unwrap();
+        let deg4 = g.node_ids().filter(|&n| g.degree(n) >= 3).count();
+        assert!(
+            deg4 as f64 > 0.15 * g.num_nodes() as f64,
+            "street grids should have many true intersections: {deg4}"
+        );
+    }
+
+    #[test]
+    fn weights_dominate_euclidean_length() {
+        let g = generate(&small_cfg()).unwrap();
+        for e in g.edge_ids() {
+            let wgt = g.weight(e, crate::graph::WeightKind::Distance).get();
+            let l = g.euclidean_length(e);
+            assert!(wgt >= l * 0.999);
+        }
+    }
+
+    #[test]
+    fn rejects_infeasible_ratios() {
+        // ratio ~3 cannot come from a lattice
+        let bad = StreetsConfig { nodes: 100, edges: 300, extent: 10.0, seed: 1 };
+        assert!(matches!(generate(&bad), Err(NetworkError::InfeasibleTargets(_))));
+    }
+}

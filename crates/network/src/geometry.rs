@@ -1,0 +1,232 @@
+//! Planar geometry: points and axis-aligned rectangles.
+//!
+//! Node coordinates serve three purposes in the reproduction: the geometric
+//! partitioning step (Section 3.3 adopts the geometric approach of Huang et
+//! al. \[8\]), the Euclidean-bound baseline (Euclidean distance is a lower
+//! bound of network distance), and the R-tree that baseline uses.
+
+use std::fmt;
+
+/// A point in the plane. Units are arbitrary but consistent per network.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt when only comparing).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, `min` inclusive, `max` inclusive.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// The empty rectangle: contains nothing, unions as identity.
+    pub const EMPTY: Rect = Rect {
+        min: Point { x: f64::INFINITY, y: f64::INFINITY },
+        max: Point { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+    };
+
+    /// Creates a rectangle from two corner points.
+    #[inline]
+    pub fn new(min: Point, max: Point) -> Self {
+        Rect { min, max }
+    }
+
+    /// A rectangle covering exactly one point.
+    #[inline]
+    pub fn point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// Smallest rectangle covering all `points`; `EMPTY` when none.
+    pub fn covering<I: IntoIterator<Item = Point>>(points: I) -> Rect {
+        let mut r = Rect::EMPTY;
+        for p in points {
+            r = r.union_point(p);
+        }
+        r
+    }
+
+    /// `true` when this is the empty rectangle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area (zero for empty or degenerate rectangles).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter, the classic R-tree enlargement metric.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Union with another rectangle.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Union with a single point.
+    #[inline]
+    pub fn union_point(&self, p: Point) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// `true` if the rectangles overlap (boundaries touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// `true` if `p` lies inside (boundaries inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Minimum Euclidean distance from `p` to this rectangle (0 if inside).
+    #[inline]
+    pub fn min_distance(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn lerp_interpolates() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn empty_rect_unions_as_identity() {
+        let r = Rect::EMPTY;
+        assert!(r.is_empty());
+        let p = Point::new(1.0, 2.0);
+        let u = r.union_point(p);
+        assert_eq!(u.min, p);
+        assert_eq!(u.max, p);
+        assert_eq!(u.area(), 0.0);
+    }
+
+    #[test]
+    fn covering_spans_all_points() {
+        let r = Rect::covering([Point::new(0.0, 5.0), Point::new(2.0, 1.0), Point::new(-1.0, 3.0)]);
+        assert_eq!(r.min, Point::new(-1.0, 1.0));
+        assert_eq!(r.max, Point::new(2.0, 5.0));
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.margin(), 7.0);
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Rect::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let c = Rect::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains_point(Point::new(1.0, 1.0)));
+        assert!(!a.contains_point(Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn min_distance_to_rect() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(r.min_distance(Point::new(1.0, 1.0)), 0.0); // inside
+        assert_eq!(r.min_distance(Point::new(5.0, 2.0)), 3.0); // right of
+        assert_eq!(r.min_distance(Point::new(5.0, 6.0)), 5.0); // diagonal
+    }
+}

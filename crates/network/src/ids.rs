@@ -1,0 +1,100 @@
+//! Strongly-typed identifiers for network entities.
+//!
+//! Nodes and edges are dense `u32` indexes into the arrays of a
+//! [`crate::graph::RoadNetwork`]. Newtypes keep the two id spaces from being
+//! mixed up at compile time while staying `Copy` and 4 bytes wide, which
+//! matters for the adjacency arrays traversed in every query.
+
+use std::fmt;
+
+/// Identifier of a network node (a road intersection).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a network edge (a road segment).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(3) > EdgeId(2));
+    }
+
+    #[test]
+    fn ids_are_4_bytes() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+    }
+}

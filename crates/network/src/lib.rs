@@ -1,0 +1,41 @@
+//! # road-network
+//!
+//! Road-network graph substrate for the ROAD framework (Lee, Lee & Zheng,
+//! *Fast Object Search on Road Networks*, EDBT 2009).
+//!
+//! This crate provides everything the framework and its baselines need from
+//! the underlying network:
+//!
+//! * [`graph::RoadNetwork`] — an undirected weighted graph with coordinates
+//!   and multiple edge-weight metrics (travel distance, trip time, toll);
+//! * [`dijkstra`] / [`astar`] — network-expansion primitives (visitor-based
+//!   Dijkstra, one-to-one / one-to-many variants, A* with a Euclidean
+//!   admissible heuristic);
+//! * [`partition`] — edge-disjoint graph partitioning (geometric bisection
+//!   refined by a Kernighan–Lin pass) used to form Rnets;
+//! * [`generator`] — seeded synthetic road networks calibrated to the
+//!   paper's three real datasets (CA / NA / SF), plus small shapes for
+//!   testing.
+//!
+//! The crate is dependency-light and entirely deterministic for a given
+//! seed, which keeps every experiment in the workspace reproducible.
+
+pub mod astar;
+pub mod dijkstra;
+pub mod error;
+pub mod generator;
+pub mod geometry;
+pub mod graph;
+pub mod hash;
+pub mod ids;
+pub mod partition;
+pub mod path;
+pub mod unionfind;
+pub mod weight;
+
+pub use error::NetworkError;
+pub use geometry::{Point, Rect};
+pub use graph::{EdgeRecord, NetworkBuilder, RoadNetwork, WeightKind};
+pub use ids::{EdgeId, NodeId};
+pub use path::Path;
+pub use weight::Weight;

@@ -1,0 +1,393 @@
+//! Edge-disjoint graph partitioning for Rnet formation.
+//!
+//! Section 3.3 of the paper: an ideal partitioning produces equal-sized
+//! Rnets while minimising border nodes, which is NP-complete \[15\]; the
+//! authors adopt the *geometric approach* of Huang et al. \[8\] to coarsely
+//! split the edge set in two, then the *Kernighan–Lin algorithm* \[12\] to
+//! exchange edges between the halves until border nodes stop decreasing.
+//! With partition fanout `p = 2^x`, binary partitioning is applied
+//! recursively `x` times.
+//!
+//! Partitions here are over **edges** (Definition 4: the edge sets of
+//! sibling Rnets are disjoint; nodes shared between parts become border
+//! nodes). The unit moved by KL is therefore an edge, and the cost function
+//! is the number of *internal border nodes*: nodes incident to edges of
+//! both halves.
+
+use crate::graph::RoadNetwork;
+use crate::hash::FastMap;
+use crate::ids::{EdgeId, NodeId};
+
+/// Tuning knobs for the bisection.
+#[derive(Clone, Debug)]
+pub struct PartitionOptions {
+    /// Number of Kernighan–Lin improvement passes over the cut.
+    pub kl_passes: usize,
+    /// Each side must keep at least this fraction of the edges.
+    pub min_balance: f64,
+    /// Upper bound on tentative moves per KL pass (0 = automatic).
+    pub move_cap: usize,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions { kl_passes: 3, min_balance: 0.40, move_cap: 0 }
+    }
+}
+
+/// Splits `edges` into `parts` (a power of two) groups by recursive
+/// geometric bisection + KL refinement. Returns one part index per input
+/// edge, in input order.
+///
+/// # Panics
+/// Panics if `parts` is zero or not a power of two.
+pub fn partition_edges(
+    g: &RoadNetwork,
+    edges: &[EdgeId],
+    parts: usize,
+    opts: &PartitionOptions,
+) -> Vec<u16> {
+    assert!(parts > 0 && parts.is_power_of_two(), "fanout must be a power of two, got {parts}");
+    assert!(parts <= u16::MAX as usize + 1, "fanout too large");
+    let mut assignment = vec![0u16; edges.len()];
+    if parts == 1 || edges.len() <= 1 {
+        return assignment;
+    }
+    // Recursive binary splitting: each round doubles the number of parts.
+    let rounds = parts.trailing_zeros();
+    let mut groups: Vec<Vec<u32>> = vec![(0..edges.len() as u32).collect()];
+    for _ in 0..rounds {
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(groups.len() * 2);
+        for group in groups {
+            if group.len() <= 1 {
+                // Degenerate group: it still occupies two part slots so that
+                // part numbering stays aligned with the recursion shape.
+                next.push(group);
+                next.push(Vec::new());
+                continue;
+            }
+            let subset: Vec<EdgeId> = group.iter().map(|&i| edges[i as usize]).collect();
+            let side = bisect(g, &subset, opts);
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (pos, &idx) in group.iter().enumerate() {
+                if side[pos] {
+                    right.push(idx);
+                } else {
+                    left.push(idx);
+                }
+            }
+            next.push(left);
+            next.push(right);
+        }
+        groups = next;
+    }
+    for (part, group) in groups.iter().enumerate() {
+        for &idx in group {
+            assignment[idx as usize] = part as u16;
+        }
+    }
+    assignment
+}
+
+/// Bisects an edge set: `false` = left half, `true` = right half.
+pub fn bisect(g: &RoadNetwork, edges: &[EdgeId], opts: &PartitionOptions) -> Vec<bool> {
+    let mut side = geometric_split(g, edges);
+    kl_refine(g, edges, &mut side, opts);
+    side
+}
+
+/// The geometric half: order edges by their midpoint along the wider axis
+/// of the bounding box and cut the sorted order in the middle, giving two
+/// spatially coherent halves with equal edge counts.
+fn geometric_split(g: &RoadNetwork, edges: &[EdgeId]) -> Vec<bool> {
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    let mids: Vec<(f64, f64)> = edges
+        .iter()
+        .map(|&e| {
+            let (a, b) = g.edge(e).endpoints();
+            let m = g.coord(a).midpoint(g.coord(b));
+            min_x = min_x.min(m.x);
+            max_x = max_x.max(m.x);
+            min_y = min_y.min(m.y);
+            max_y = max_y.max(m.y);
+            (m.x, m.y)
+        })
+        .collect();
+    let use_x = (max_x - min_x) >= (max_y - min_y);
+    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    order.sort_by(|&i, &j| {
+        let a = if use_x { mids[i as usize].0 } else { mids[i as usize].1 };
+        let b = if use_x { mids[j as usize].0 } else { mids[j as usize].1 };
+        a.total_cmp(&b).then(i.cmp(&j))
+    });
+    let mut side = vec![false; edges.len()];
+    for &i in &order[edges.len() / 2..] {
+        side[i as usize] = true;
+    }
+    side
+}
+
+/// Node bookkeeping for the KL pass: how many incident region edges lie on
+/// each side, plus the explicit set of current border nodes so the move
+/// loop never scans interior nodes.
+struct SideCounts {
+    counts: FastMap<u32, [u32; 2]>,
+    border: crate::hash::FastSet<u32>,
+}
+
+impl SideCounts {
+    fn build(g: &RoadNetwork, edges: &[EdgeId], side: &[bool]) -> Self {
+        let mut counts: FastMap<u32, [u32; 2]> = FastMap::default();
+        for (i, &e) in edges.iter().enumerate() {
+            let s = side[i] as usize;
+            let (a, b) = g.edge(e).endpoints();
+            counts.entry(a.0).or_insert([0, 0])[s] += 1;
+            counts.entry(b.0).or_insert([0, 0])[s] += 1;
+        }
+        let border = counts
+            .iter()
+            .filter(|(_, c)| c[0] > 0 && c[1] > 0)
+            .map(|(&n, _)| n)
+            .collect();
+        SideCounts { counts, border }
+    }
+
+    /// Snapshot of the current border nodes.
+    fn border_nodes(&self) -> Vec<u32> {
+        self.border.iter().copied().collect()
+    }
+
+    /// Border-count delta caused by flipping one incident edge of `n` from
+    /// side `s` to side `1 - s`.
+    #[inline]
+    fn flip_delta(&self, n: NodeId, s: usize) -> i64 {
+        let c = self.counts[&n.0];
+        let before = (c[0] > 0 && c[1] > 0) as i64;
+        let mut after = c;
+        after[s] -= 1;
+        after[1 - s] += 1;
+        let after = (after[0] > 0 && after[1] > 0) as i64;
+        after - before
+    }
+
+    #[inline]
+    fn apply_flip(&mut self, n: NodeId, s: usize) {
+        let c = self.counts.get_mut(&n.0).unwrap();
+        c[s] -= 1;
+        c[1 - s] += 1;
+        if c[0] > 0 && c[1] > 0 {
+            self.border.insert(n.0);
+        } else {
+            self.border.remove(&n.0);
+        }
+    }
+
+    fn border_count(&self) -> usize {
+        self.border.len()
+    }
+}
+
+/// Kernighan–Lin refinement: repeatedly build a chain of tentative
+/// best-gain edge moves (allowing interim losses), then keep the prefix
+/// with the highest cumulative gain. Stops when a pass yields no
+/// improvement, i.e. "until further exchanges do not reduce the number of
+/// border nodes".
+fn kl_refine(g: &RoadNetwork, edges: &[EdgeId], side: &mut [bool], opts: &PartitionOptions) {
+    if edges.len() < 4 {
+        return;
+    }
+    let move_cap = if opts.move_cap > 0 {
+        opts.move_cap
+    } else {
+        ((edges.len() as f64).sqrt() as usize) * 4 + 64
+    };
+    let min_side = ((edges.len() as f64) * opts.min_balance).floor() as i64;
+
+    // Per-node incident-edge index within the region (built once; the
+    // candidate scan below walks only edges touching current border
+    // nodes, keeping each move O(border) instead of O(|edges|)).
+    let mut incident: FastMap<u32, Vec<u32>> = FastMap::default();
+    for (i, &e) in edges.iter().enumerate() {
+        let (a, b) = g.edge(e).endpoints();
+        incident.entry(a.0).or_default().push(i as u32);
+        if b != a {
+            incident.entry(b.0).or_default().push(i as u32);
+        }
+    }
+
+    for _pass in 0..opts.kl_passes {
+        let mut counts = SideCounts::build(g, edges, side);
+        let mut locked = vec![false; edges.len()];
+        let mut side_sizes = [0i64; 2];
+        for &s in side.iter() {
+            side_sizes[s as usize] += 1;
+        }
+
+        let gain_of = |counts: &SideCounts, side: &[bool], i: usize| -> i64 {
+            let (a, b) = g.edge(edges[i]).endpoints();
+            let s = side[i] as usize;
+            if a == b {
+                return 0;
+            }
+            -(counts.flip_delta(a, s) + counts.flip_delta(b, s))
+        };
+
+        // Chain of tentative moves.
+        let mut moved: Vec<u32> = Vec::new();
+        let mut cumulative = 0i64;
+        let mut best_cumulative = 0i64;
+        let mut best_len = 0usize;
+
+        for _step in 0..move_cap {
+            // Candidates: unlocked edges touching a current border node.
+            let mut best: Option<(i64, usize)> = None;
+            for node in counts.border_nodes() {
+                let Some(edge_list) = incident.get(&node) else { continue };
+                for &iu in edge_list {
+                    let i = iu as usize;
+                    if locked[i] {
+                        continue;
+                    }
+                    let s = side[i] as usize;
+                    if side_sizes[s] - 1 < min_side {
+                        continue; // would unbalance
+                    }
+                    let gain = gain_of(&counts, side, i);
+                    if best.map(|(bg, _)| gain > bg).unwrap_or(true) {
+                        best = Some((gain, i));
+                    }
+                }
+            }
+            let Some((gain, i)) = best else { break };
+            // Apply tentatively.
+            let s = side[i] as usize;
+            let (a, b) = g.edge(edges[i]).endpoints();
+            counts.apply_flip(a, s);
+            counts.apply_flip(b, s);
+            side[i] = !side[i];
+            side_sizes[s] -= 1;
+            side_sizes[1 - s] += 1;
+            locked[i] = true;
+            moved.push(i as u32);
+            cumulative += gain;
+            if cumulative > best_cumulative {
+                best_cumulative = cumulative;
+                best_len = moved.len();
+            }
+            // Heuristic early stop: deep negative chains rarely recover.
+            if cumulative < best_cumulative - 8 {
+                break;
+            }
+        }
+
+        // Roll back past the best prefix.
+        for &i in moved[best_len..].iter() {
+            side[i as usize] = !side[i as usize];
+        }
+        if best_cumulative <= 0 {
+            break; // pass did not improve the cut
+        }
+    }
+}
+
+/// Number of nodes incident to edges on both sides — the KL objective.
+pub fn internal_border_count(g: &RoadNetwork, edges: &[EdgeId], side: &[bool]) -> usize {
+    SideCounts::build(g, edges, side).border_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::simple;
+
+    fn all_edges(g: &RoadNetwork) -> Vec<EdgeId> {
+        g.edge_ids().collect()
+    }
+
+    #[test]
+    fn bisection_balances_edge_counts() {
+        let g = simple::grid(8, 8, 1.0);
+        let edges = all_edges(&g);
+        let side = bisect(&g, &edges, &PartitionOptions::default());
+        let right = side.iter().filter(|&&s| s).count();
+        let left = side.len() - right;
+        let min = (side.len() as f64 * 0.40) as usize;
+        assert!(left >= min && right >= min, "unbalanced: {left}/{right}");
+    }
+
+    #[test]
+    fn kl_does_not_worsen_geometric_cut() {
+        let g = simple::grid(10, 10, 1.0);
+        let edges = all_edges(&g);
+        let geo = geometric_split(&g, &edges);
+        let geo_cost = internal_border_count(&g, &edges, &geo);
+        let refined = bisect(&g, &edges, &PartitionOptions::default());
+        let refined_cost = internal_border_count(&g, &edges, &refined);
+        assert!(refined_cost <= geo_cost, "KL worsened the cut: {refined_cost} > {geo_cost}");
+    }
+
+    #[test]
+    fn grid_bisection_border_is_roughly_one_column() {
+        // A 12x12 unit grid cut in half should have a border close to one
+        // grid line (12 nodes), certainly far less than half the nodes.
+        let g = simple::grid(12, 12, 1.0);
+        let edges = all_edges(&g);
+        let side = bisect(&g, &edges, &PartitionOptions::default());
+        let cost = internal_border_count(&g, &edges, &side);
+        assert!(cost <= 24, "border too fat: {cost}");
+        assert!(cost >= 12 - 4, "suspiciously thin border: {cost}");
+    }
+
+    #[test]
+    fn partition_into_four_covers_all_edges_disjointly() {
+        let g = simple::grid(9, 9, 1.0);
+        let edges = all_edges(&g);
+        let parts = partition_edges(&g, &edges, 4, &PartitionOptions::default());
+        assert_eq!(parts.len(), edges.len());
+        let mut counts = [0usize; 4];
+        for &p in &parts {
+            assert!(p < 4);
+            counts[p as usize] += 1;
+        }
+        // Every part holds a reasonable share (Definition 4: non-empty, and
+        // the paper aims at equal-sized Rnets).
+        let min = edges.len() / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c >= min, "part {i} too small: {c} of {}", edges.len());
+        }
+    }
+
+    #[test]
+    fn chain_partition_cuts_at_articulation_points() {
+        // A 16-node chain has 15 edges; a perfect bisection has exactly one
+        // border node in the middle.
+        let g = simple::chain(16, 1.0);
+        let edges = all_edges(&g);
+        let side = bisect(&g, &edges, &PartitionOptions::default());
+        let cost = internal_border_count(&g, &edges, &side);
+        assert_eq!(cost, 1, "chain bisection should meet at a single node");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let g = simple::chain(2, 1.0);
+        let edges = all_edges(&g); // one edge
+        let parts = partition_edges(&g, &edges, 4, &PartitionOptions::default());
+        assert_eq!(parts, vec![0]);
+        let empty: Vec<EdgeId> = Vec::new();
+        let parts = partition_edges(&g, &empty, 2, &PartitionOptions::default());
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fanout_must_be_power_of_two() {
+        let g = simple::chain(4, 1.0);
+        let edges = all_edges(&g);
+        let _ = partition_edges(&g, &edges, 3, &PartitionOptions::default());
+    }
+}

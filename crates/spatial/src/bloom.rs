@@ -1,0 +1,157 @@
+//! Counting Bloom filter over `u64` keys.
+//!
+//! The paper lists Bloom filters (ref \[1\]) among the techniques to
+//! "represent an object abstract with fewer storage overheads". Object
+//! abstracts must also shrink when objects are deleted (Section 5.1), so we
+//! use the *counting* variant: per-cell saturating counters instead of
+//! bits. Membership answers are "definitely not present" or "maybe
+//! present" — exactly the semantics search-space pruning needs (a false
+//! positive costs a wasted descent, never a wrong answer).
+
+use std::hash::Hasher;
+
+/// A counting Bloom filter.
+#[derive(Clone, Debug)]
+pub struct CountingBloom {
+    counts: Vec<u16>,
+    num_hashes: u32,
+    items: usize,
+}
+
+impl CountingBloom {
+    /// Creates a filter with `cells` counters and `num_hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    /// Panics if `cells` or `num_hashes` is zero.
+    pub fn new(cells: usize, num_hashes: u32) -> Self {
+        assert!(cells > 0, "bloom filter needs at least one cell");
+        assert!(num_hashes > 0, "bloom filter needs at least one hash");
+        CountingBloom { counts: vec![0; cells], num_hashes, items: 0 }
+    }
+
+    /// Sizes a filter for roughly `expected` items at ~1% false positives.
+    pub fn for_expected_items(expected: usize) -> Self {
+        // Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2; p = 0.01.
+        let n = expected.max(1) as f64;
+        let m = (-n * (0.01f64).ln() / (2f64.ln().powi(2))).ceil() as usize;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 16.0) as u32;
+        CountingBloom::new(m.max(8), k)
+    }
+
+    #[inline]
+    fn cell_indices(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        // Kirsch–Mitzenmacher double hashing: h_i = h1 + i * h2.
+        let mut hasher = road_network::hash::FxHasher::default();
+        hasher.write_u64(key);
+        let h1 = hasher.finish();
+        hasher.write_u64(0x9E37_79B9_7F4A_7C15);
+        let h2 = hasher.finish() | 1; // odd, so it cycles all cells
+        let m = self.counts.len() as u64;
+        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Adds one occurrence of `key`.
+    pub fn insert(&mut self, key: u64) {
+        let idx: Vec<usize> = self.cell_indices(key).collect();
+        for i in idx {
+            self.counts[i] = self.counts[i].saturating_add(1);
+        }
+        self.items += 1;
+    }
+
+    /// Removes one occurrence of `key`.
+    ///
+    /// Removing a key that was never inserted can corrupt the filter (as in
+    /// any counting Bloom filter); callers guard against it.
+    pub fn remove(&mut self, key: u64) {
+        let idx: Vec<usize> = self.cell_indices(key).collect();
+        for i in idx {
+            self.counts[i] = self.counts[i].saturating_sub(1);
+        }
+        self.items = self.items.saturating_sub(1);
+    }
+
+    /// `false` = definitely absent; `true` = possibly present.
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.cell_indices(key).all(|i| self.counts[i] > 0)
+    }
+
+    /// Number of insertions minus removals.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Serialized size in bytes (for the index-size experiments).
+    pub fn size_bytes(&self) -> usize {
+        self.counts.len() * 2 + 8
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = CountingBloom::for_expected_items(500);
+        for k in 0..500u64 {
+            b.insert(k * 7919);
+        }
+        for k in 0..500u64 {
+            assert!(b.may_contain(k * 7919), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut b = CountingBloom::for_expected_items(1000);
+        for k in 0..1000u64 {
+            b.insert(k);
+        }
+        let fp = (1000..11_000u64).filter(|&k| b.may_contain(k)).count();
+        assert!(fp < 400, "false-positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn deletion_restores_absence() {
+        let mut b = CountingBloom::new(64, 3);
+        b.insert(42);
+        b.insert(42);
+        assert!(b.may_contain(42));
+        b.remove(42);
+        assert!(b.may_contain(42), "one occurrence left");
+        b.remove(42);
+        assert!(!b.may_contain(42), "fully removed");
+        assert_eq!(b.items(), 0);
+    }
+
+    #[test]
+    fn counting_handles_collisions() {
+        // Insert many keys into a small filter, then remove them all: every
+        // counter must return to zero.
+        let mut b = CountingBloom::new(32, 2);
+        let keys: Vec<u64> = (0..100).collect();
+        for &k in &keys {
+            b.insert(k);
+        }
+        for &k in &keys {
+            b.remove(k);
+        }
+        assert!(b.is_empty());
+        for &k in &keys {
+            assert!(!b.may_contain(k), "stale counter for {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        let _ = CountingBloom::new(0, 1);
+    }
+}

@@ -1,0 +1,726 @@
+//! An R-tree over points, with STR bulk loading, Guttman insert/delete and
+//! best-first incremental nearest-neighbour search.
+//!
+//! The Euclidean-bound baseline stores object locations here ("for
+//! Euclidean, objects are indexed by an R-tree", Section 6) and consumes
+//! candidates in increasing Euclidean distance, verifying each by an exact
+//! network-distance computation. Every tree node models one disk page, so
+//! the iterator reports which nodes it visited for I/O accounting.
+
+use road_network::geometry::{Point, Rect};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-ordered `f64` for heap keys (no NaNs can arise from distances).
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    rect: Rect,
+    leaf: bool,
+    children: Vec<u32>,         // internal nodes
+    entries: Vec<(Point, u64)>, // leaf nodes
+}
+
+impl Node {
+    fn new_leaf() -> Self {
+        Node { rect: Rect::EMPTY, leaf: true, children: Vec::new(), entries: Vec::new() }
+    }
+    fn new_internal() -> Self {
+        Node { rect: Rect::EMPTY, leaf: false, children: Vec::new(), entries: Vec::new() }
+    }
+    fn fanout(&self) -> usize {
+        if self.leaf {
+            self.entries.len()
+        } else {
+            self.children.len()
+        }
+    }
+}
+
+/// A point R-tree keyed by opaque `u64` ids.
+pub struct RTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+}
+
+impl RTree {
+    /// An empty tree; `max_entries` models the per-page fanout (the
+    /// default used by the baselines is [`RTree::DEFAULT_MAX_ENTRIES`]).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R-tree fanout must be at least 4");
+        let nodes = vec![Node::new_leaf()];
+        RTree {
+            nodes,
+            free: Vec::new(),
+            root: 0,
+            max_entries,
+            min_entries: (max_entries * 2) / 5,
+            len: 0,
+        }
+    }
+
+    /// Fanout for a 4 KB page of (rect 32 B + id 8 B) entries.
+    pub const DEFAULT_MAX_ENTRIES: usize = 100;
+
+    /// Bulk loads with the Sort-Tile-Recursive algorithm; the resulting
+    /// tree is near-perfectly packed.
+    pub fn bulk_load(points: &[(Point, u64)], max_entries: usize) -> Self {
+        let mut tree = RTree::new(max_entries);
+        if points.is_empty() {
+            return tree;
+        }
+        tree.nodes.clear();
+        tree.len = points.len();
+
+        // Pack the leaf level.
+        let mut items: Vec<(Point, u64)> = points.to_vec();
+        let leaf_ids = tree.str_pack_leaves(&mut items);
+        // Pack internal levels until a single root remains.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            level = tree.str_pack_internal(level);
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    fn str_pack_leaves(&mut self, items: &mut [(Point, u64)]) -> Vec<u32> {
+        let m = self.max_entries;
+        let pages = items.len().div_ceil(m);
+        let slices = (pages as f64).sqrt().ceil() as usize;
+        let per_slice = items.len().div_ceil(slices);
+        items.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
+        let mut out = Vec::with_capacity(pages);
+        for slice in items.chunks_mut(per_slice.max(1)) {
+            slice.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
+            for run in slice.chunks(m) {
+                let mut node = Node::new_leaf();
+                node.entries = run.to_vec();
+                node.rect = Rect::covering(run.iter().map(|e| e.0));
+                out.push(self.alloc(node));
+            }
+        }
+        out
+    }
+
+    fn str_pack_internal(&mut self, children: Vec<u32>) -> Vec<u32> {
+        let m = self.max_entries;
+        let mut items: Vec<(Point, u32)> =
+            children.iter().map(|&c| (self.nodes[c as usize].rect.center(), c)).collect();
+        let pages = items.len().div_ceil(m);
+        let slices = (pages as f64).sqrt().ceil() as usize;
+        let per_slice = items.len().div_ceil(slices);
+        items.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
+        let mut out = Vec::with_capacity(pages);
+        let mut sliced: Vec<Vec<(Point, u32)>> = Vec::new();
+        for slice in items.chunks(per_slice.max(1)) {
+            let mut s = slice.to_vec();
+            s.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
+            sliced.push(s);
+        }
+        for slice in sliced {
+            for run in slice.chunks(m) {
+                let mut node = Node::new_internal();
+                node.children = run.iter().map(|&(_, c)| c).collect();
+                node.rect = run
+                    .iter()
+                    .fold(Rect::EMPTY, |r, &(_, c)| r.union(&self.nodes[c as usize].rect));
+                out.push(self.alloc(node));
+            }
+        }
+        out
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live tree nodes (each models one page).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Modelled on-disk size: one 4 KB page per node.
+    pub fn size_bytes(&self) -> usize {
+        self.num_nodes() * 4096
+    }
+
+    /// Inserts a point (Guttman: least-enlargement descent, quadratic
+    /// split on overflow).
+    pub fn insert(&mut self, p: Point, id: u64) {
+        self.len += 1;
+        // Descend, recording the path.
+        let mut path = Vec::new();
+        let mut cur = self.root;
+        loop {
+            let node = &self.nodes[cur as usize];
+            if node.leaf {
+                break;
+            }
+            path.push(cur);
+            let mut best = (f64::INFINITY, f64::INFINITY, 0u32);
+            for &c in &node.children {
+                let r = self.nodes[c as usize].rect;
+                let enlarged = r.union_point(p);
+                let enlargement = enlarged.area() - r.area();
+                let key = (enlargement, r.area(), c);
+                if key.0 < best.0 || (key.0 == best.0 && key.1 < best.1) {
+                    best = key;
+                }
+            }
+            cur = best.2;
+        }
+        self.nodes[cur as usize].entries.push((p, id));
+        self.nodes[cur as usize].rect = self.nodes[cur as usize].rect.union_point(p);
+        // Split upward while overflowing.
+        let mut split = if self.nodes[cur as usize].entries.len() > self.max_entries {
+            Some((cur, self.split_node(cur)))
+        } else {
+            None
+        };
+        for &parent in path.iter().rev() {
+            self.nodes[parent as usize].rect = self.nodes[parent as usize].rect.union_point(p);
+            if let Some((_, new_node)) = split {
+                self.nodes[parent as usize].children.push(new_node);
+                self.refresh_rect(parent);
+                split = if self.nodes[parent as usize].children.len() > self.max_entries {
+                    Some((parent, self.split_node(parent)))
+                } else {
+                    None
+                };
+            }
+        }
+        if let Some((old, new_node)) = split {
+            // Root split: grow the tree.
+            let mut root = Node::new_internal();
+            root.children = vec![old, new_node];
+            root.rect = self.nodes[old as usize].rect.union(&self.nodes[new_node as usize].rect);
+            self.root = self.alloc(root);
+        }
+    }
+
+    /// Quadratic split of an overflowing node; returns the new sibling.
+    fn split_node(&mut self, idx: u32) -> u32 {
+        let node = &mut self.nodes[idx as usize];
+        let leaf = node.leaf;
+        // Collect item rects + payload indexes.
+        let rects: Vec<Rect> = if leaf {
+            node.entries.iter().map(|e| Rect::point(e.0)).collect()
+        } else {
+            let children = node.children.clone();
+            children.iter().map(|&c| self.nodes[c as usize].rect).collect()
+        };
+        let n = rects.len();
+        // Seeds: pair with the most dead area.
+        let mut seed = (0usize, 1usize);
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dead = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+                if dead > worst {
+                    worst = dead;
+                    seed = (i, j);
+                }
+            }
+        }
+        let mut group_a = vec![seed.0];
+        let mut group_b = vec![seed.1];
+        let mut rect_a = rects[seed.0];
+        let mut rect_b = rects[seed.1];
+        let mut rest: Vec<usize> = (0..n).filter(|&i| i != seed.0 && i != seed.1).collect();
+        let min = self.min_entries.max(1);
+        while let Some(pos) = {
+            if rest.is_empty() {
+                None
+            } else if group_a.len() + rest.len() == min || group_b.len() + rest.len() == min {
+                Some(0) // force-assign the remainder to the starving group
+            } else {
+                // Pick the item with the strongest preference.
+                let mut best = (f64::NEG_INFINITY, 0usize);
+                for (k, &i) in rest.iter().enumerate() {
+                    let da = rect_a.union(&rects[i]).area() - rect_a.area();
+                    let db = rect_b.union(&rects[i]).area() - rect_b.area();
+                    let pref = (da - db).abs();
+                    if pref > best.0 {
+                        best = (pref, k);
+                    }
+                }
+                Some(best.1)
+            }
+        } {
+            let i = rest.swap_remove(pos);
+            let da = rect_a.union(&rects[i]).area() - rect_a.area();
+            let db = rect_b.union(&rects[i]).area() - rect_b.area();
+            let to_a = if group_a.len() + rest.len() + 1 == min {
+                true
+            } else if group_b.len() + rest.len() + 1 == min {
+                false
+            } else {
+                da < db || (da == db && group_a.len() <= group_b.len())
+            };
+            if to_a {
+                group_a.push(i);
+                rect_a = rect_a.union(&rects[i]);
+            } else {
+                group_b.push(i);
+                rect_b = rect_b.union(&rects[i]);
+            }
+        }
+        // Materialise the two groups.
+        let node = &mut self.nodes[idx as usize];
+        let mut sibling = if leaf { Node::new_leaf() } else { Node::new_internal() };
+        if leaf {
+            let entries = std::mem::take(&mut node.entries);
+            let mut keep = Vec::with_capacity(group_a.len());
+            for &i in &group_a {
+                keep.push(entries[i]);
+            }
+            for &i in &group_b {
+                sibling.entries.push(entries[i]);
+            }
+            node.entries = keep;
+        } else {
+            let children = std::mem::take(&mut node.children);
+            let mut keep = Vec::with_capacity(group_a.len());
+            for &i in &group_a {
+                keep.push(children[i]);
+            }
+            for &i in &group_b {
+                sibling.children.push(children[i]);
+            }
+            node.children = keep;
+        }
+        node.rect = rect_a;
+        sibling.rect = rect_b;
+        self.alloc(sibling)
+    }
+
+    fn refresh_rect(&mut self, idx: u32) {
+        let node = &self.nodes[idx as usize];
+        let rect = if node.leaf {
+            Rect::covering(node.entries.iter().map(|e| e.0))
+        } else {
+            node.children
+                .iter()
+                .fold(Rect::EMPTY, |r, &c| r.union(&self.nodes[c as usize].rect))
+        };
+        self.nodes[idx as usize].rect = rect;
+    }
+
+    /// Removes the entry with this exact point and id; `true` if found.
+    /// Underflowing nodes are dissolved and their entries reinserted
+    /// (Guttman's condense-tree).
+    pub fn remove(&mut self, p: Point, id: u64) -> bool {
+        let mut path = Vec::new();
+        let Some(leaf) = self.find_leaf(self.root, p, id, &mut path) else {
+            return false;
+        };
+        let node = &mut self.nodes[leaf as usize];
+        let pos = node.entries.iter().position(|&(q, i)| i == id && q == p).unwrap();
+        node.entries.remove(pos);
+        self.len -= 1;
+
+        let mut orphans: Vec<(Point, u64)> = Vec::new();
+        // Condense from the leaf upward.
+        let mut child = leaf;
+        for &parent in path.iter().rev() {
+            let under = self.nodes[child as usize].fanout() < self.min_entries;
+            if under {
+                // Dissolve the child: collect its entries, unlink it.
+                self.collect_entries(child, &mut orphans);
+                let pnode = &mut self.nodes[parent as usize];
+                let pos = pnode.children.iter().position(|&c| c == child).unwrap();
+                pnode.children.remove(pos);
+                self.free_subtree(child);
+            }
+            self.refresh_rect(parent);
+            child = parent;
+        }
+        // Shrink the root.
+        loop {
+            let root = &self.nodes[self.root as usize];
+            if !root.leaf && root.children.len() == 1 {
+                let only = root.children[0];
+                self.free.push(self.root);
+                self.root = only;
+            } else if !root.leaf && root.children.is_empty() {
+                self.free.push(self.root);
+                let empty = self.alloc(Node::new_leaf());
+                self.root = empty;
+                break;
+            } else {
+                break;
+            }
+        }
+        self.len -= orphans.len();
+        for (q, i) in orphans {
+            self.insert(q, i);
+        }
+        true
+    }
+
+    fn find_leaf(&self, cur: u32, p: Point, id: u64, path: &mut Vec<u32>) -> Option<u32> {
+        let node = &self.nodes[cur as usize];
+        if node.leaf {
+            if node.entries.iter().any(|&(q, i)| i == id && q == p) {
+                return Some(cur);
+            }
+            return None;
+        }
+        path.push(cur);
+        for &c in &node.children {
+            if self.nodes[c as usize].rect.contains_point(p) {
+                if let Some(found) = self.find_leaf(c, p, id, path) {
+                    return Some(found);
+                }
+            }
+        }
+        path.pop();
+        None
+    }
+
+    fn collect_entries(&self, cur: u32, out: &mut Vec<(Point, u64)>) {
+        let node = &self.nodes[cur as usize];
+        if node.leaf {
+            out.extend_from_slice(&node.entries);
+        } else {
+            for &c in &node.children {
+                self.collect_entries(c, out);
+            }
+        }
+    }
+
+    fn free_subtree(&mut self, cur: u32) {
+        let children = self.nodes[cur as usize].children.clone();
+        for c in children {
+            self.free_subtree(c);
+        }
+        self.free.push(cur);
+    }
+
+    /// Incremental best-first nearest-neighbour iterator: yields
+    /// `(id, euclidean distance)` in non-decreasing distance order.
+    pub fn nearest(&self, from: Point) -> NearestIter<'_> {
+        let mut heap = BinaryHeap::new();
+        if self.len > 0 {
+            heap.push(Reverse((OrdF64(self.nodes[self.root as usize].rect.min_distance(from)), HeapItem::Node(self.root))));
+        }
+        NearestIter { tree: self, from, heap, visited_nodes: Vec::new() }
+    }
+
+    /// All entries within `radius` of `center`, with distances; also
+    /// returns the list of visited node ids for I/O accounting.
+    pub fn range(&self, center: Point, radius: f64) -> (Vec<(u64, f64)>, Vec<u32>) {
+        let mut out = Vec::new();
+        let mut visited = Vec::new();
+        if self.len == 0 {
+            return (out, visited);
+        }
+        let mut stack = vec![self.root];
+        while let Some(cur) = stack.pop() {
+            visited.push(cur);
+            let node = &self.nodes[cur as usize];
+            if node.rect.min_distance(center) > radius {
+                continue;
+            }
+            if node.leaf {
+                for &(p, id) in &node.entries {
+                    let d = p.distance(center);
+                    if d <= radius {
+                        out.push((id, d));
+                    }
+                }
+            } else {
+                for &c in &node.children {
+                    if self.nodes[c as usize].rect.min_distance(center) <= radius {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        (out, visited)
+    }
+
+    /// Checks structural invariants; used by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check(tree: &RTree, cur: u32, depth: usize, leaf_depth: &mut Option<usize>) -> Result<usize, String> {
+            let node = &tree.nodes[cur as usize];
+            if node.leaf {
+                match *leaf_depth {
+                    None => *leaf_depth = Some(depth),
+                    Some(d) if d != depth => {
+                        return Err(format!("leaf at depth {depth}, expected {d}"))
+                    }
+                    _ => {}
+                }
+                for &(p, _) in &node.entries {
+                    if !node.rect.contains_point(p) {
+                        return Err(format!("leaf rect does not contain {p:?}"));
+                    }
+                }
+                Ok(node.entries.len())
+            } else {
+                if node.children.is_empty() {
+                    return Err("empty internal node".to_string());
+                }
+                let mut count = 0;
+                for &c in &node.children {
+                    let child_rect = tree.nodes[c as usize].rect;
+                    let union = node.rect.union(&child_rect);
+                    if union != node.rect {
+                        return Err("parent rect does not cover child".to_string());
+                    }
+                    count += check(tree, c, depth + 1, leaf_depth)?;
+                }
+                Ok(count)
+            }
+        }
+        let mut leaf_depth = None;
+        let count = check(self, self.root, 0, &mut leaf_depth)?;
+        if count != self.len {
+            return Err(format!("len = {} but {count} entries reachable", self.len));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HeapItem {
+    Node(u32),
+    Entry(u64),
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Arbitrary but total; only used to break distance ties.
+        let key = |h: &HeapItem| match h {
+            HeapItem::Node(n) => (0u8, *n as u64),
+            HeapItem::Entry(e) => (1u8, *e),
+        };
+        key(self).cmp(&key(other))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// See [`RTree::nearest`].
+pub struct NearestIter<'a> {
+    tree: &'a RTree,
+    from: Point,
+    heap: BinaryHeap<Reverse<(OrdF64, HeapItem)>>,
+    visited_nodes: Vec<u32>,
+}
+
+impl NearestIter<'_> {
+    /// Node ids expanded so far (each models one page read).
+    pub fn visited_nodes(&self) -> &[u32] {
+        &self.visited_nodes
+    }
+}
+
+impl Iterator for NearestIter<'_> {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(Reverse((OrdF64(d), item))) = self.heap.pop() {
+            match item {
+                HeapItem::Entry(id) => return Some((id, d)),
+                HeapItem::Node(n) => {
+                    self.visited_nodes.push(n);
+                    let node = &self.tree.nodes[n as usize];
+                    if node.leaf {
+                        for &(p, id) in &node.entries {
+                            self.heap.push(Reverse((OrdF64(p.distance(self.from)), HeapItem::Entry(id))));
+                        }
+                    } else {
+                        for &c in &node.children {
+                            let dist = self.tree.nodes[c as usize].rect.min_distance(self.from);
+                            self.heap.push(Reverse((OrdF64(dist), HeapItem::Node(c))));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Point, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| (Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)), i as u64))
+            .collect()
+    }
+
+    fn brute_knn(pts: &[(Point, u64)], from: Point, k: usize) -> Vec<u64> {
+        let mut v: Vec<(f64, u64)> = pts.iter().map(|&(p, id)| (p.distance(from), id)).collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        v.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn bulk_load_is_valid_and_packed() {
+        let pts = random_points(1000, 1);
+        let t = RTree::bulk_load(&pts, 16);
+        t.validate().unwrap();
+        assert_eq!(t.len(), 1000);
+        // STR packing should stay near the minimum node count.
+        assert!(t.num_nodes() < 100, "too many nodes: {}", t.num_nodes());
+    }
+
+    #[test]
+    fn nearest_iter_matches_brute_force() {
+        let pts = random_points(500, 2);
+        let t = RTree::bulk_load(&pts, 10);
+        let from = Point::new(321.0, 456.0);
+        let got: Vec<u64> = t.nearest(from).take(10).map(|(id, _)| id).collect();
+        let want = brute_knn(&pts, from, 10);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_yields_nondecreasing_distances() {
+        let pts = random_points(300, 3);
+        let t = RTree::bulk_load(&pts, 8);
+        let dists: Vec<f64> = t.nearest(Point::new(0.0, 0.0)).map(|(_, d)| d).collect();
+        assert_eq!(dists.len(), 300);
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let pts = random_points(400, 4);
+        let t = RTree::bulk_load(&pts, 12);
+        let center = Point::new(500.0, 500.0);
+        let (mut got, visited) = t.range(center, 150.0);
+        got.sort_by_key(|&(id, _)| id);
+        let mut want: Vec<u64> = pts
+            .iter()
+            .filter(|&&(p, _)| p.distance(center) <= 150.0)
+            .map(|&(_, id)| id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got.iter().map(|&(id, _)| id).collect::<Vec<_>>(), want);
+        assert!(!visited.is_empty());
+        assert!(visited.len() < t.num_nodes(), "range should prune subtrees");
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk() {
+        let pts = random_points(300, 5);
+        let mut t = RTree::new(8);
+        for &(p, id) in &pts {
+            t.insert(p, id);
+        }
+        t.validate().unwrap();
+        let from = Point::new(10.0, 990.0);
+        let got: Vec<u64> = t.nearest(from).take(5).map(|(id, _)| id).collect();
+        assert_eq!(got, brute_knn(&pts, from, 5));
+    }
+
+    #[test]
+    fn remove_and_query() {
+        let pts = random_points(200, 6);
+        let mut t = RTree::bulk_load(&pts, 8);
+        // remove half
+        for &(p, id) in pts.iter().take(100) {
+            assert!(t.remove(p, id), "remove {id}");
+        }
+        assert!(!t.remove(pts[0].0, pts[0].1), "double remove must fail");
+        t.validate().unwrap();
+        assert_eq!(t.len(), 100);
+        let from = Point::new(500.0, 500.0);
+        let got: Vec<u64> = t.nearest(from).take(7).map(|(id, _)| id).collect();
+        assert_eq!(got, brute_knn(&pts[100..], from, 7));
+    }
+
+    #[test]
+    fn churn_model_test() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = RTree::new(6);
+        let mut alive: Vec<(Point, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..600 {
+            if alive.is_empty() || rng.random_range(0..3) > 0 {
+                let p = Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0));
+                t.insert(p, next_id);
+                alive.push((p, next_id));
+                next_id += 1;
+            } else {
+                let i = rng.random_range(0..alive.len());
+                let (p, id) = alive.swap_remove(i);
+                assert!(t.remove(p, id));
+            }
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), alive.len());
+        let from = Point::new(50.0, 50.0);
+        let got: Vec<u64> = t.nearest(from).take(alive.len().min(9)).map(|(id, _)| id).collect();
+        assert_eq!(got, brute_knn(&alive, from, alive.len().min(9)));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = RTree::new(8);
+        assert!(t.is_empty());
+        assert_eq!(t.nearest(Point::new(0.0, 0.0)).next(), None);
+        let (hits, _) = t.range(Point::new(0.0, 0.0), 10.0);
+        assert!(hits.is_empty());
+        let t = RTree::bulk_load(&[(Point::new(1.0, 1.0), 42)], 8);
+        assert_eq!(t.nearest(Point::new(0.0, 0.0)).next(), Some((42, 2f64.sqrt())));
+    }
+
+    #[test]
+    fn visited_nodes_are_reported() {
+        let pts = random_points(500, 8);
+        let t = RTree::bulk_load(&pts, 10);
+        let mut it = t.nearest(Point::new(500.0, 500.0));
+        let _ = it.by_ref().take(3).count();
+        let few = it.visited_nodes().len();
+        assert!(few >= 1);
+        let _ = it.by_ref().count();
+        assert!(it.visited_nodes().len() > few, "full drain visits more nodes");
+    }
+}

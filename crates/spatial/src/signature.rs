@@ -1,0 +1,150 @@
+//! Superimposed-coding signatures (Faloutsos & Christodoulakis, ref \[5\]).
+//!
+//! A signature is a fixed-width bit vector; each value sets `k` bits
+//! derived from its hash, and the signature of a set is the bitwise OR of
+//! its members' signatures. Containment testing is then a subset check on
+//! bits: "maybe contains" iff every query bit is set. The paper lists
+//! signatures alongside Bloom filters as compact object-abstract
+//! representations; unlike the counting Bloom filter they do not support
+//! deletion (a delete triggers a rebuild from the children, which Lemma 1
+//! makes cheap).
+
+/// A fixed-width superimposed-coding signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    bits: Vec<u64>,
+    bits_per_value: u32,
+}
+
+impl Signature {
+    /// An empty signature of `width_bits` bits setting `bits_per_value`
+    /// bits per inserted value.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(width_bits: usize, bits_per_value: u32) -> Self {
+        assert!(width_bits > 0 && bits_per_value > 0);
+        Signature { bits: vec![0; width_bits.div_ceil(64)], bits_per_value }
+    }
+
+    fn width(&self) -> u64 {
+        (self.bits.len() * 64) as u64
+    }
+
+    fn positions(&self, value: u64) -> impl Iterator<Item = u64> + '_ {
+        use std::hash::Hasher;
+        let mut hasher = road_network::hash::FxHasher::default();
+        hasher.write_u64(value);
+        let h1 = hasher.finish();
+        hasher.write_u64(0xDEAD_BEEF_CAFE_F00D);
+        let h2 = hasher.finish() | 1;
+        let w = self.width();
+        (0..self.bits_per_value as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % w)
+    }
+
+    /// Sets the bits of `value`.
+    pub fn insert(&mut self, value: u64) {
+        let pos: Vec<u64> = self.positions(value).collect();
+        for p in pos {
+            self.bits[(p / 64) as usize] |= 1 << (p % 64);
+        }
+    }
+
+    /// `false` = definitely absent, `true` = possibly present.
+    pub fn may_contain(&self, value: u64) -> bool {
+        self.positions(value).all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
+    }
+
+    /// ORs `other` into `self` (signature of a set union; this is how a
+    /// parent Rnet's abstract superimposes its children's, per Lemma 1).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn union_with(&mut self, other: &Signature) {
+        assert_eq!(self.bits.len(), other.bits.len(), "signature width mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// `true` if every set bit of `other` is set in `self`.
+    pub fn covers(&self, other: &Signature) -> bool {
+        self.bits.len() == other.bits.len()
+            && self.bits.iter().zip(&other.bits).all(|(a, b)| a & b == *b)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Number of set bits (signature weight).
+    pub fn weight(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8 + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_always_match() {
+        let mut s = Signature::new(256, 3);
+        for v in 0..40u64 {
+            s.insert(v * 31);
+        }
+        for v in 0..40u64 {
+            assert!(s.may_contain(v * 31));
+        }
+    }
+
+    #[test]
+    fn nonmembers_mostly_rejected() {
+        let mut s = Signature::new(512, 4);
+        for v in 0..30u64 {
+            s.insert(v);
+        }
+        let fp = (1000..3000u64).filter(|&v| s.may_contain(v)).count();
+        assert!(fp < 200, "signature saturated: {fp}/2000 false positives");
+    }
+
+    #[test]
+    fn union_superimposes() {
+        let mut a = Signature::new(128, 3);
+        let mut b = Signature::new(128, 3);
+        a.insert(1);
+        b.insert(2);
+        let mut parent = a.clone();
+        parent.union_with(&b);
+        assert!(parent.may_contain(1));
+        assert!(parent.may_contain(2));
+        assert!(parent.covers(&a));
+        assert!(parent.covers(&b));
+        assert!(!a.covers(&parent) || a == parent);
+    }
+
+    #[test]
+    fn clear_and_weight() {
+        let mut s = Signature::new(128, 3);
+        assert_eq!(s.weight(), 0);
+        s.insert(77);
+        assert!(s.weight() >= 1 && s.weight() <= 3);
+        s.clear();
+        assert_eq!(s.weight(), 0);
+        assert!(!s.may_contain(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn union_width_mismatch_panics() {
+        let mut a = Signature::new(128, 3);
+        let b = Signature::new(256, 3);
+        a.union_with(&b);
+    }
+}

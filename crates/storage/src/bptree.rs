@@ -1,0 +1,652 @@
+//! A paged B+-tree with `u64` keys and `u64` values.
+//!
+//! Both ROAD components are B+-tree-indexed in the paper (Section 3.4):
+//! Route Overlay "nodes are indexed by a B+-tree with unique node IDs as
+//! search keys", and the Association Directory "also adopts B+-tree with
+//! unique node IDs or Rnet IDs as the search key". Values here are opaque
+//! `u64` record pointers (page id + offset, or an inline small payload).
+//!
+//! Every node occupies one 4 KB page and is read and written through the
+//! [`BufferPool`], so tree operations produce realistic page-fault
+//! patterns. Branching factors are configurable (tests use tiny fanouts to
+//! force deep trees); the defaults fill a page.
+//!
+//! Deletion does full textbook rebalancing (borrow from siblings, merge on
+//! double-underflow, shrink the root), and freed pages are recycled through
+//! an internal free list.
+
+use crate::buffer::BufferPool;
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Default maximum entries per leaf: `(4096 - 8) / 16`.
+pub const DEFAULT_LEAF_CAP: usize = 255;
+/// Default maximum keys per internal node (fits comfortably in a page).
+pub const DEFAULT_INT_CAP: usize = 255;
+
+const TAG_LEAF: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const NO_PAGE: u32 = u32::MAX;
+
+/// A paged B+-tree.
+pub struct BPlusTree {
+    root: PageId,
+    height: u32, // 0 = root is a leaf
+    len: u64,
+    leaf_cap: usize,
+    int_cap: usize,
+    live_pages: usize,
+    free_list: Vec<PageId>,
+}
+
+/// Decoded in-memory form of one tree node.
+#[derive(Debug, Clone)]
+struct BNode {
+    leaf: bool,
+    keys: Vec<u64>,
+    vals: Vec<u64>,      // leaf only
+    children: Vec<u32>,  // internal only
+    next: u32,           // leaf only: right-sibling page
+}
+
+impl BNode {
+    fn new_leaf() -> Self {
+        BNode { leaf: true, keys: Vec::new(), vals: Vec::new(), children: Vec::new(), next: NO_PAGE }
+    }
+
+    fn new_internal() -> Self {
+        BNode { leaf: false, keys: Vec::new(), vals: Vec::new(), children: Vec::new(), next: NO_PAGE }
+    }
+
+    fn decode(page: &Page, int_cap: usize) -> Self {
+        let b = page.bytes();
+        let tag = b[0];
+        let count = u16::from_le_bytes([b[2], b[3]]) as usize;
+        if tag == TAG_LEAF {
+            let next = u32::from_le_bytes(b[4..8].try_into().unwrap());
+            let mut keys = Vec::with_capacity(count);
+            let mut vals = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = 8 + i * 16;
+                keys.push(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()));
+                vals.push(u64::from_le_bytes(b[off + 8..off + 16].try_into().unwrap()));
+            }
+            BNode { leaf: true, keys, vals, children: Vec::new(), next }
+        } else {
+            let mut keys = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = 8 + i * 8;
+                keys.push(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()));
+            }
+            let child_base = 8 + int_cap * 8;
+            let mut children = Vec::with_capacity(count + 1);
+            for i in 0..=count {
+                let off = child_base + i * 4;
+                children.push(u32::from_le_bytes(b[off..off + 4].try_into().unwrap()));
+            }
+            BNode { leaf: false, keys, vals: Vec::new(), children, next: NO_PAGE }
+        }
+    }
+
+    fn encode(&self, page: &mut Page, int_cap: usize) {
+        let b = page.bytes_mut();
+        b[0] = if self.leaf { TAG_LEAF } else { TAG_INTERNAL };
+        b[1] = 0;
+        let count = self.keys.len() as u16;
+        b[2..4].copy_from_slice(&count.to_le_bytes());
+        if self.leaf {
+            b[4..8].copy_from_slice(&self.next.to_le_bytes());
+            for (i, (&k, &v)) in self.keys.iter().zip(&self.vals).enumerate() {
+                let off = 8 + i * 16;
+                b[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                b[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+            }
+        } else {
+            for (i, &k) in self.keys.iter().enumerate() {
+                let off = 8 + i * 8;
+                b[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            }
+            let child_base = 8 + int_cap * 8;
+            for (i, &c) in self.children.iter().enumerate() {
+                let off = child_base + i * 4;
+                b[off..off + 4].copy_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with default (page-filling) fanouts.
+    pub fn new(pool: &mut BufferPool) -> Self {
+        Self::with_caps(pool, DEFAULT_LEAF_CAP, DEFAULT_INT_CAP)
+    }
+
+    /// Creates an empty tree with explicit fanouts (tests use small ones).
+    ///
+    /// # Panics
+    /// Panics on fanouts that are too small to split (< 3) or that would
+    /// not fit a page.
+    pub fn with_caps(pool: &mut BufferPool, leaf_cap: usize, int_cap: usize) -> Self {
+        assert!(leaf_cap >= 3 && int_cap >= 3, "B+-tree fanout too small");
+        assert!(8 + leaf_cap * 16 <= PAGE_SIZE, "leaf fanout does not fit a page");
+        assert!(8 + int_cap * 8 + (int_cap + 1) * 4 <= PAGE_SIZE, "internal fanout does not fit a page");
+        let root = pool.alloc();
+        let tree = BPlusTree {
+            root,
+            height: 0,
+            len: 0,
+            leaf_cap,
+            int_cap,
+            live_pages: 1,
+            free_list: Vec::new(),
+        };
+        tree.write_node(pool, root, &BNode::new_leaf());
+        tree
+    }
+
+    fn read_node(&self, pool: &mut BufferPool, id: PageId) -> BNode {
+        let cap = self.int_cap;
+        pool.with_page(id, |p| BNode::decode(p, cap))
+    }
+
+    fn write_node(&self, pool: &mut BufferPool, id: PageId, node: &BNode) {
+        let cap = self.int_cap;
+        pool.with_page_mut(id, |p| node.encode(p, cap));
+    }
+
+    fn alloc_node(&mut self, pool: &mut BufferPool) -> PageId {
+        self.live_pages += 1;
+        self.free_list.pop().unwrap_or_else(|| pool.alloc())
+    }
+
+    fn free_node(&mut self, id: PageId) {
+        self.live_pages -= 1;
+        self.free_list.push(id);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pages currently owned by the tree (its on-disk size in pages).
+    pub fn num_pages(&self) -> usize {
+        self.live_pages
+    }
+
+    /// On-disk size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.live_pages * PAGE_SIZE
+    }
+
+    /// Tree height (0 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, pool: &mut BufferPool, key: u64) -> Option<u64> {
+        let mut page = self.root;
+        for _ in 0..self.height {
+            let node = self.read_node(pool, page);
+            let idx = node.keys.partition_point(|&k| k <= key);
+            page = PageId(node.children[idx]);
+        }
+        let leaf = self.read_node(pool, page);
+        let idx = leaf.keys.partition_point(|&k| k < key);
+        if idx < leaf.keys.len() && leaf.keys[idx] == key {
+            Some(leaf.vals[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `key -> val`; returns the previous value if the key existed.
+    pub fn insert(&mut self, pool: &mut BufferPool, key: u64, val: u64) -> Option<u64> {
+        // Preemptive root split keeps the downward pass single-pass.
+        let root_node = self.read_node(pool, self.root);
+        if self.is_full(&root_node) {
+            let old_root = self.root;
+            let new_root_page = self.alloc_node(pool);
+            let mut new_root = BNode::new_internal();
+            new_root.children.push(old_root.0);
+            self.write_node(pool, new_root_page, &new_root);
+            self.split_child(pool, new_root_page, 0);
+            self.root = new_root_page;
+            self.height += 1;
+        }
+        self.insert_nonfull(pool, self.root, self.height, key, val)
+    }
+
+    fn is_full(&self, node: &BNode) -> bool {
+        if node.leaf {
+            node.keys.len() >= self.leaf_cap
+        } else {
+            node.keys.len() >= self.int_cap
+        }
+    }
+
+    /// Splits the full child at `child_idx` of the internal node `parent`.
+    fn split_child(&mut self, pool: &mut BufferPool, parent_page: PageId, child_idx: usize) {
+        let mut parent = self.read_node(pool, parent_page);
+        let child_page = PageId(parent.children[child_idx]);
+        let mut child = self.read_node(pool, child_page);
+        let right_page = self.alloc_node(pool);
+
+        if child.leaf {
+            let mid = child.keys.len() / 2;
+            let mut right = BNode::new_leaf();
+            right.keys = child.keys.split_off(mid);
+            right.vals = child.vals.split_off(mid);
+            right.next = child.next;
+            child.next = right_page.0;
+            let separator = right.keys[0];
+            parent.keys.insert(child_idx, separator);
+            parent.children.insert(child_idx + 1, right_page.0);
+            self.write_node(pool, right_page, &right);
+        } else {
+            let mid = child.keys.len() / 2;
+            let mut right = BNode::new_internal();
+            right.keys = child.keys.split_off(mid + 1);
+            let separator = child.keys.pop().unwrap();
+            right.children = child.children.split_off(mid + 1);
+            parent.keys.insert(child_idx, separator);
+            parent.children.insert(child_idx + 1, right_page.0);
+            self.write_node(pool, right_page, &right);
+        }
+        self.write_node(pool, child_page, &child);
+        self.write_node(pool, parent_page, &parent);
+    }
+
+    fn insert_nonfull(
+        &mut self,
+        pool: &mut BufferPool,
+        page: PageId,
+        level: u32,
+        key: u64,
+        val: u64,
+    ) -> Option<u64> {
+        if level == 0 {
+            let mut leaf = self.read_node(pool, page);
+            let idx = leaf.keys.partition_point(|&k| k < key);
+            if idx < leaf.keys.len() && leaf.keys[idx] == key {
+                let old = leaf.vals[idx];
+                leaf.vals[idx] = val;
+                self.write_node(pool, page, &leaf);
+                return Some(old);
+            }
+            leaf.keys.insert(idx, key);
+            leaf.vals.insert(idx, val);
+            self.write_node(pool, page, &leaf);
+            self.len += 1;
+            return None;
+        }
+        let node = self.read_node(pool, page);
+        let mut idx = node.keys.partition_point(|&k| k <= key);
+        let child_page = PageId(node.children[idx]);
+        let child = self.read_node(pool, child_page);
+        if self.is_full(&child) {
+            self.split_child(pool, page, idx);
+            // Re-read: the separator decides which half we descend into.
+            let node = self.read_node(pool, page);
+            if key >= node.keys[idx] {
+                idx += 1;
+            }
+            let child_page = PageId(node.children[idx]);
+            return self.insert_nonfull(pool, child_page, level - 1, key, val);
+        }
+        self.insert_nonfull(pool, child_page, level - 1, key, val)
+    }
+
+    /// Removes `key`; returns its value if it existed.
+    pub fn remove(&mut self, pool: &mut BufferPool, key: u64) -> Option<u64> {
+        let removed = self.remove_rec(pool, self.root, self.height, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the root when an internal root lost all separators.
+            if self.height > 0 {
+                let root = self.read_node(pool, self.root);
+                if root.keys.is_empty() {
+                    let old_root = self.root;
+                    self.root = PageId(root.children[0]);
+                    self.free_node(old_root);
+                    self.height -= 1;
+                }
+            }
+        }
+        removed
+    }
+
+    fn min_keys(&self, leaf: bool) -> usize {
+        if leaf {
+            self.leaf_cap / 2
+        } else {
+            self.int_cap / 2
+        }
+    }
+
+    fn remove_rec(&mut self, pool: &mut BufferPool, page: PageId, level: u32, key: u64) -> Option<u64> {
+        if level == 0 {
+            let mut leaf = self.read_node(pool, page);
+            let idx = leaf.keys.partition_point(|&k| k < key);
+            if idx < leaf.keys.len() && leaf.keys[idx] == key {
+                leaf.keys.remove(idx);
+                let old = leaf.vals.remove(idx);
+                self.write_node(pool, page, &leaf);
+                return Some(old);
+            }
+            return None;
+        }
+        let node = self.read_node(pool, page);
+        let idx = node.keys.partition_point(|&k| k <= key);
+        let child_page = PageId(node.children[idx]);
+        let removed = self.remove_rec(pool, child_page, level - 1, key)?;
+        // Rebalance the child if it underflowed.
+        let child = self.read_node(pool, child_page);
+        if child.keys.len() < self.min_keys(child.leaf) {
+            self.fix_underflow(pool, page, idx, level - 1);
+        }
+        Some(removed)
+    }
+
+    /// Restores the invariant for the child at `child_idx` of `parent_page`
+    /// by borrowing from a sibling or merging with one.
+    fn fix_underflow(
+        &mut self,
+        pool: &mut BufferPool,
+        parent_page: PageId,
+        child_idx: usize,
+        _child_level: u32,
+    ) {
+        let mut parent = self.read_node(pool, parent_page);
+        let child_page = PageId(parent.children[child_idx]);
+        let mut child = self.read_node(pool, child_page);
+        let min = self.min_keys(child.leaf);
+
+        // Try borrowing from the left sibling.
+        if child_idx > 0 {
+            let left_page = PageId(parent.children[child_idx - 1]);
+            let mut left = self.read_node(pool, left_page);
+            if left.keys.len() > min {
+                if child.leaf {
+                    let k = left.keys.pop().unwrap();
+                    let v = left.vals.pop().unwrap();
+                    child.keys.insert(0, k);
+                    child.vals.insert(0, v);
+                    parent.keys[child_idx - 1] = child.keys[0];
+                } else {
+                    let sep = parent.keys[child_idx - 1];
+                    let k = left.keys.pop().unwrap();
+                    let c = left.children.pop().unwrap();
+                    child.keys.insert(0, sep);
+                    child.children.insert(0, c);
+                    parent.keys[child_idx - 1] = k;
+                }
+                self.write_node(pool, left_page, &left);
+                self.write_node(pool, child_page, &child);
+                self.write_node(pool, parent_page, &parent);
+                return;
+            }
+        }
+        // Try borrowing from the right sibling.
+        if child_idx + 1 < parent.children.len() {
+            let right_page = PageId(parent.children[child_idx + 1]);
+            let mut right = self.read_node(pool, right_page);
+            if right.keys.len() > min {
+                if child.leaf {
+                    let k = right.keys.remove(0);
+                    let v = right.vals.remove(0);
+                    child.keys.push(k);
+                    child.vals.push(v);
+                    parent.keys[child_idx] = right.keys[0];
+                } else {
+                    let sep = parent.keys[child_idx];
+                    let k = right.keys.remove(0);
+                    let c = right.children.remove(0);
+                    child.keys.push(sep);
+                    child.children.push(c);
+                    parent.keys[child_idx] = k;
+                }
+                self.write_node(pool, right_page, &right);
+                self.write_node(pool, child_page, &child);
+                self.write_node(pool, parent_page, &parent);
+                return;
+            }
+        }
+        // Merge with a sibling. Normalise to "merge child_idx with its right
+        // neighbour" by shifting the index left when child is rightmost.
+        let (li, ri) = if child_idx + 1 < parent.children.len() {
+            (child_idx, child_idx + 1)
+        } else {
+            (child_idx - 1, child_idx)
+        };
+        let left_page = PageId(parent.children[li]);
+        let right_page = PageId(parent.children[ri]);
+        let mut left = self.read_node(pool, left_page);
+        let right = self.read_node(pool, right_page);
+        if left.leaf {
+            left.keys.extend_from_slice(&right.keys);
+            left.vals.extend_from_slice(&right.vals);
+            left.next = right.next;
+        } else {
+            let sep = parent.keys[li];
+            left.keys.push(sep);
+            left.keys.extend_from_slice(&right.keys);
+            left.children.extend_from_slice(&right.children);
+        }
+        parent.keys.remove(li);
+        parent.children.remove(ri);
+        self.free_node(right_page);
+        self.write_node(pool, left_page, &left);
+        self.write_node(pool, parent_page, &parent);
+    }
+
+    /// All entries with `lo <= key <= hi`, in key order.
+    pub fn range(&self, pool: &mut BufferPool, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Descend to the leaf that would contain `lo`.
+        let mut page = self.root;
+        for _ in 0..self.height {
+            let node = self.read_node(pool, page);
+            let idx = node.keys.partition_point(|&k| k <= lo);
+            page = PageId(node.children[idx]);
+        }
+        loop {
+            let leaf = self.read_node(pool, page);
+            for (&k, &v) in leaf.keys.iter().zip(&leaf.vals) {
+                if k > hi {
+                    return out;
+                }
+                if k >= lo {
+                    out.push((k, v));
+                }
+            }
+            if leaf.next == NO_PAGE {
+                return out;
+            }
+            page = PageId(leaf.next);
+        }
+    }
+
+    /// Every entry in key order (diagnostics / verification).
+    pub fn entries(&self, pool: &mut BufferPool) -> Vec<(u64, u64)> {
+        self.range(pool, 0, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PageStore;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(PageStore::new(), 64)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut p = pool();
+        let t = BPlusTree::new(&mut p);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&mut p, 7), None);
+        assert_eq!(t.num_pages(), 1);
+        assert!(t.entries(&mut p).is_empty());
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut p = pool();
+        let mut t = BPlusTree::new(&mut p);
+        assert_eq!(t.insert(&mut p, 5, 50), None);
+        assert_eq!(t.insert(&mut p, 3, 30), None);
+        assert_eq!(t.insert(&mut p, 9, 90), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&mut p, 3), Some(30));
+        assert_eq!(t.insert(&mut p, 3, 31), Some(30));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&mut p, 3), Some(31));
+        assert_eq!(t.get(&mut p, 4), None);
+    }
+
+    #[test]
+    fn splits_build_height_with_tiny_fanout() {
+        let mut p = pool();
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        for k in 0..200u64 {
+            t.insert(&mut p, k, k * 10);
+        }
+        assert!(t.height() >= 3, "height = {}", t.height());
+        for k in 0..200u64 {
+            assert_eq!(t.get(&mut p, k), Some(k * 10), "key {k}");
+        }
+        let all = t.entries(&mut p);
+        assert_eq!(all.len(), 200);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "leaf chain out of order");
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insertions() {
+        let mut p = pool();
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        for k in (0..100u64).rev() {
+            t.insert(&mut p, k, k);
+        }
+        assert_eq!(t.entries(&mut p).len(), 100);
+        let mut p2 = pool();
+        let mut t2 = BPlusTree::with_caps(&mut p2, 4, 4);
+        let mut keys: Vec<u64> = (0..100).collect();
+        use rand::seq::SliceRandom;
+        keys.shuffle(&mut StdRng::seed_from_u64(3));
+        for &k in &keys {
+            t2.insert(&mut p2, k, k);
+        }
+        assert_eq!(t.entries(&mut p), t2.entries(&mut p2));
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut p = pool();
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        for k in (0..100u64).step_by(2) {
+            t.insert(&mut p, k, k + 1);
+        }
+        assert_eq!(t.range(&mut p, 10, 20), vec![(10, 11), (12, 13), (14, 15), (16, 17), (18, 19), (20, 21)]);
+        assert_eq!(t.range(&mut p, 11, 11), vec![]);
+        assert_eq!(t.range(&mut p, 95, 200), vec![(96, 97), (98, 99)]);
+        assert_eq!(t.range(&mut p, 20, 10), vec![]);
+    }
+
+    #[test]
+    fn remove_with_rebalancing() {
+        let mut p = pool();
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        for k in 0..300u64 {
+            t.insert(&mut p, k, k);
+        }
+        let pages_full = t.num_pages();
+        // Remove everything in an order that exercises borrows and merges.
+        for k in (0..300u64).step_by(3) {
+            assert_eq!(t.remove(&mut p, k), Some(k));
+        }
+        for k in (1..300u64).step_by(3) {
+            assert_eq!(t.remove(&mut p, k), Some(k));
+        }
+        for k in (2..300u64).step_by(3) {
+            assert_eq!(t.remove(&mut p, k), Some(k));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0, "tree should shrink back to a single leaf");
+        assert_eq!(t.num_pages(), 1);
+        assert!(t.num_pages() < pages_full);
+        assert_eq!(t.remove(&mut p, 5), None);
+    }
+
+    #[test]
+    fn model_test_against_btreemap() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut p = pool();
+        let mut t = BPlusTree::with_caps(&mut p, 4, 5);
+        let mut model = std::collections::BTreeMap::new();
+        for _ in 0..4000 {
+            let key = rng.random_range(0..500u64);
+            match rng.random_range(0..4) {
+                0 | 1 => {
+                    let val = rng.random_range(0..1_000_000u64);
+                    assert_eq!(t.insert(&mut p, key, val), model.insert(key, val));
+                }
+                2 => {
+                    assert_eq!(t.remove(&mut p, key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(t.get(&mut p, key), model.get(&key).copied());
+                }
+            }
+            assert_eq!(t.len() as usize, model.len());
+        }
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(t.entries(&mut p), expect);
+    }
+
+    #[test]
+    fn tree_survives_cold_cache() {
+        let mut p = BufferPool::new(PageStore::new(), 8); // tiny pool
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        for k in 0..500u64 {
+            t.insert(&mut p, k, !k);
+        }
+        p.clear_cache();
+        for k in (0..500u64).step_by(17) {
+            assert_eq!(t.get(&mut p, k), Some(!k));
+        }
+        assert!(p.stats().page_faults > 0);
+    }
+
+    #[test]
+    fn page_accounting_tracks_live_pages() {
+        let mut p = pool();
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        for k in 0..64u64 {
+            t.insert(&mut p, k, k);
+        }
+        let peak = t.num_pages();
+        assert!(peak > 10);
+        for k in 0..64u64 {
+            t.remove(&mut p, k);
+        }
+        assert_eq!(t.num_pages(), 1);
+        // Freed pages get recycled by later inserts.
+        for k in 0..64u64 {
+            t.insert(&mut p, k, k);
+        }
+        assert!(t.num_pages() <= peak);
+    }
+}

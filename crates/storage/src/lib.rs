@@ -1,0 +1,43 @@
+//! # road-storage
+//!
+//! Paged-storage simulator reproducing the disk model of the ROAD paper's
+//! evaluation (Section 6): every index is disk-resident with a **4 KB page
+//! size** and queries run through a **50-page LRU buffer** that starts cold.
+//! The paper's I/O metric counts page faults through exactly this stack, so
+//! simulating the same stack lets the reproduction report comparable
+//! numbers deterministically.
+//!
+//! Components:
+//!
+//! * [`page`] — fixed 4 KB pages and page ids;
+//! * [`store`] — the simulated disk (a growable array of pages with
+//!   physical read/write counters);
+//! * [`lru`] — a generic O(1) LRU cache;
+//! * [`buffer`] — the buffer pool: LRU page frames with dirty write-back;
+//! * [`bptree`] — a real paged B+-tree (the paper's Route Overlay and
+//!   Association Directory both index by node/Rnet id through B+-trees);
+//! * [`ccam`] — connectivity-clustered node-to-page assignment after
+//!   Shekhar & Liu's CCAM (ref \[18\]), used for node records by every
+//!   evaluated approach;
+//! * [`pagemap`] — record-to-page packing plus the per-query
+//!   [`pagemap::IoTracker`] used by the experiment harness.
+
+pub mod bptree;
+pub mod buffer;
+pub mod ccam;
+pub mod lru;
+pub mod page;
+pub mod pagemap;
+pub mod store;
+
+pub use bptree::BPlusTree;
+pub use buffer::{BufferPool, BufferStats};
+pub use ccam::NodeClustering;
+pub use lru::LruCache;
+pub use page::{PageId, PAGE_SIZE};
+pub use pagemap::{IoTracker, PageMap};
+pub use store::PageStore;
+
+/// The paper's buffer-pool capacity: "a memory cache of 50 pages with LRU
+/// replacement scheme".
+pub const DEFAULT_BUFFER_PAGES: usize = 50;

@@ -1,0 +1,213 @@
+//! Record-to-page packing and per-query I/O tracking.
+//!
+//! The experiment harness models each approach's disk layout as a set of
+//! *namespaces* (node records, object records, R-tree nodes, directory
+//! pages, ...), each packed by a [`PageMap`] or
+//! [`crate::ccam::NodeClustering`]. During a query the engine reports every
+//! record it touches; the [`IoTracker`] maps the touches through a cold
+//! LRU buffer of the paper's size and counts faults — the paper's "I/O"
+//! number.
+
+use crate::lru::LruCache;
+use crate::page::PAGE_SIZE;
+use road_network::hash::FastMap;
+
+/// Sequential first-fit packer: records are appended in insertion order,
+/// records bigger than a page span consecutive pages.
+#[derive(Default, Clone, Debug)]
+pub struct PageMap {
+    spans: FastMap<u64, (u32, u32)>,
+    next_page: u32,
+    fill: usize,
+    total_bytes: usize,
+}
+
+impl PageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        PageMap::default()
+    }
+
+    /// Appends a record of `size` bytes keyed by `key`; returns its
+    /// `(first page, span)`. Re-inserting a key replaces the mapping but
+    /// does not reclaim the old space (delete-and-rebuild is how the
+    /// paper's structures compact).
+    pub fn insert(&mut self, key: u64, size: usize) -> (u32, u32) {
+        self.total_bytes += size;
+        let span = if size > PAGE_SIZE {
+            if self.fill > 0 {
+                self.next_page += 1;
+                self.fill = 0;
+            }
+            let pages = size.div_ceil(PAGE_SIZE) as u32;
+            let start = self.next_page;
+            self.next_page += pages;
+            (start, pages)
+        } else {
+            if self.fill + size > PAGE_SIZE {
+                self.next_page += 1;
+                self.fill = 0;
+            }
+            self.fill += size;
+            (self.next_page, 1)
+        };
+        self.spans.insert(key, span);
+        span
+    }
+
+    /// `(first page, span)` of a record.
+    pub fn lookup(&self, key: u64) -> Option<(u32, u32)> {
+        self.spans.get(&key).copied()
+    }
+
+    /// Pages allocated so far.
+    pub fn num_pages(&self) -> usize {
+        (self.next_page + (self.fill > 0) as u32) as usize
+    }
+
+    /// Sum of record sizes (before page rounding).
+    pub fn payload_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// On-disk size (pages × 4 KB).
+    pub fn size_bytes(&self) -> usize {
+        self.num_pages() * PAGE_SIZE
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when no record was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Counts page faults of an access stream through a cold LRU buffer.
+///
+/// Pages from different structures live in different `namespace`s so their
+/// ids cannot collide.
+pub struct IoTracker {
+    lru: LruCache<u64, ()>,
+    logical: u64,
+    faults: u64,
+}
+
+impl IoTracker {
+    /// A tracker with the given buffer capacity (in pages).
+    pub fn new(buffer_pages: usize) -> Self {
+        IoTracker { lru: LruCache::new(buffer_pages), logical: 0, faults: 0 }
+    }
+
+    /// A tracker with the paper's 50-page buffer.
+    pub fn paper_default() -> Self {
+        IoTracker::new(crate::DEFAULT_BUFFER_PAGES)
+    }
+
+    /// Touches one page.
+    #[inline]
+    pub fn touch(&mut self, namespace: u32, page: u32) {
+        self.logical += 1;
+        let key = ((namespace as u64) << 32) | page as u64;
+        if self.lru.get(&key).is_none() {
+            self.faults += 1;
+            self.lru.put(key, ());
+        }
+    }
+
+    /// Touches `span` consecutive pages starting at `start`.
+    #[inline]
+    pub fn touch_span(&mut self, namespace: u32, start: u32, span: u32) {
+        for p in start..start + span {
+            self.touch(namespace, p);
+        }
+    }
+
+    /// Page faults so far (the paper's I/O metric).
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Logical page touches so far.
+    pub fn logical(&self) -> u64 {
+        self.logical
+    }
+
+    /// Empties the buffer and zeroes counters — "in every run, a query is
+    /// initialized with an empty cache".
+    pub fn reset(&mut self) {
+        self.lru.clear();
+        self.logical = 0;
+        self.faults = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagemap_packs_first_fit() {
+        let mut m = PageMap::new();
+        assert_eq!(m.insert(1, 3000), (0, 1));
+        assert_eq!(m.insert(2, 2000), (1, 1)); // does not fit page 0
+        assert_eq!(m.insert(3, 2000), (1, 1)); // fits page 1
+        assert_eq!(m.insert(4, 9000), (2, 3)); // spans 3 pages
+        assert_eq!(m.insert(5, 10), (5, 1));
+        assert_eq!(m.num_pages(), 6);
+        assert_eq!(m.lookup(4), Some((2, 3)));
+        assert_eq!(m.lookup(9), None);
+        assert_eq!(m.payload_bytes(), 3000 + 2000 + 2000 + 9000 + 10);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn empty_pagemap() {
+        let m = PageMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.num_pages(), 0);
+        assert_eq!(m.size_bytes(), 0);
+    }
+
+    #[test]
+    fn tracker_counts_faults_once_per_resident_page() {
+        let mut t = IoTracker::new(10);
+        t.touch(0, 1);
+        t.touch(0, 1);
+        t.touch(0, 2);
+        assert_eq!(t.faults(), 2);
+        assert_eq!(t.logical(), 3);
+    }
+
+    #[test]
+    fn tracker_namespaces_do_not_collide() {
+        let mut t = IoTracker::new(10);
+        t.touch(0, 7);
+        t.touch(1, 7);
+        assert_eq!(t.faults(), 2);
+    }
+
+    #[test]
+    fn tracker_evicts_lru() {
+        let mut t = IoTracker::new(2);
+        t.touch(0, 1);
+        t.touch(0, 2);
+        t.touch(0, 3); // evicts 1
+        t.touch(0, 1); // faults again
+        assert_eq!(t.faults(), 4);
+    }
+
+    #[test]
+    fn tracker_reset_gives_cold_cache() {
+        let mut t = IoTracker::new(4);
+        t.touch_span(0, 0, 3);
+        assert_eq!(t.faults(), 3);
+        t.reset();
+        assert_eq!(t.faults(), 0);
+        t.touch(0, 0);
+        assert_eq!(t.faults(), 1, "cache must be cold after reset");
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's motivating scenario (Section 1): a conference attendee
+//! plans travel around the venue.
+//!
+//! * **Q1**: find the nearest bus station to the conference venue;
+//! * **Q2**: find hotels within a 10-minute walk of the venue.
+//!
+//! Q2 runs on a framework built for the **TravelTime** metric — the
+//! capability Euclidean-bound methods cannot offer — while Q1 uses plain
+//! network distance.
+//!
+//! ```text
+//! cargo run --release -p road-bench --example conference_planner
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::prelude::*;
+use road_network::generator::Dataset;
+use road_network::EdgeId;
+
+const BUS_STATION: CategoryId = CategoryId(1);
+const HOTEL: CategoryId = CategoryId(2);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A city-scale street network (SF-like statistics, scaled down).
+    let network = Dataset::SfStreets.generate_scaled(0.02, 42)?;
+    println!(
+        "city network: {} intersections, {} road segments",
+        network.num_nodes(),
+        network.num_edges()
+    );
+
+    // One framework per metric of interest; both share the same city.
+    let by_distance = RoadFramework::builder(network.clone())
+        .fanout(4)
+        .levels(4)
+        .metric(WeightKind::Distance)
+        .build()?;
+    let by_time = RoadFramework::builder(network)
+        .fanout(4)
+        .levels(4)
+        .metric(WeightKind::TravelTime)
+        .build()?;
+
+    // Content providers tag bus stations and hotels onto the map on the
+    // fly (two directories, mirroring two independent providers).
+    let mut rng = StdRng::seed_from_u64(7);
+    let num_edges = by_distance.network().edge_slots() as u32;
+    let mut transit = AssociationDirectory::new(by_distance.hierarchy());
+    let mut lodging = AssociationDirectory::new(by_distance.hierarchy());
+    for i in 0..25u64 {
+        transit.insert(
+            by_distance.network(),
+            by_distance.hierarchy(),
+            Object::new(ObjectId(i), EdgeId(rng.random_range(0..num_edges)), rng.random_range(0.0..=1.0), BUS_STATION),
+        )?;
+    }
+    for i in 100..160u64 {
+        lodging.insert(
+            by_distance.network(),
+            by_distance.hierarchy(),
+            Object::new(ObjectId(i), EdgeId(rng.random_range(0..num_edges)), rng.random_range(0.0..=1.0), HOTEL),
+        )?;
+    }
+
+    let venue = NodeId(rng.random_range(0..by_distance.network().num_nodes() as u32));
+    println!("conference venue at intersection {venue}\n");
+
+    // Q1 — nearest bus station (network distance).
+    let q1 = by_distance.knn(
+        &transit,
+        &KnnQuery::new(venue, 1).with_filter(ObjectFilter::Category(BUS_STATION)),
+    )?;
+    match q1.hits.first() {
+        Some(hit) => println!(
+            "Q1: nearest bus station is {:?}, {:.2} km away \
+             ({} nodes settled, {} Rnets bypassed)",
+            hit.object,
+            hit.distance.get(),
+            q1.stats.nodes_settled,
+            q1.stats.rnets_bypassed
+        ),
+        None => println!("Q1: no bus station reachable"),
+    }
+
+    // Q2 — hotels within a 10-minute walk. The time framework's shortcuts
+    // encode minutes, so the range is simply 10.
+    // (Walking ~5 km/h vs the road speeds: scale the budget accordingly;
+    // the directory is metric-agnostic, only the framework changes.)
+    let mut lodging_time = AssociationDirectory::new(by_time.hierarchy());
+    for o in lodging.objects() {
+        lodging_time.insert(by_time.network(), by_time.hierarchy(), o.clone())?;
+    }
+    let q2 = by_time.range(
+        &lodging_time,
+        &RangeQuery::new(venue, Weight::new(10.0)).with_filter(ObjectFilter::Category(HOTEL)),
+    )?;
+    println!("\nQ2: hotels within a 10-minute trip: {}", q2.hits.len());
+    for hit in q2.hits.iter().take(5) {
+        println!("  {:?} — {:.1} min", hit.object, hit.distance.get());
+    }
+    if q2.hits.len() > 5 {
+        println!("  ... and {} more", q2.hits.len() - 5);
+    }
+    Ok(())
+}

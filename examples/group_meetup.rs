@@ -1,0 +1,90 @@
+//! Group meet-up planning with aggregate kNN, plus framework persistence:
+//! build the overlay once, save it, and reload it orders of magnitude
+//! faster than rebuilding.
+//!
+//! ```text
+//! cargo run --release -p road-bench --example group_meetup
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::prelude::*;
+use road_core::search::{Aggregate, AggregateKnnQuery};
+use road_network::generator::Dataset;
+use road_network::EdgeId;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Dataset::SfStreets.generate_scaled(0.025, 7)?;
+
+    let t = Instant::now();
+    let road = RoadFramework::builder(network).fanout(4).levels(4).build()?;
+    let build_time = t.elapsed();
+    println!(
+        "built overlay for {} nodes / {} edges in {:.0} ms",
+        road.network().num_nodes(),
+        road.network().num_edges(),
+        build_time.as_secs_f64() * 1e3
+    );
+
+    // Cafes scattered around town.
+    let mut rng = StdRng::seed_from_u64(3);
+    let edges = road.network().edge_slots() as u32;
+    let mut cafes = AssociationDirectory::new(road.hierarchy());
+    for i in 0..60u64 {
+        cafes.insert(
+            road.network(),
+            road.hierarchy(),
+            Object::new(ObjectId(i), EdgeId(rng.random_range(0..edges)), rng.random_range(0.0..=1.0), CategoryId(0)),
+        )?;
+    }
+
+    // Three friends in different corners of the city.
+    let friends: Vec<NodeId> =
+        (0..3).map(|_| NodeId(rng.random_range(0..road.network().num_nodes() as u32))).collect();
+    println!("\nfriends at {friends:?}");
+
+    // Where should they meet to minimise total travel?
+    let fair = road.aggregate_knn(
+        &cafes,
+        &AggregateKnnQuery::new(friends.clone(), 3).with_aggregate(Aggregate::Sum),
+    )?;
+    println!("\nbest meeting cafes by TOTAL distance:");
+    for hit in &fair {
+        println!("  {:?} — combined {:.2}", hit.object, hit.distance.get());
+    }
+
+    // Or to be fair to the farthest friend?
+    let minimax = road.aggregate_knn(
+        &cafes,
+        &AggregateKnnQuery::new(friends.clone(), 3).with_aggregate(Aggregate::Max),
+    )?;
+    println!("\nbest meeting cafes by WORST-CASE distance:");
+    for hit in &minimax {
+        println!("  {:?} — farthest friend travels {:.2}", hit.object, hit.distance.get());
+    }
+
+    // Ship the overlay: serialize, reload, compare cost.
+    let bytes = road.to_bytes();
+    let t = Instant::now();
+    let reloaded = RoadFramework::from_bytes(&bytes)?;
+    let load_time = t.elapsed();
+    println!(
+        "\npersistence: {} KB on disk; reload {:.0} ms vs {:.0} ms build ({:.0}x faster)",
+        bytes.len() / 1024,
+        load_time.as_secs_f64() * 1e3,
+        build_time.as_secs_f64() * 1e3,
+        build_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9)
+    );
+    // The reloaded overlay answers identically.
+    let again = reloaded.aggregate_knn(
+        &cafes,
+        &AggregateKnnQuery::new(friends, 3).with_aggregate(Aggregate::Sum),
+    )?;
+    assert_eq!(again.len(), fair.len());
+    for (a, b) in again.iter().zip(&fair) {
+        assert_eq!(a.object, b.object);
+    }
+    println!("reloaded overlay verified: identical answers");
+    Ok(())
+}

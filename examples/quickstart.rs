@@ -1,0 +1,70 @@
+//! Quickstart: build a ROAD framework over a small street grid, map a few
+//! objects, and run the two LDSQs of the paper — kNN and range search.
+//!
+//! ```text
+//! cargo run --release -p road-bench --example quickstart
+//! ```
+
+use road_core::prelude::*;
+use road_network::generator::simple;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A road network: 20x20 street grid, 100 m blocks.
+    let network = simple::grid(20, 20, 100.0);
+    println!("network: {} nodes, {} edges", network.num_nodes(), network.num_edges());
+
+    // 2. The ROAD framework: Rnet hierarchy (fanout 4, 3 levels) with
+    //    shortcuts and a Route Overlay, built for the Distance metric.
+    let road = RoadFramework::builder(network).fanout(4).levels(3).build()?;
+    println!(
+        "overlay: {} Rnets, {} shortcuts",
+        road.hierarchy().num_rnets(),
+        road.shortcuts().num_shortcuts()
+    );
+
+    // 3. An Association Directory: cafes mapped onto edges. The directory
+    //    is separate from the overlay — that's the framework's core design.
+    const CAFE: CategoryId = CategoryId(0);
+    const FUEL: CategoryId = CategoryId(1);
+    let mut pois = AssociationDirectory::new(road.hierarchy());
+    for (i, edge_no) in [3u32, 210, 411, 590, 707].iter().enumerate() {
+        pois.insert(
+            road.network(),
+            road.hierarchy(),
+            Object::new(ObjectId(i as u64), road_network::EdgeId(*edge_no), 0.4, CAFE),
+        )?;
+    }
+    pois.insert(
+        road.network(),
+        road.hierarchy(),
+        Object::new(ObjectId(99), road_network::EdgeId(333), 0.5, FUEL),
+    )?;
+
+    // 4. Q: the 2 nearest cafes from the grid centre.
+    let here = NodeId(210);
+    let knn = road.knn(&pois, &KnnQuery::new(here, 2).with_filter(ObjectFilter::Category(CAFE)))?;
+    println!("\n2 nearest cafes from {here}:");
+    for hit in &knn.hits {
+        println!("  {:?} at network distance {:.0} m", hit.object, hit.distance.get());
+    }
+    println!(
+        "  (settled {} nodes, bypassed {} Rnets, took {} shortcuts)",
+        knn.stats.nodes_settled, knn.stats.rnets_bypassed, knn.stats.shortcuts_taken
+    );
+
+    // 5. Q: everything within 500 m.
+    let range = road.range(&pois, &RangeQuery::new(here, Weight::new(500.0)))?;
+    println!("\nobjects within 500 m: {}", range.hits.len());
+
+    // 6. Full driving directions to the best hit.
+    if let Some((path, edge, offset)) = knn.hits.first().and_then(|h| road.knn(&pois, &KnnQuery::new(here, 1).with_filter(ObjectFilter::Category(CAFE))).ok().and_then(|r| r.path_to_hit(&road, &pois, h))) {
+        println!(
+            "\nroute to {:?}: {} hops, {:.0} m, then {:.0} m along edge {edge}",
+            knn.hits[0].object,
+            path.len(),
+            path.total().get(),
+            offset.get()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Workspace-level end-to-end tests: the full paper story on one network —
+//! build everything, query everything, update everything, and check the
+//! relative behaviour the paper claims.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_bench::config::Params;
+use road_bench::runner::{build_engine, EngineKind};
+use road_bench::workload;
+use road_core::model::ObjectFilter;
+use road_core::prelude::*;
+use road_network::dijkstra::estimate_diameter;
+use road_network::generator::Dataset;
+
+#[test]
+fn the_whole_paper_story_on_a_ca_like_network() {
+    let params = Params::default();
+    let g = Dataset::CaHighways.generate_scaled(0.08, params.seed).unwrap();
+    let objects = workload::uniform_objects(&g, 20, params.seed + 1);
+    let queries = workload::query_nodes(&g, 12, params.seed + 2);
+    let diameter = estimate_diameter(&g, params.metric);
+
+    let mut engines: Vec<_> =
+        EngineKind::ALL.iter().map(|&k| build_engine(k, &g, &objects, &params, 3)).collect();
+
+    // 1. All approaches agree on every query (kNN and range).
+    let mut road_nodes = 0usize;
+    let mut netexp_nodes = 0usize;
+    for &node in &queries {
+        let mut reference: Option<Vec<(u64, f64)>> = None;
+        for engine in engines.iter_mut() {
+            let res = engine.knn(node, 5, &ObjectFilter::Any);
+            let mut norm: Vec<(u64, f64)> =
+                res.hits.iter().map(|h| (h.object.0, h.distance.get())).collect();
+            norm.sort_by_key(|&(o, _)| o);
+            match &reference {
+                None => reference = Some(norm),
+                Some(want) => {
+                    assert_eq!(norm.len(), want.len(), "{} hit count", engine.name());
+                    for ((o1, d1), (o2, d2)) in norm.iter().zip(want) {
+                        assert_eq!(o1, o2, "{}", engine.name());
+                        assert!((d1 - d2).abs() <= 1e-5 * d1.abs().max(1.0), "{}", engine.name());
+                    }
+                }
+            }
+            match engine.name() {
+                "ROAD" => road_nodes += res.nodes_visited,
+                "NetExp" => netexp_nodes += res.nodes_visited,
+                _ => {}
+            }
+        }
+    }
+
+    // 2. The paper's headline: ROAD touches far fewer node records.
+    assert!(
+        road_nodes * 2 < netexp_nodes,
+        "ROAD {road_nodes} node touches vs NetExp {netexp_nodes}"
+    );
+
+    // 3. Range queries agree too.
+    let radius = road_network::Weight::new(diameter.get() * 0.1);
+    for &node in queries.iter().take(4) {
+        let mut counts = Vec::new();
+        for engine in engines.iter_mut() {
+            counts.push((engine.name(), engine.range(node, radius, &ObjectFilter::Any).hits.len()));
+        }
+        let first = counts[0].1;
+        for &(name, c) in &counts {
+            assert_eq!(c, first, "{name} returned {c} range hits vs {first}");
+        }
+    }
+
+    // 4. Index sizes order as in Figure 13: DistIdx dwarfs the rest.
+    let sizes: Vec<(&str, usize)> =
+        engines.iter().map(|e| (e.name(), e.index_size_bytes())).collect();
+    let size_of = |n: &str| sizes.iter().find(|(name, _)| *name == n).unwrap().1;
+    assert!(size_of("DistIdx") > size_of("ROAD"));
+    assert!(size_of("DistIdx") > size_of("NetExp") * 2);
+}
+
+#[test]
+fn framework_survives_a_day_of_city_operations() {
+    // A "day in the life" scenario: morning build, object churn at noon,
+    // rush-hour congestion, a road closure, an evening road opening —
+    // querying continuously against the oracle.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let g = Dataset::SfStreets.generate_scaled(0.012, 5).unwrap();
+    let mut road = RoadFramework::builder(g).fanout(4).levels(3).build().unwrap();
+    let mut pois = AssociationDirectory::new(road.hierarchy());
+    let mut next_id = 0u64;
+    let edge_count = road.network().edge_slots() as u32;
+    for _ in 0..30 {
+        let o = Object::new(
+            ObjectId(next_id),
+            road_network::EdgeId(rng.random_range(0..edge_count)),
+            rng.random_range(0.0..=1.0),
+            CategoryId(rng.random_range(0..3)),
+        );
+        next_id += 1;
+        pois.insert(road.network(), road.hierarchy(), o).unwrap();
+    }
+
+    let check = |road: &RoadFramework, pois: &AssociationDirectory, rng: &mut StdRng| {
+        let node = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
+        let q = KnnQuery::new(node, 4);
+        let got = road.knn(pois, &q).unwrap();
+        let want = road_core::search::oracle_knn(road, pois, &q);
+        assert_eq!(got.hits.len(), want.len());
+        for (g_hit, w_hit) in got.hits.iter().zip(&want) {
+            assert!(g_hit.distance.approx_eq(w_hit.distance));
+        }
+    };
+
+    check(&road, &pois, &mut rng);
+    // Noon: object churn.
+    for _ in 0..10 {
+        let o = Object::new(
+            ObjectId(next_id),
+            road_network::EdgeId(rng.random_range(0..edge_count)),
+            0.5,
+            CategoryId(0),
+        );
+        next_id += 1;
+        pois.insert(road.network(), road.hierarchy(), o).unwrap();
+        check(&road, &pois, &mut rng);
+    }
+    // Rush hour: congest 20 random edges.
+    for _ in 0..20 {
+        let edges: Vec<_> = road.network().edge_ids().collect();
+        let e = edges[rng.random_range(0..edges.len())];
+        let w = road.network().weight(e, road.metric());
+        road.set_edge_weight(e, Weight::new(w.get() * 3.0)).unwrap();
+    }
+    check(&road, &pois, &mut rng);
+    // A closure and an opening.
+    let edges: Vec<_> = road.network().edge_ids().collect();
+    let closed = edges[rng.random_range(0..edges.len())];
+    road.set_edge_weight(closed, Weight::INFINITY).unwrap();
+    check(&road, &pois, &mut rng);
+    let a = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
+    let b = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
+    if a != b && road.network().edge_between(a, b).is_none() {
+        let w = Weight::new(0.5);
+        road.add_edge(a, b, (w, w, Weight::ZERO)).unwrap();
+    }
+    check(&road, &pois, &mut rng);
+    // The overlay is still exactly what a fresh build would produce.
+    road.verify().unwrap();
+    pois.validate(road.network(), road.hierarchy()).unwrap();
+}
+
+#[test]
+fn every_metric_is_queryable() {
+    let g = Dataset::CaHighways.generate_scaled(0.02, 8).unwrap();
+    let objects = workload::uniform_objects(&g, 8, 3);
+    for metric in road_network::graph::WeightKind::ALL {
+        let road =
+            RoadFramework::builder(g.clone()).fanout(2).levels(2).metric(metric).build().unwrap();
+        let mut ad = AssociationDirectory::new(road.hierarchy());
+        for o in &objects {
+            ad.insert(road.network(), road.hierarchy(), o.clone()).unwrap();
+        }
+        let q = KnnQuery::new(NodeId(0), 3);
+        let got = road.knn(&ad, &q).unwrap();
+        let want = road_core::search::oracle_knn(&road, &ad, &q);
+        assert_eq!(got.hits.len(), want.len(), "{metric:?}");
+        for (g_hit, w_hit) in got.hits.iter().zip(&want) {
+            assert!(g_hit.distance.approx_eq(w_hit.distance), "{metric:?}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests over the whole stack: random networks, random
+//! hierarchies, random objects, random queries — the framework must always
+//! agree with brute force and keep its structural invariants.
+
+use proptest::prelude::*;
+use road_core::prelude::*;
+use road_core::search::{oracle_knn, oracle_range};
+use road_network::generator::simple;
+use road_network::graph::RoadNetwork;
+use road_network::{EdgeId, Weight};
+
+/// Strategy: a connected random network plus derived placements.
+fn network_strategy() -> impl Strategy<Value = (RoadNetwork, u64)> {
+    (10usize..80, 0usize..30, 0u64..1000).prop_map(|(n, extra, seed)| {
+        (simple::random_connected(n, extra, seed), seed)
+    })
+}
+
+fn build_framework(g: RoadNetwork, fanout: usize, levels: u32) -> RoadFramework {
+    RoadFramework::builder(g).fanout(fanout).levels(levels).build().unwrap()
+}
+
+fn scatter(fw: &RoadFramework, count: usize, seed: u64) -> AssociationDirectory {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    for i in 0..count {
+        let o = Object::new(
+            ObjectId(i as u64),
+            edges[rng.random_range(0..edges.len())],
+            rng.random_range(0.0..=1.0),
+            CategoryId(rng.random_range(0..3)),
+        );
+        ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+    }
+    ad
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Definition 4 invariants hold on arbitrary connected networks for
+    /// arbitrary (fanout, levels) combinations.
+    #[test]
+    fn hierarchy_invariants((g, _) in network_strategy(),
+                            fanout in prop_oneof![Just(2usize), Just(4)],
+                            levels in 1u32..4) {
+        let fw = build_framework(g, fanout, levels);
+        fw.hierarchy().validate(fw.network()).unwrap();
+    }
+
+    /// kNN always matches the brute-force oracle.
+    #[test]
+    fn knn_matches_oracle((g, seed) in network_strategy(),
+                          k in 1usize..6,
+                          objects in 1usize..15,
+                          query in 0u32..60) {
+        let query = query % g.num_nodes() as u32;
+        let fw = build_framework(g, 2, 2);
+        let ad = scatter(&fw, objects, seed + 7);
+        let q = KnnQuery::new(NodeId(query), k);
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        prop_assert_eq!(got.hits.len(), want.len());
+        for (g_hit, w_hit) in got.hits.iter().zip(&want) {
+            prop_assert!(g_hit.distance.approx_eq(w_hit.distance),
+                "{} vs {}", g_hit.distance, w_hit.distance);
+        }
+    }
+
+    /// Range always matches the brute-force oracle, object sets included.
+    #[test]
+    fn range_matches_oracle((g, seed) in network_strategy(),
+                            radius in 1.0f64..120.0,
+                            objects in 1usize..15,
+                            query in 0u32..60) {
+        let query = query % g.num_nodes() as u32;
+        let fw = build_framework(g, 4, 2);
+        let ad = scatter(&fw, objects, seed + 13);
+        let q = RangeQuery::new(NodeId(query), Weight::new(radius));
+        let got = fw.range(&ad, &q).unwrap();
+        let want = oracle_range(&fw, &ad, &q);
+        let mut got_ids: Vec<u64> = got.hits.iter().map(|h| h.object.0).collect();
+        let mut want_ids: Vec<u64> = want.iter().map(|h| h.object.0).collect();
+        got_ids.sort_unstable();
+        want_ids.sort_unstable();
+        prop_assert_eq!(got_ids, want_ids);
+    }
+
+    /// Point-to-point distances through the overlay equal Dijkstra.
+    #[test]
+    fn overlay_distances_exact((g, _) in network_strategy(),
+                               a in 0u32..60, b in 0u32..60) {
+        let a = NodeId(a % g.num_nodes() as u32);
+        let b = NodeId(b % g.num_nodes() as u32);
+        let want = road_network::dijkstra::shortest_path_weight(
+            &g, road_network::graph::WeightKind::Distance, a, b);
+        let fw = build_framework(g, 2, 3);
+        let got = fw.network_distance(a, b).unwrap();
+        match (got, want) {
+            (Some(x), Some(y)) => prop_assert!(x.approx_eq(y), "{} vs {}", x, y),
+            (x, y) => prop_assert_eq!(x.is_some(), y.is_some()),
+        }
+    }
+
+    /// Weight updates preserve exactness (the filter-and-refresh path).
+    #[test]
+    fn updates_preserve_exactness((g, seed) in network_strategy(),
+                                  updates in prop::collection::vec((0u32..200, 0.1f64..30.0), 1..6),
+                                  query in 0u32..60) {
+        let query = query % g.num_nodes() as u32;
+        let mut fw = build_framework(g, 2, 2);
+        let ad = scatter(&fw, 6, seed + 23);
+        let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+        for (e_idx, w) in updates {
+            let e = edges[e_idx as usize % edges.len()];
+            fw.set_edge_weight(e, Weight::new(w)).unwrap();
+        }
+        let q = KnnQuery::new(NodeId(query), 3);
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        prop_assert_eq!(got.hits.len(), want.len());
+        for (g_hit, w_hit) in got.hits.iter().zip(&want) {
+            prop_assert!(g_hit.distance.approx_eq(w_hit.distance));
+        }
+    }
+
+    /// Object churn keeps Lemma 1 abstracts exact.
+    #[test]
+    fn abstract_bookkeeping_is_exact((g, seed) in network_strategy(),
+                                     ops in prop::collection::vec((0u8..2, 0u32..40), 1..30)) {
+        let fw = build_framework(g, 2, 2);
+        let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+        let mut ad = AssociationDirectory::new(fw.hierarchy());
+        let mut alive = std::collections::BTreeSet::new();
+        for (op, x) in ops {
+            if op == 0 {
+                let id = ObjectId((x % 40) as u64);
+                if alive.insert(id) {
+                    let o = Object::new(id, edges[(x as usize * 7 + seed as usize) % edges.len()],
+                        0.5, CategoryId((x % 3) as u16));
+                    ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+                }
+            } else {
+                let id = ObjectId((x % 40) as u64);
+                if alive.remove(&id) {
+                    ad.remove(fw.network(), fw.hierarchy(), id).unwrap();
+                }
+            }
+        }
+        prop_assert_eq!(ad.len(), alive.len());
+        ad.validate(fw.network(), fw.hierarchy()).unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests of the storage stack working together: B+-tree over
+//! the buffer pool over the page store, CCAM layouts feeding the I/O
+//! tracker — the machinery behind every I/O number in the figures.
+
+use proptest::prelude::*;
+use road_network::generator::simple;
+use road_storage::ccam::NodeClustering;
+use road_storage::pagemap::{IoTracker, PageMap};
+use road_storage::{BPlusTree, BufferPool, PageStore, DEFAULT_BUFFER_PAGES, PAGE_SIZE};
+
+#[test]
+fn bptree_as_association_directory_index() {
+    // Model the paper's Association Directory: node id -> object-record
+    // pointer for 10k nodes, under a 50-page buffer.
+    let mut pool = BufferPool::new(PageStore::new(), DEFAULT_BUFFER_PAGES);
+    let mut tree = BPlusTree::new(&mut pool);
+    let mut pages = PageMap::new();
+    for node in (0..10_000u64).step_by(7) {
+        let (pg, _) = pages.insert(node, 32);
+        tree.insert(&mut pool, node, pg as u64);
+    }
+    pool.clear_cache();
+    pool.reset_stats();
+    // A cold lookup path costs height+1 page faults at most.
+    let v = tree.get(&mut pool, 7 * 100);
+    assert!(v.is_some());
+    let faults = pool.stats().page_faults;
+    assert!(faults as u32 <= tree.height() + 1, "lookup cost {faults} pages");
+    // Missing keys are cheap too and prove absence.
+    assert_eq!(tree.get(&mut pool, 3), None);
+}
+
+#[test]
+fn ccam_beats_random_placement_for_expansion_io() {
+    // The reason every engine stores node records with CCAM (ref [18]):
+    // a BFS-ordered layout faults far less under network expansion than a
+    // scattered one.
+    let g = simple::grid(40, 40, 1.0);
+    let record = |_: road_network::NodeId| 128usize;
+    let ccam = NodeClustering::build(&g, record);
+
+    // Scattered layout: node i -> page by hashed order (same record size).
+    let per_page = PAGE_SIZE / 128;
+    let scatter_page = |n: u32| (n.wrapping_mul(2654435761) % (g.num_nodes() as u32)) / per_page as u32;
+
+    // Expand from a corner in BFS order, touching each node's page.
+    let mut order = Vec::new();
+    {
+        let mut seen = vec![false; g.num_nodes()];
+        let mut queue = std::collections::VecDeque::from([road_network::NodeId(0)]);
+        seen[0] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for (_, v) in g.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    let mut io_ccam = IoTracker::paper_default();
+    let mut io_rand = IoTracker::paper_default();
+    for &n in order.iter().take(400) {
+        let (p, span) = ccam.span_of(n);
+        io_ccam.touch_span(0, p, span);
+        io_rand.touch(0, scatter_page(n.0));
+    }
+    assert!(
+        io_ccam.faults() * 2 < io_rand.faults(),
+        "CCAM {} faults vs scattered {}",
+        io_ccam.faults(),
+        io_rand.faults()
+    );
+}
+
+#[test]
+fn buffer_pool_bounds_resident_pages() {
+    let mut pool = BufferPool::new(PageStore::new(), 10);
+    let ids: Vec<_> = (0..100).map(|_| pool.alloc()).collect();
+    for (i, &id) in ids.iter().enumerate() {
+        pool.with_page_mut(id, |p| p.bytes_mut()[0] = i as u8);
+    }
+    // Everything is still readable (write-back worked) …
+    for (i, &id) in ids.iter().enumerate() {
+        pool.with_page(id, |p| assert_eq!(p.bytes()[0], i as u8));
+    }
+    // … and the store carries the truth after a flush.
+    pool.clear_cache();
+    for (i, &id) in ids.iter().enumerate() {
+        pool.with_page(id, |p| assert_eq!(p.bytes()[0], i as u8));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The paged B+-tree agrees with BTreeMap under arbitrary workloads
+    /// and tiny buffers (heavy eviction).
+    #[test]
+    fn bptree_model_under_tiny_buffer(ops in prop::collection::vec((0u8..3, 0u64..200), 1..120)) {
+        let mut pool = BufferPool::new(PageStore::new(), 4);
+        let mut tree = BPlusTree::with_caps(&mut pool, 4, 4);
+        let mut model = std::collections::BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => { prop_assert_eq!(tree.insert(&mut pool, key, key + 1), model.insert(key, key + 1)); }
+                1 => { prop_assert_eq!(tree.remove(&mut pool, key), model.remove(&key)); }
+                _ => { prop_assert_eq!(tree.get(&mut pool, key), model.get(&key).copied()); }
+            }
+        }
+        let got = tree.entries(&mut pool);
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// PageMap never overlaps records and counts pages consistently.
+    #[test]
+    fn pagemap_spans_are_disjoint(sizes in prop::collection::vec(1usize..9000, 1..60)) {
+        let mut m = PageMap::new();
+        let mut spans = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            spans.push((m.insert(i as u64, *s), *s));
+        }
+        // Multi-page records own their pages exclusively.
+        for (i, &((start, span), size)) in spans.iter().enumerate() {
+            prop_assert!(span >= 1);
+            prop_assert!(size <= span as usize * PAGE_SIZE);
+            if span > 1 {
+                for (j, &((s2, sp2), _)) in spans.iter().enumerate() {
+                    if i != j {
+                        let a = start..start + span;
+                        let b = s2..s2 + sp2;
+                        prop_assert!(a.end <= b.start || b.end <= a.start,
+                            "record {i} span {a:?} overlaps record {j} span {b:?}");
+                    }
+                }
+            }
+        }
+        prop_assert!(m.num_pages() as u32 >= spans.iter().map(|&((s, sp), _)| s + sp).max().unwrap_or(0));
+    }
+}
