@@ -81,10 +81,7 @@ impl DistIdxEngine {
     /// the neighbour of `n` on the shortest path towards the object.
     fn compute_column(g: &RoadNetwork, kind: WeightKind, dij: &mut Dijkstra, o: Object) -> Column {
         let (a, b) = g.edge(o.edge).endpoints();
-        let seeds = [
-            (a, o.offset_from(g, kind, a)),
-            (b, o.offset_from(g, kind, b)),
-        ];
+        let seeds = [(a, o.offset_from(g, kind, a)), (b, o.offset_from(g, kind, b))];
         dij.expand_multi(g, kind, &seeds, |_, _| Control::Continue);
         let n = g.num_nodes();
         let mut dist = vec![f32::INFINITY; n];
@@ -170,7 +167,14 @@ impl DistIdxEngine {
     /// The edge lies on the column's shortest-path tree iff one endpoint's
     /// next hop is the other; a decrease can also create new shorter paths
     /// through the edge.
-    fn column_affected(&self, c: usize, u: NodeId, v: NodeId, new_w: Weight, old_w: Weight) -> bool {
+    fn column_affected(
+        &self,
+        c: usize,
+        u: NodeId,
+        v: NodeId,
+        new_w: Weight,
+        old_w: Weight,
+    ) -> bool {
         let col = &self.columns[c];
         if col.object.edge.index() < self.g.edge_slots() {
             let (a, b) = self.g.edge(col.object.edge).endpoints();
@@ -318,8 +322,9 @@ mod tests {
     fn signature_grows_index_size() {
         let g = simple::grid(9, 9, 1.0);
         let few = DistIdxEngine::build(g.clone(), WeightKind::Distance, vec![], 50);
-        let objects: Vec<Object> =
-            (0..50).map(|i| Object::new(ObjectId(i), EdgeId(i as u32), 0.5, CategoryId(0))).collect();
+        let objects: Vec<Object> = (0..50)
+            .map(|i| Object::new(ObjectId(i), EdgeId(i as u32), 0.5, CategoryId(0)))
+            .collect();
         let many = DistIdxEngine::build(g, WeightKind::Distance, objects, 50);
         assert!(many.index_size_bytes() > few.index_size_bytes() * 2);
     }
@@ -345,8 +350,7 @@ mod tests {
         e.set_edge_weight(EdgeId(72), Weight::new(50.0));
         let got = e.knn(NodeId(80), 3, &ObjectFilter::Any).hits;
         let fresh = {
-            let objects: Vec<Object> =
-                e.columns.iter().map(|c| c.object.clone()).collect();
+            let objects: Vec<Object> = e.columns.iter().map(|c| c.object.clone()).collect();
             let mut f = DistIdxEngine::build(e.g.clone(), WeightKind::Distance, objects, 50);
             f.knn(NodeId(80), 3, &ObjectFilter::Any).hits
         };

@@ -48,9 +48,8 @@ impl EuclideanEngine {
             let rtree = RTree::bulk_load(&points, RTree::DEFAULT_MAX_ENTRIES);
             let object_map: FastMap<u64, Object> =
                 objects.into_iter().map(|o| (o.id.0, o)).collect();
-            let clustering = NodeClustering::build(&g, |n| {
-                NODE_BASE_BYTES + ADJ_ENTRY_BYTES * g.degree(n)
-            });
+            let clustering =
+                NodeClustering::build(&g, |n| NODE_BASE_BYTES + ADJ_ENTRY_BYTES * g.degree(n));
             let astar = AStar::for_network(&g, kind);
             (rtree, object_map, clustering, astar)
         });
@@ -138,8 +137,7 @@ impl Engine for EuclideanEngine {
                 o,
             ) {
                 verified.push(SearchHit { object: ObjectId(oid), distance: d });
-                verified
-                    .sort_by(|x, y| x.distance.cmp(&y.distance).then(x.object.cmp(&y.object)));
+                verified.sort_by(|x, y| x.distance.cmp(&y.distance).then(x.object.cmp(&y.object)));
                 verified.truncate(k);
             }
         }
@@ -161,8 +159,7 @@ impl Engine for EuclideanEngine {
         let (candidates, visited) = if scale > 0.0 {
             self.rtree.range(from, radius.get() / scale)
         } else {
-            let all: Vec<(u64, f64)> =
-                self.objects.keys().map(|&oid| (oid, 0.0)).collect();
+            let all: Vec<(u64, f64)> = self.objects.keys().map(|&oid| (oid, 0.0)).collect();
             (all, Vec::new())
         };
         for n in visited {
@@ -227,9 +224,7 @@ impl Engine for EuclideanEngine {
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.clustering.size_bytes()
-            + self.rtree.size_bytes()
-            + self.objects.len() * OBJECT_BYTES
+        self.clustering.size_bytes() + self.rtree.size_bytes() + self.objects.len() * OBJECT_BYTES
     }
 
     fn build_seconds(&self) -> f64 {

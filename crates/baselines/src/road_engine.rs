@@ -170,7 +170,10 @@ impl RoadEngine {
         self.dir_pages = dir_pages;
     }
 
-    fn run(&mut self, query: impl FnOnce(&RoadFramework, &AssociationDirectory, &mut Obs) -> road_core::SearchResult) -> QueryCost {
+    fn run(
+        &mut self,
+        query: impl FnOnce(&RoadFramework, &AssociationDirectory, &mut Obs) -> road_core::SearchResult,
+    ) -> QueryCost {
         self.io.reset();
         let mut obs = Obs {
             clustering: &self.clustering,
@@ -233,9 +236,7 @@ impl Engine for RoadEngine {
 
     fn insert_object(&mut self, object: Object) -> UpdateCost {
         let (_, seconds) = timed(|| {
-            self.ad
-                .insert(self.fw.network(), self.fw.hierarchy(), object)
-                .expect("valid object");
+            self.ad.insert(self.fw.network(), self.fw.hierarchy(), object).expect("valid object");
             self.refresh_directory_pages();
         });
         UpdateCost { seconds }

@@ -82,8 +82,10 @@ fn all_engines_agree_on_knn_grid() {
     for trial in 0..12 {
         let node = NodeId(rng.random_range(0..g.num_nodes() as u32));
         let k = rng.random_range(1..6);
-        let results: Vec<(&'static str, Vec<SearchHit>)> =
-            engines.iter_mut().map(|e| (e.name(), e.knn(node, k, &ObjectFilter::Any).hits)).collect();
+        let results: Vec<(&'static str, Vec<SearchHit>)> = engines
+            .iter_mut()
+            .map(|e| (e.name(), e.knn(node, k, &ObjectFilter::Any).hits))
+            .collect();
         assert_agree(&results, &format!("knn trial {trial} node {node} k {k}"));
         assert_eq!(results[0].1.len(), k.min(objects.len()));
     }
@@ -127,8 +129,10 @@ fn all_engines_agree_on_ca_like_network() {
     let mut rng = StdRng::seed_from_u64(7);
     for trial in 0..6 {
         let node = NodeId(rng.random_range(0..g.num_nodes() as u32));
-        let results: Vec<(&'static str, Vec<SearchHit>)> =
-            engines.iter_mut().map(|e| (e.name(), e.knn(node, 3, &ObjectFilter::Any).hits)).collect();
+        let results: Vec<(&'static str, Vec<SearchHit>)> = engines
+            .iter_mut()
+            .map(|e| (e.name(), e.knn(node, 3, &ObjectFilter::Any).hits))
+            .collect();
         assert_agree(&results, &format!("CA trial {trial} node {node}"));
     }
 }
@@ -143,8 +147,10 @@ fn all_engines_agree_under_travel_time_metric() {
     let mut rng = StdRng::seed_from_u64(11);
     for trial in 0..5 {
         let node = NodeId(rng.random_range(0..g.num_nodes() as u32));
-        let results: Vec<(&'static str, Vec<SearchHit>)> =
-            engines.iter_mut().map(|e| (e.name(), e.knn(node, 2, &ObjectFilter::Any).hits)).collect();
+        let results: Vec<(&'static str, Vec<SearchHit>)> = engines
+            .iter_mut()
+            .map(|e| (e.name(), e.knn(node, 2, &ObjectFilter::Any).hits))
+            .collect();
         assert_agree(&results, &format!("travel-time trial {trial} node {node}"));
     }
 }
@@ -189,8 +195,10 @@ fn all_engines_agree_after_updates() {
             }
         }
         let node = NodeId(rng.random_range(0..g.num_nodes() as u32));
-        let results: Vec<(&'static str, Vec<SearchHit>)> =
-            engines.iter_mut().map(|e| (e.name(), e.knn(node, 3, &ObjectFilter::Any).hits)).collect();
+        let results: Vec<(&'static str, Vec<SearchHit>)> = engines
+            .iter_mut()
+            .map(|e| (e.name(), e.knn(node, 3, &ObjectFilter::Any).hits))
+            .collect();
         assert_agree(&results, &format!("update step {step}"));
     }
 }

@@ -50,13 +50,22 @@ fn bench_rtree(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     let pts: Vec<(road_network::Point, u64)> = (0..10_000)
         .map(|i| {
-            (road_network::Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)), i)
+            (
+                road_network::Point::new(
+                    rng.random_range(0.0..1000.0),
+                    rng.random_range(0.0..1000.0),
+                ),
+                i,
+            )
         })
         .collect();
     let tree = RTree::bulk_load(&pts, 64);
     c.bench_function("rtree_knn10_of_10k", |b| {
         b.iter(|| {
-            let p = road_network::Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0));
+            let p = road_network::Point::new(
+                rng.random_range(0.0..1000.0),
+                rng.random_range(0.0..1000.0),
+            );
             black_box(tree.nearest(p).take(10).count())
         })
     });

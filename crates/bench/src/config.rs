@@ -19,9 +19,11 @@ pub struct ExpScale {
 }
 
 /// CI-sized runs.
-pub const SMALL: ExpScale = ExpScale { name: "small", ca: 0.04, big: 0.012, queries: 15, trials: 8 };
+pub const SMALL: ExpScale =
+    ExpScale { name: "small", ca: 0.04, big: 0.012, queries: 15, trials: 8 };
 /// CA at paper size, NA/SF at a quarter (default).
-pub const MEDIUM: ExpScale = ExpScale { name: "medium", ca: 1.0, big: 0.25, queries: 50, trials: 25 };
+pub const MEDIUM: ExpScale =
+    ExpScale { name: "medium", ca: 1.0, big: 0.25, queries: 50, trials: 25 };
 /// The paper's exact sizes.
 pub const FULL: ExpScale = ExpScale { name: "full", ca: 1.0, big: 1.0, queries: 100, trials: 100 };
 

@@ -38,14 +38,22 @@ fn distribution(ctx: &Ctx) {
     let mut rows = Vec::new();
     for (label, objects) in [
         ("uniform", workload::uniform_objects(&g, count, ctx.params.seed + 32)),
-        ("clustered (4 hot spots)", workload::clustered_objects(&g, count, 4, ctx.params.seed + 33)),
+        (
+            "clustered (4 hot spots)",
+            workload::clustered_objects(&g, count, 4, ctx.params.seed + 33),
+        ),
     ] {
         let mut row = vec![label.to_string()];
         let mut times = Vec::new();
         for kind in [EngineKind::NetExp, EngineKind::Road] {
             let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
-            let stats =
-                runner::measure_knn(engine.as_mut(), &nodes, ctx.params.k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_knn(
+                engine.as_mut(),
+                &nodes,
+                ctx.params.k,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             times.push(stats.avg_ms);
             row.push(fmt_ms(stats.avg_ms));
         }
@@ -78,7 +86,13 @@ fn pruning(ctx: &Ctx) {
             RoadEngineConfig { fanout: ctx.params.fanout, levels, prune_transitive: prune },
         )
         .expect("framework builds");
-        let stats = runner::measure_knn(&mut engine, &nodes, ctx.params.k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+        let stats = runner::measure_knn(
+            &mut engine,
+            &nodes,
+            ctx.params.k,
+            &ObjectFilter::Any,
+            ctx.params.io_ms_per_fault,
+        );
         rows.push(vec![
             label.to_string(),
             engine.framework().shortcuts().num_shortcuts().to_string(),
@@ -112,7 +126,8 @@ fn abstracts(ctx: &Ctx) {
         .expect("framework builds");
 
     let mut rows = Vec::new();
-    for (label, kind) in [("exact counts", AbstractKind::Counts), ("counting Bloom", AbstractKind::Bloom)]
+    for (label, kind) in
+        [("exact counts", AbstractKind::Counts), ("counting Bloom", AbstractKind::Bloom)]
     {
         let mut ad = AssociationDirectory::with_kind(fw.hierarchy(), kind);
         for o in &objects {

@@ -42,9 +42,5 @@ pub fn run(ctx: &Ctx) {
         &header,
         &time_rows,
     );
-    print_table(
-        &format!("Figure 13b — index size on {}", ds.name()),
-        &header,
-        &size_rows,
-    );
+    print_table(&format!("Figure 13b — index size on {}", ds.name()), &header, &size_rows);
 }

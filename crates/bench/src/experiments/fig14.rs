@@ -16,12 +16,8 @@ pub fn run(ctx: &Ctx) {
         let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
         let count = ctx.scaled_count(ctx.params.objects, ctx.scale.factor(ds));
         let objects = workload::uniform_objects(&g, count, ctx.params.seed + 14);
-        let mut time_row = vec![format!(
-            "{} ({}n/{}e, l={levels})",
-            ds.name(),
-            g.num_nodes(),
-            g.num_edges()
-        )];
+        let mut time_row =
+            vec![format!("{} ({}n/{}e, l={levels})", ds.name(), g.num_nodes(), g.num_edges())];
         let mut size_row = vec![ds.name().to_string()];
         for kind in EngineKind::ALL {
             let engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);

@@ -60,7 +60,13 @@ fn run_vary_k(ctx: &Ctx) {
         let mut row = vec![format!("k={k}")];
         let mut io = vec![format!("k={k}")];
         for engine in engines.iter_mut() {
-            let stats = runner::measure_knn(engine.as_mut(), &nodes, k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_knn(
+                engine.as_mut(),
+                &nodes,
+                k,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             row.push(fmt_ms(stats.avg_ms));
             io.push(fmt_f(stats.avg_faults));
         }
@@ -69,7 +75,17 @@ fn run_vary_k(ctx: &Ctx) {
     }
     print_table(
         &format!("Figure 17a — kNN on {} (|O| = 100): time (ms) and I/O (pages)", ds.name()),
-        &["k", "NetExp", "Euclidean", "DistIdx", "ROAD", "NetExp io", "Euclidean io", "DistIdx io", "ROAD io"],
+        &[
+            "k",
+            "NetExp",
+            "Euclidean",
+            "DistIdx",
+            "ROAD",
+            "NetExp io",
+            "Euclidean io",
+            "DistIdx io",
+            "ROAD io",
+        ],
         &rows,
     );
 }
@@ -88,8 +104,13 @@ fn run_vary_objects(ctx: &Ctx) {
         let mut row = vec![format!("{base}")];
         for kind in EngineKind::ALL {
             let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
-            let stats =
-                runner::measure_knn(engine.as_mut(), &nodes, ctx.params.k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_knn(
+                engine.as_mut(),
+                &nodes,
+                ctx.params.k,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             row.push(fmt_ms(stats.avg_ms));
         }
         rows.push(row);
@@ -112,8 +133,13 @@ fn run_vary_network(ctx: &Ctx) {
         let mut row = vec![ds.name().to_string()];
         for kind in EngineKind::ALL {
             let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
-            let stats =
-                runner::measure_knn(engine.as_mut(), &nodes, ctx.params.k, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_knn(
+                engine.as_mut(),
+                &nodes,
+                ctx.params.k,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             row.push(fmt_ms(stats.avg_ms));
         }
         rows.push(row);

@@ -42,7 +42,13 @@ fn run_vary_r(ctx: &Ctx) {
         let radius = Weight::new(diameter.get() * frac);
         let mut row = vec![format!("r={frac}·diam")];
         for engine in engines.iter_mut() {
-            let stats = runner::measure_range(engine.as_mut(), &nodes, radius, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_range(
+                engine.as_mut(),
+                &nodes,
+                radius,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             row.push(fmt_ms(stats.avg_ms));
         }
         rows.push(row);
@@ -70,7 +76,13 @@ fn run_vary_objects(ctx: &Ctx) {
         let mut row = vec![format!("{base}")];
         for kind in EngineKind::ALL {
             let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
-            let stats = runner::measure_range(engine.as_mut(), &nodes, radius, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_range(
+                engine.as_mut(),
+                &nodes,
+                radius,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             row.push(fmt_ms(stats.avg_ms));
         }
         rows.push(row);
@@ -98,7 +110,13 @@ fn run_vary_network(ctx: &Ctx) {
         let mut row = vec![ds.name().to_string()];
         for kind in EngineKind::ALL {
             let mut engine = runner::build_engine(kind, &g, &objects, &ctx.params, levels);
-            let stats = runner::measure_range(engine.as_mut(), &nodes, radius, &ObjectFilter::Any, ctx.params.io_ms_per_fault);
+            let stats = runner::measure_range(
+                engine.as_mut(),
+                &nodes,
+                radius,
+                &ObjectFilter::Any,
+                ctx.params.io_ms_per_fault,
+            );
             row.push(fmt_ms(stats.avg_ms));
         }
         rows.push(row);

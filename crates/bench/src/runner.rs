@@ -66,11 +66,7 @@ pub fn build_engine(
                 params.metric,
                 objects.to_vec(),
                 params.buffer_pages,
-                RoadEngineConfig {
-                    fanout: params.fanout,
-                    levels,
-                    prune_transitive: true,
-                },
+                RoadEngineConfig { fanout: params.fanout, levels, prune_transitive: true },
             )
             .expect("framework builds"),
         ),
@@ -157,7 +153,8 @@ mod tests {
             assert_eq!(e.name(), kind.name());
             let stats = measure_knn(e.as_mut(), &nodes, 3, &ObjectFilter::Any, 2.0);
             assert!(stats.avg_ms >= 0.0);
-            let stats = measure_range(e.as_mut(), &nodes, Weight::new(5.0), &ObjectFilter::Any, 2.0);
+            let stats =
+                measure_range(e.as_mut(), &nodes, Weight::new(5.0), &ObjectFilter::Any, 2.0);
             assert!(stats.avg_faults >= 0.0);
         }
     }

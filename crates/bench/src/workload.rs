@@ -11,7 +11,8 @@ use road_network::{EdgeId, NodeId};
 /// uniform along the edge — spatially uniform placement.
 pub fn uniform_objects(g: &RoadNetwork, count: usize, seed: u64) -> Vec<Object> {
     let edges: Vec<EdgeId> = g.edge_ids().collect();
-    let lengths: Vec<f64> = edges.iter().map(|&e| g.weight(e, WeightKind::Distance).get()).collect();
+    let lengths: Vec<f64> =
+        edges.iter().map(|&e| g.weight(e, WeightKind::Distance).get()).collect();
     let total: f64 = lengths.iter().sum();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);

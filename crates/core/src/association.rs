@@ -163,11 +163,7 @@ impl AssociationDirectory {
 
     /// Objects associated with node `n` (those on its incident edges).
     pub fn objects_at_node(&self, n: NodeId) -> impl Iterator<Item = &Object> {
-        self.node_objects
-            .get(&n.0)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| self.objects.get(&id.0))
+        self.node_objects.get(&n.0).into_iter().flatten().filter_map(|id| self.objects.get(&id.0))
     }
 
     /// `true` when some object is associated with node `n`.
@@ -177,11 +173,7 @@ impl AssociationDirectory {
 
     /// Objects on edge `e`.
     pub fn objects_on_edge(&self, e: EdgeId) -> impl Iterator<Item = &Object> {
-        self.edge_objects
-            .get(&e.0)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| self.objects.get(&id.0))
+        self.edge_objects.get(&e.0).into_iter().flatten().filter_map(|id| self.objects.get(&id.0))
     }
 
     /// The abstract of an Rnet.
@@ -233,11 +225,7 @@ impl AssociationDirectory {
         for o in self.objects.values() {
             let (a, b) = g.edge(o.edge).endpoints();
             for n in [a, b] {
-                let ok = self
-                    .node_objects
-                    .get(&n.0)
-                    .map(|v| v.contains(&o.id))
-                    .unwrap_or(false);
+                let ok = self.node_objects.get(&n.0).map(|v| v.contains(&o.id)).unwrap_or(false);
                 if !ok {
                     return Err(format!("{:?} missing from node {n} association", o.id));
                 }
@@ -299,10 +287,7 @@ mod tests {
         let mut ad = AssociationDirectory::new(&hier);
         let e = g.edge_ids().next().unwrap();
         ad.insert(&g, &hier, obj(1, e, 0)).unwrap();
-        assert!(matches!(
-            ad.insert(&g, &hier, obj(1, e, 0)),
-            Err(RoadError::DuplicateObject(_))
-        ));
+        assert!(matches!(ad.insert(&g, &hier, obj(1, e, 0)), Err(RoadError::DuplicateObject(_))));
         assert!(matches!(ad.remove(&g, &hier, ObjectId(9)), Err(RoadError::UnknownObject(_))));
     }
 

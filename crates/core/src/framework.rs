@@ -437,8 +437,12 @@ impl RoadFramework {
     /// as expensive as constructing the framework).
     pub fn verify(&self) -> Result<(), String> {
         self.hier.validate(&self.g)?;
-        self.shortcuts
-            .verify_against_rebuild(&self.g, &self.hier, self.cfg.metric, &self.cfg.shortcuts)
+        self.shortcuts.verify_against_rebuild(
+            &self.g,
+            &self.hier,
+            self.cfg.metric,
+            &self.cfg.shortcuts,
+        )
     }
 }
 

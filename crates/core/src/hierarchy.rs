@@ -603,10 +603,7 @@ mod tests {
             assert!(at_bl >= 2, "{n} borders only {at_bl} Rnet at level {bl}");
         }
         assert!(border_count > 0, "a partitioned grid must have border nodes");
-        assert!(
-            border_count < g.num_nodes(),
-            "not every node should be a border node"
-        );
+        assert!(border_count < g.num_nodes(), "not every node should be a border node");
     }
 
     #[test]

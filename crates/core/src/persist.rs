@@ -161,8 +161,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
             return Err(corrupt(format!("live edge {e} has no leaf assignment")));
         }
     }
-    let hier =
-        RnetHierarchy::from_leaf_assignment(&g, fanout, levels, |e| leaf_idx[e.index()])?;
+    let hier = RnetHierarchy::from_leaf_assignment(&g, fanout, levels, |e| leaf_idx[e.index()])?;
 
     // --- shortcuts -----------------------------------------------------
     let mut pos = r.pos;
@@ -185,7 +184,6 @@ pub fn save_to(fw: &RoadFramework, path: impl AsRef<std::path::Path>) -> std::io
 
 /// Loads from a file.
 pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<RoadFramework, RoadError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| corrupt(format!("cannot read file: {e}")))?;
+    let bytes = std::fs::read(path).map_err(|e| corrupt(format!("cannot read file: {e}")))?;
     from_bytes(&bytes)
 }

@@ -256,12 +256,8 @@ impl SearchResult {
         let object = ad.object(hit.object)?;
         let (a, b) = fw.network().edge(object.edge).endpoints();
         let kind = fw.metric();
-        let via_a = self
-            .distance_to_node(a)
-            .map(|d| d + object.offset_from(fw.network(), kind, a));
-        let via_b = self
-            .distance_to_node(b)
-            .map(|d| d + object.offset_from(fw.network(), kind, b));
+        let via_a = self.distance_to_node(a).map(|d| d + object.offset_from(fw.network(), kind, a));
+        let via_b = self.distance_to_node(b).map(|d| d + object.offset_from(fw.network(), kind, b));
         let endpoint = match (via_a, via_b) {
             (Some(da), Some(db)) => {
                 if da <= db {
@@ -416,16 +412,12 @@ pub(crate) fn execute(
                     continue;
                 }
                 let top_level = hier.level_of(bordered[0]);
-                let mut stack: Vec<RnetId> = bordered
-                    .iter()
-                    .copied()
-                    .filter(|&r| hier.level_of(r) == top_level)
-                    .collect();
+                let mut stack: Vec<RnetId> =
+                    bordered.iter().copied().filter(|&r| hier.level_of(r) == top_level).collect();
                 while let Some(r) = stack.pop() {
                     stats.abstract_checks += 1;
                     observer.abstract_checked(r);
-                    let may_match =
-                        ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false);
+                    let may_match = ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false);
                     let must_enter = match mode {
                         Mode::ToNode(t) => rnet_contains_node(fw, r, t),
                         _ => false,
@@ -473,9 +465,7 @@ fn rnet_contains_node(fw: &RoadFramework, r: RnetId, t: NodeId) -> bool {
         return true;
     }
     let lv = hier.level_of(r);
-    fw.network()
-        .neighbors(t)
-        .any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r)
+    fw.network().neighbors(t).any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r)
 }
 
 /// Brute-force oracle used by tests and benchmarks: plain network

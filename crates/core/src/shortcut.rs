@@ -151,10 +151,7 @@ impl ShortcutStore {
         };
         let (fa, fb) = (flatten(a), flatten(b));
         fa.len() == fb.len()
-            && fa
-                .iter()
-                .zip(&fb)
-                .all(|(x, y)| x.0 == y.0 && x.1 == y.1 && x.2.approx_eq(y.2))
+            && fa.iter().zip(&fb).all(|(x, y)| x.0 == y.0 && x.1 == y.1 && x.2.approx_eq(y.2))
     }
 
     /// Computes the shortcut map of one Rnet from the network (finest
@@ -199,10 +196,8 @@ impl ShortcutStore {
             }
         }
         // --- Dijkstra per border --------------------------------------
-        let border_locals: Vec<u32> = borders
-            .iter()
-            .filter_map(|&b| scratch.local_of.get(&b.0).copied())
-            .collect();
+        let border_locals: Vec<u32> =
+            borders.iter().filter_map(|&b| scratch.local_of.get(&b.0).copied()).collect();
         if border_locals.len() < 2 {
             return out;
         }
@@ -263,8 +258,7 @@ impl ShortcutStore {
         if hier.is_leaf(r) {
             for hop in seq.windows(2) {
                 let e = g.edge_between(hop[0], hop[1])?;
-                let seg =
-                    Path::from_parts(vec![hop[0], hop[1]], vec![e], g.weight(e, kind));
+                let seg = Path::from_parts(vec![hop[0], hop[1]], vec![e], g.weight(e, kind));
                 path.extend(&seg);
             }
         } else {
@@ -561,21 +555,39 @@ mod tests {
         let e = g.edge_ids().next().unwrap();
         let leaf = hier.leaf_of_edge(e);
         // No-op refresh: nothing changed.
-        let changed =
-            store.refresh_rnet(&g, &hier, WeightKind::Distance, leaf, &Default::default(), &mut scratch);
+        let changed = store.refresh_rnet(
+            &g,
+            &hier,
+            WeightKind::Distance,
+            leaf,
+            &Default::default(),
+            &mut scratch,
+        );
         assert!(!changed, "refresh without a weight change must be a no-op");
         // Make the edge very expensive and refresh.
         g.set_weight(e, WeightKind::Distance, Weight::new(100.0)).unwrap();
-        store.refresh_rnet(&g, &hier, WeightKind::Distance, leaf, &Default::default(), &mut scratch);
+        store.refresh_rnet(
+            &g,
+            &hier,
+            WeightKind::Distance,
+            leaf,
+            &Default::default(),
+            &mut scratch,
+        );
         // Full rebuild equivalence after refreshing every ancestor chain.
         let mut r = leaf;
         while r.is_valid() {
-            store.refresh_rnet(&g, &hier, WeightKind::Distance, r, &Default::default(), &mut scratch);
+            store.refresh_rnet(
+                &g,
+                &hier,
+                WeightKind::Distance,
+                r,
+                &Default::default(),
+                &mut scratch,
+            );
             r = hier.parent(r);
         }
-        store
-            .verify_against_rebuild(&g, &hier, WeightKind::Distance, &Default::default())
-            .unwrap();
+        store.verify_against_rebuild(&g, &hier, WeightKind::Distance, &Default::default()).unwrap();
     }
 
     #[test]
@@ -583,8 +595,7 @@ mod tests {
         let g = road_network::generator::Dataset::CaHighways.generate_scaled(0.02, 5).unwrap();
         let cfg = HierarchyConfig { fanout: 4, levels: 2, ..Default::default() };
         let hier = RnetHierarchy::build(&g, &cfg).unwrap();
-        let dist_store =
-            ShortcutStore::build(&g, &hier, WeightKind::Distance, &Default::default());
+        let dist_store = ShortcutStore::build(&g, &hier, WeightKind::Distance, &Default::default());
         let time_store =
             ShortcutStore::build(&g, &hier, WeightKind::TravelTime, &Default::default());
         // Same topology, different weights.

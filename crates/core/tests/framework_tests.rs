@@ -81,9 +81,10 @@ fn knn_with_category_filter_matches_oracle() {
         let got = fw.knn(&ad, &q).unwrap();
         let want = oracle_knn(&fw, &ad, &q);
         assert_hits_equal(&got.hits, &want, &format!("cat {cat}"));
-        assert!(got.hits.iter().all(|h| {
-            ad.object(h.object).unwrap().category == CategoryId(cat)
-        }));
+        assert!(got
+            .hits
+            .iter()
+            .all(|h| { ad.object(h.object).unwrap().category == CategoryId(cat) }));
     }
 }
 
@@ -573,8 +574,12 @@ fn disconnected_component_objects_are_unreachable() {
     let near_edge = fw.network().edge_between(NodeId(0), NodeId(1)).unwrap();
     ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(1), far_edge, 0.5, CategoryId(0)))
         .unwrap();
-    ad.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(2), near_edge, 0.5, CategoryId(0)))
-        .unwrap();
+    ad.insert(
+        fw.network(),
+        fw.hierarchy(),
+        Object::new(ObjectId(2), near_edge, 0.5, CategoryId(0)),
+    )
+    .unwrap();
     let res = fw.knn(&ad, &KnnQuery::new(NodeId(0), 5)).unwrap();
     assert_eq!(res.hits.len(), 1, "only the same-component object is reachable");
     assert_eq!(res.hits[0].object, ObjectId(2));

@@ -42,10 +42,7 @@ fn roundtrip_preserves_everything() {
     assert_eq!(restored.hierarchy().fanout(), original.hierarchy().fanout());
     assert_eq!(restored.network().num_nodes(), original.network().num_nodes());
     assert_eq!(restored.network().num_edges(), original.network().num_edges());
-    assert_eq!(
-        restored.shortcuts().num_shortcuts(),
-        original.shortcuts().num_shortcuts()
-    );
+    assert_eq!(restored.shortcuts().num_shortcuts(), original.shortcuts().num_shortcuts());
     // The restored overlay is exactly what a fresh rebuild would produce.
     restored.verify().unwrap();
 
@@ -68,7 +65,8 @@ fn roundtrip_preserves_everything() {
 
 #[test]
 fn roundtrip_with_tombstoned_edges_and_maintenance() {
-    let mut fw = RoadFramework::builder(simple::grid(9, 9, 1.0)).fanout(2).levels(3).build().unwrap();
+    let mut fw =
+        RoadFramework::builder(simple::grid(9, 9, 1.0)).fanout(2).levels(3).build().unwrap();
     // Mutate before saving: weight changes and a structural deletion.
     let e0 = fw.network().edge_ids().next().unwrap();
     fw.set_edge_weight(e0, Weight::new(7.5)).unwrap();

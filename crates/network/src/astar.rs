@@ -137,7 +137,8 @@ impl AStar {
                 }
                 let nd = du + w;
                 let vi = v.index();
-                let cur = if self.stamp[vi] == self.round { self.dist[vi] } else { Weight::INFINITY };
+                let cur =
+                    if self.stamp[vi] == self.round { self.dist[vi] } else { Weight::INFINITY };
                 if nd < cur {
                     self.dist[vi] = nd;
                     self.pred_node[vi] = u;
@@ -201,7 +202,8 @@ mod tests {
         let g = simple::grid(6, 5, 1.0);
         let mut astar = AStar::for_network(&g, WeightKind::Distance);
         for (a, b) in [(0u32, 29u32), (3, 17), (5, 24), (0, 0)] {
-            let want = dijkstra::shortest_path_weight(&g, WeightKind::Distance, NodeId(a), NodeId(b));
+            let want =
+                dijkstra::shortest_path_weight(&g, WeightKind::Distance, NodeId(a), NodeId(b));
             let got = astar.one_to_one(&g, WeightKind::Distance, NodeId(a), NodeId(b));
             assert_eq!(got, want, "{a} -> {b}");
         }

@@ -274,12 +274,7 @@ pub fn shortest_path_weight(
 }
 
 /// One-shot convenience: shortest path between two nodes.
-pub fn shortest_path(
-    g: &RoadNetwork,
-    kind: WeightKind,
-    src: NodeId,
-    dst: NodeId,
-) -> Option<Path> {
+pub fn shortest_path(g: &RoadNetwork, kind: WeightKind, src: NodeId, dst: NodeId) -> Option<Path> {
     Dijkstra::for_network(g).shortest_path(g, kind, src, dst)
 }
 
@@ -395,7 +390,8 @@ impl LocalDijkstra {
                 }
                 let nd = d + le.weight;
                 let vi = le.to as usize;
-                let cur = if self.stamp[vi] == self.round { self.dist[vi] } else { Weight::INFINITY };
+                let cur =
+                    if self.stamp[vi] == self.round { self.dist[vi] } else { Weight::INFINITY };
                 if nd < cur {
                     self.dist[vi] = nd;
                     self.pred_node[vi] = u;
@@ -469,9 +465,15 @@ mod tests {
     fn one_to_one_takes_the_short_route() {
         let g = diamond();
         let mut d = Dijkstra::for_network(&g);
-        assert_eq!(d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(3)), Some(Weight::new(2.0)));
+        assert_eq!(
+            d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(3)),
+            Some(Weight::new(2.0))
+        );
         // node 2 is reached more cheaply through 3 than directly
-        assert_eq!(d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(2)), Some(Weight::new(3.0)));
+        assert_eq!(
+            d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(2)),
+            Some(Weight::new(3.0))
+        );
     }
 
     #[test]
@@ -521,8 +523,14 @@ mod tests {
         let g = diamond();
         let mut d = Dijkstra::for_network(&g);
         for _ in 0..100 {
-            assert_eq!(d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(3)), Some(Weight::new(2.0)));
-            assert_eq!(d.one_to_one(&g, WeightKind::Distance, NodeId(3), NodeId(0)), Some(Weight::new(2.0)));
+            assert_eq!(
+                d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(3)),
+                Some(Weight::new(2.0))
+            );
+            assert_eq!(
+                d.one_to_one(&g, WeightKind::Distance, NodeId(3), NodeId(0)),
+                Some(Weight::new(2.0))
+            );
         }
         // labels from the previous run (source 3) don't leak
         assert_eq!(d.distance(NodeId(3)), Some(Weight::ZERO));
@@ -585,7 +593,10 @@ mod tests {
         g.set_weight(EdgeId(0), WeightKind::Distance, Weight::INFINITY).unwrap();
         let mut d = Dijkstra::for_network(&g);
         // must go the long way now
-        assert_eq!(d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(3)), Some(Weight::new(4.0)));
+        assert_eq!(
+            d.one_to_one(&g, WeightKind::Distance, NodeId(0), NodeId(3)),
+            Some(Weight::new(4.0))
+        );
     }
 
     #[test]

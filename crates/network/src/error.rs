@@ -39,7 +39,9 @@ impl fmt::Display for NetworkError {
                 write!(f, "an edge between {a} and {b} already exists")
             }
             NetworkError::EdgeDeleted(e) => write!(f, "edge {e} has been deleted"),
-            NetworkError::InfeasibleTargets(msg) => write!(f, "infeasible generator targets: {msg}"),
+            NetworkError::InfeasibleTargets(msg) => {
+                write!(f, "infeasible generator targets: {msg}")
+            }
         }
     }
 }

@@ -70,7 +70,8 @@ impl Dataset {
         // Preserve the cyclomatic number proportionally; it controls how
         // "loopy" the network is, which is what distinguishes SF from NA.
         let cyclomatic = self.edge_target() as i64 - self.node_target() as i64;
-        let edges = (nodes as i64 + (cyclomatic as f64 * scale).round() as i64).max(nodes as i64) as usize;
+        let edges =
+            (nodes as i64 + (cyclomatic as f64 * scale).round() as i64).max(nodes as i64) as usize;
         match self {
             Dataset::CaHighways | Dataset::NaHighways => {
                 let backbone = match self {

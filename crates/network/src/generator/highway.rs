@@ -208,7 +208,8 @@ fn knn_candidates(pts: &[(f64, f64)], extent: f64, k: usize) -> Vec<(f64, u32, u
                     }
                 }
             }
-            if near.len() >= k || (x0 == 0 && y0 == 0 && x1 == cells_per_side - 1 && y1 == cells_per_side - 1)
+            if near.len() >= k
+                || (x0 == 0 && y0 == 0 && x1 == cells_per_side - 1 && y1 == cells_per_side - 1)
             {
                 break;
             }
@@ -341,7 +342,8 @@ mod tests {
 
     #[test]
     fn rejects_infeasible_targets() {
-        let bad = HighwayConfig { nodes: 100, edges: 10, backbone_nodes: 50, extent: 10.0, seed: 1 };
+        let bad =
+            HighwayConfig { nodes: 100, edges: 10, backbone_nodes: 50, extent: 10.0, seed: 1 };
         assert!(matches!(generate(&bad), Err(NetworkError::InfeasibleTargets(_))));
         let bad = HighwayConfig { nodes: 10, edges: 12, backbone_nodes: 40, extent: 10.0, seed: 1 };
         assert!(matches!(generate(&bad), Err(NetworkError::InfeasibleTargets(_))));

@@ -134,14 +134,8 @@ fn push_road_edge<R: Rng>(
     let speed = class.speed_kmh * rng.random_range(0.9..1.1);
     let travel_time = if speed > 0.0 { distance / speed * 60.0 } else { 0.0 };
     let toll = distance * class.toll_rate;
-    b.add_edge_full(
-        a,
-        c,
-        Weight::new(distance),
-        Weight::new(travel_time),
-        Weight::new(toll),
-    )
-    .expect("generator produced an invalid edge");
+    b.add_edge_full(a, c, Weight::new(distance), Weight::new(travel_time), Weight::new(toll))
+        .expect("generator produced an invalid edge");
 }
 
 #[cfg(test)]

@@ -33,7 +33,8 @@ pub fn grid(w: usize, h: usize, spacing: f64) -> RoadNetwork {
 pub fn chain(n: usize, edge_len: f64) -> RoadNetwork {
     assert!(n >= 1);
     let mut b = NetworkBuilder::with_capacity(n, n.saturating_sub(1));
-    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(Point::new(i as f64 * edge_len, 0.0))).collect();
+    let ids: Vec<NodeId> =
+        (0..n).map(|i| b.add_node(Point::new(i as f64 * edge_len, 0.0))).collect();
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1], edge_len).unwrap();
     }

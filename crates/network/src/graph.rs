@@ -33,7 +33,8 @@ pub enum WeightKind {
 
 impl WeightKind {
     /// All supported metrics, handy for exhaustive tests.
-    pub const ALL: [WeightKind; 3] = [WeightKind::Distance, WeightKind::TravelTime, WeightKind::Toll];
+    pub const ALL: [WeightKind; 3] =
+        [WeightKind::Distance, WeightKind::TravelTime, WeightKind::Toll];
 }
 
 /// One road segment.
@@ -163,11 +164,7 @@ impl RoadNetwork {
 
     /// All live edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, rec)| !rec.deleted)
-            .map(|(i, _)| EdgeId(i as u32))
+        self.edges.iter().enumerate().filter(|(_, rec)| !rec.deleted).map(|(i, _)| EdgeId(i as u32))
     }
 
     /// The live edge between `a` and `b`, if any.
@@ -346,10 +343,7 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Pre-allocates for the expected sizes.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        NetworkBuilder {
-            coords: Vec::with_capacity(nodes),
-            edges: Vec::with_capacity(edges),
-        }
+        NetworkBuilder { coords: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
     }
 
     /// Number of nodes added so far.
@@ -371,7 +365,12 @@ impl NetworkBuilder {
 
     /// Adds an edge whose three metrics are all `distance` (tests and simple
     /// examples rarely care about time/toll).
-    pub fn add_edge(&mut self, a: NodeId, b: NodeId, distance: f64) -> Result<EdgeId, NetworkError> {
+    pub fn add_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        distance: f64,
+    ) -> Result<EdgeId, NetworkError> {
         let w = Weight::try_new(distance)?;
         self.add_edge_full(a, b, w, w, Weight::ZERO)
     }
@@ -469,9 +468,8 @@ mod tests {
         let mut b = RoadNetwork::builder();
         let n0 = b.add_node(Point::new(0.0, 0.0));
         let n1 = b.add_node(Point::new(1.0, 0.0));
-        let e = b
-            .add_edge_full(n0, n1, Weight::new(10.0), Weight::new(2.0), Weight::new(0.5))
-            .unwrap();
+        let e =
+            b.add_edge_full(n0, n1, Weight::new(10.0), Weight::new(2.0), Weight::new(0.5)).unwrap();
         let g = b.build();
         assert_eq!(g.weight(e, WeightKind::Distance), Weight::new(10.0));
         assert_eq!(g.weight(e, WeightKind::TravelTime), Weight::new(2.0));
@@ -509,9 +507,8 @@ mod tests {
         let n3 = g.add_node(Point::new(2.0, 2.0));
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.degree(n3), 0);
-        let e = g
-            .add_edge(NodeId(0), n3, Weight::new(4.0), Weight::new(4.0), Weight::ZERO)
-            .unwrap();
+        let e =
+            g.add_edge(NodeId(0), n3, Weight::new(4.0), Weight::new(4.0), Weight::ZERO).unwrap();
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.other_endpoint(e, n3), NodeId(0));
         assert!(matches!(

@@ -148,11 +148,7 @@ impl SideCounts {
             counts.entry(a.0).or_insert([0, 0])[s] += 1;
             counts.entry(b.0).or_insert([0, 0])[s] += 1;
         }
-        let border = counts
-            .iter()
-            .filter(|(_, c)| c[0] > 0 && c[1] > 0)
-            .map(|(&n, _)| n)
-            .collect();
+        let border = counts.iter().filter(|(_, c)| c[0] > 0 && c[1] > 0).map(|(&n, _)| n).collect();
         SideCounts { counts, border }
     }
 

@@ -333,9 +333,7 @@ impl RTree {
         let rect = if node.leaf {
             Rect::covering(node.entries.iter().map(|e| e.0))
         } else {
-            node.children
-                .iter()
-                .fold(Rect::EMPTY, |r, &c| r.union(&self.nodes[c as usize].rect))
+            node.children.iter().fold(Rect::EMPTY, |r, &c| r.union(&self.nodes[c as usize].rect))
         };
         self.nodes[idx as usize].rect = rect;
     }
@@ -436,7 +434,10 @@ impl RTree {
     pub fn nearest(&self, from: Point) -> NearestIter<'_> {
         let mut heap = BinaryHeap::new();
         if self.len > 0 {
-            heap.push(Reverse((OrdF64(self.nodes[self.root as usize].rect.min_distance(from)), HeapItem::Node(self.root))));
+            heap.push(Reverse((
+                OrdF64(self.nodes[self.root as usize].rect.min_distance(from)),
+                HeapItem::Node(self.root),
+            )));
         }
         NearestIter { tree: self, from, heap, visited_nodes: Vec::new() }
     }
@@ -476,7 +477,12 @@ impl RTree {
 
     /// Checks structural invariants; used by tests.
     pub fn validate(&self) -> Result<(), String> {
-        fn check(tree: &RTree, cur: u32, depth: usize, leaf_depth: &mut Option<usize>) -> Result<usize, String> {
+        fn check(
+            tree: &RTree,
+            cur: u32,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> Result<usize, String> {
             let node = &tree.nodes[cur as usize];
             if node.leaf {
                 match *leaf_depth {
@@ -566,7 +572,10 @@ impl Iterator for NearestIter<'_> {
                     let node = &self.tree.nodes[n as usize];
                     if node.leaf {
                         for &(p, id) in &node.entries {
-                            self.heap.push(Reverse((OrdF64(p.distance(self.from)), HeapItem::Entry(id))));
+                            self.heap.push(Reverse((
+                                OrdF64(p.distance(self.from)),
+                                HeapItem::Entry(id),
+                            )));
                         }
                     } else {
                         for &c in &node.children {
@@ -590,7 +599,9 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<(Point, u64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| (Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)), i as u64))
+            .map(|i| {
+                (Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)), i as u64)
+            })
             .collect()
     }
 
@@ -636,11 +647,8 @@ mod tests {
         let center = Point::new(500.0, 500.0);
         let (mut got, visited) = t.range(center, 150.0);
         got.sort_by_key(|&(id, _)| id);
-        let mut want: Vec<u64> = pts
-            .iter()
-            .filter(|&&(p, _)| p.distance(center) <= 150.0)
-            .map(|&(_, id)| id)
-            .collect();
+        let mut want: Vec<u64> =
+            pts.iter().filter(|&&(p, _)| p.distance(center) <= 150.0).map(|&(_, id)| id).collect();
         want.sort_unstable();
         assert_eq!(got.iter().map(|&(id, _)| id).collect::<Vec<_>>(), want);
         assert!(!visited.is_empty());

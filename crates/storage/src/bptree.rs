@@ -43,18 +43,30 @@ pub struct BPlusTree {
 struct BNode {
     leaf: bool,
     keys: Vec<u64>,
-    vals: Vec<u64>,      // leaf only
-    children: Vec<u32>,  // internal only
-    next: u32,           // leaf only: right-sibling page
+    vals: Vec<u64>,     // leaf only
+    children: Vec<u32>, // internal only
+    next: u32,          // leaf only: right-sibling page
 }
 
 impl BNode {
     fn new_leaf() -> Self {
-        BNode { leaf: true, keys: Vec::new(), vals: Vec::new(), children: Vec::new(), next: NO_PAGE }
+        BNode {
+            leaf: true,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            children: Vec::new(),
+            next: NO_PAGE,
+        }
     }
 
     fn new_internal() -> Self {
-        BNode { leaf: false, keys: Vec::new(), vals: Vec::new(), children: Vec::new(), next: NO_PAGE }
+        BNode {
+            leaf: false,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            children: Vec::new(),
+            next: NO_PAGE,
+        }
     }
 
     fn decode(page: &Page, int_cap: usize) -> Self {
@@ -128,7 +140,10 @@ impl BPlusTree {
     pub fn with_caps(pool: &mut BufferPool, leaf_cap: usize, int_cap: usize) -> Self {
         assert!(leaf_cap >= 3 && int_cap >= 3, "B+-tree fanout too small");
         assert!(8 + leaf_cap * 16 <= PAGE_SIZE, "leaf fanout does not fit a page");
-        assert!(8 + int_cap * 8 + (int_cap + 1) * 4 <= PAGE_SIZE, "internal fanout does not fit a page");
+        assert!(
+            8 + int_cap * 8 + (int_cap + 1) * 4 <= PAGE_SIZE,
+            "internal fanout does not fit a page"
+        );
         let root = pool.alloc();
         let tree = BPlusTree {
             root,
@@ -329,7 +344,13 @@ impl BPlusTree {
         }
     }
 
-    fn remove_rec(&mut self, pool: &mut BufferPool, page: PageId, level: u32, key: u64) -> Option<u64> {
+    fn remove_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        page: PageId,
+        level: u32,
+        key: u64,
+    ) -> Option<u64> {
         if level == 0 {
             let mut leaf = self.read_node(pool, page);
             let idx = leaf.keys.partition_point(|&k| k < key);
@@ -559,7 +580,10 @@ mod tests {
         for k in (0..100u64).step_by(2) {
             t.insert(&mut p, k, k + 1);
         }
-        assert_eq!(t.range(&mut p, 10, 20), vec![(10, 11), (12, 13), (14, 15), (16, 17), (18, 19), (20, 21)]);
+        assert_eq!(
+            t.range(&mut p, 10, 20),
+            vec![(10, 11), (12, 13), (14, 15), (16, 17), (18, 19), (20, 21)]
+        );
         assert_eq!(t.range(&mut p, 11, 11), vec![]);
         assert_eq!(t.range(&mut p, 95, 200), vec![(96, 97), (98, 99)]);
         assert_eq!(t.range(&mut p, 20, 10), vec![]);

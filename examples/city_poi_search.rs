@@ -4,7 +4,7 @@
 //! using its own directory's object abstracts.
 //!
 //! ```text
-//! cargo run --release -p road-bench --example city_poi_search
+//! cargo run --release --example city_poi_search
 //! ```
 
 use rand::rngs::StdRng;
@@ -38,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dining.insert(
             road.network(),
             road.hierarchy(),
-            Object::new(ObjectId(i), EdgeId(rng.random_range(0..edges)), rng.random_range(0.0..=1.0), cat),
+            Object::new(
+                ObjectId(i),
+                EdgeId(rng.random_range(0..edges)),
+                rng.random_range(0.0..=1.0),
+                cat,
+            ),
         )?;
     }
     let mut health = AssociationDirectory::new(road.hierarchy());
@@ -46,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         health.insert(
             road.network(),
             road.hierarchy(),
-            Object::new(ObjectId(i), EdgeId(rng.random_range(0..edges)), rng.random_range(0.0..=1.0), PHARMACY),
+            Object::new(
+                ObjectId(i),
+                EdgeId(rng.random_range(0..edges)),
+                rng.random_range(0.0..=1.0),
+                PHARMACY,
+            ),
         )?;
     }
 

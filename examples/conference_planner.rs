@@ -9,7 +9,7 @@
 //! network distance.
 //!
 //! ```text
-//! cargo run --release -p road-bench --example conference_planner
+//! cargo run --release --example conference_planner
 //! ```
 
 use rand::rngs::StdRng;
@@ -52,14 +52,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         transit.insert(
             by_distance.network(),
             by_distance.hierarchy(),
-            Object::new(ObjectId(i), EdgeId(rng.random_range(0..num_edges)), rng.random_range(0.0..=1.0), BUS_STATION),
+            Object::new(
+                ObjectId(i),
+                EdgeId(rng.random_range(0..num_edges)),
+                rng.random_range(0.0..=1.0),
+                BUS_STATION,
+            ),
         )?;
     }
     for i in 100..160u64 {
         lodging.insert(
             by_distance.network(),
             by_distance.hierarchy(),
-            Object::new(ObjectId(i), EdgeId(rng.random_range(0..num_edges)), rng.random_range(0.0..=1.0), HOTEL),
+            Object::new(
+                ObjectId(i),
+                EdgeId(rng.random_range(0..num_edges)),
+                rng.random_range(0.0..=1.0),
+                HOTEL,
+            ),
         )?;
     }
 
@@ -67,10 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("conference venue at intersection {venue}\n");
 
     // Q1 — nearest bus station (network distance).
-    let q1 = by_distance.knn(
-        &transit,
-        &KnnQuery::new(venue, 1).with_filter(ObjectFilter::Category(BUS_STATION)),
-    )?;
+    let q1 = by_distance
+        .knn(&transit, &KnnQuery::new(venue, 1).with_filter(ObjectFilter::Category(BUS_STATION)))?;
     match q1.hits.first() {
         Some(hit) => println!(
             "Q1: nearest bus station is {:?}, {:.2} km away \

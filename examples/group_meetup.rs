@@ -3,7 +3,7 @@
 //! faster than rebuilding.
 //!
 //! ```text
-//! cargo run --release -p road-bench --example group_meetup
+//! cargo run --release --example group_meetup
 //! ```
 
 use rand::rngs::StdRng;
@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cafes.insert(
             road.network(),
             road.hierarchy(),
-            Object::new(ObjectId(i), EdgeId(rng.random_range(0..edges)), rng.random_range(0.0..=1.0), CategoryId(0)),
+            Object::new(
+                ObjectId(i),
+                EdgeId(rng.random_range(0..edges)),
+                rng.random_range(0.0..=1.0),
+                CategoryId(0),
+            ),
         )?;
     }
 

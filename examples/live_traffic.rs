@@ -5,7 +5,7 @@
 //! rebuilding from scratch.
 //!
 //! ```text
-//! cargo run --release -p road-bench --example live_traffic
+//! cargo run --release --example live_traffic
 //! ```
 
 use rand::rngs::StdRng;
@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let me = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
     let before = road.knn(&stations, &KnnQuery::new(me, 1))?;
     let first = before.hits[0];
-    println!("\nnearest service station from {me}: {:?}, {:.1} min away", first.object, first.distance.get());
+    println!(
+        "\nnearest service station from {me}: {:?}, {:.1} min away",
+        first.object,
+        first.distance.get()
+    );
 
     // Rush hour: congest the edges along the current best route.
     let (path, _, _) = before.path_to_hit(&road, &stations, &first).expect("path");
@@ -67,20 +71,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "nearest station now: {:?}, {:.1} min ({}!)",
         second.object,
         second.distance.get(),
-        if second.object != first.object { "a different station wins" } else { "same station, longer trip" }
+        if second.object != first.object {
+            "a different station wins"
+        } else {
+            "same station, longer trip"
+        }
     );
 
-    // A full road closure (weight -> infinity), then reopening.
-    let closed = path.edges()[0];
-    let original = road.network().weight(closed, WeightKind::TravelTime);
-    road.set_edge_weight(closed, Weight::INFINITY)?;
-    let detour = road.knn(&stations, &KnnQuery::new(me, 1))?;
-    println!(
-        "\nwith segment {closed} closed: nearest is {:?} at {:.1} min",
-        detour.hits[0].object,
-        detour.hits[0].distance.get()
-    );
-    road.set_edge_weight(closed, original)?;
+    // A full road closure (weight -> infinity), then reopening. Closing a
+    // mid-route segment keeps `me`'s own ramp open; on a highway network a
+    // closure can still sever whole spurs, so an empty answer is legitimate.
+    // The route can also be edgeless (station on an edge at `me` itself),
+    // in which case there is nothing to close.
+    if let Some(&closed) = path.edges().get(path.edges().len() / 2) {
+        let original = road.network().weight(closed, WeightKind::TravelTime);
+        road.set_edge_weight(closed, Weight::INFINITY)?;
+        let detour = road.knn(&stations, &KnnQuery::new(me, 1))?;
+        match detour.hits.first() {
+            Some(hit) => println!(
+                "\nwith segment {closed} closed: nearest is {:?} at {:.1} min",
+                hit.object,
+                hit.distance.get()
+            ),
+            None => println!(
+                "\nwith segment {closed} closed, no station is reachable: the closure cut {me} off"
+            ),
+        }
+        road.set_edge_weight(closed, original)?;
+    }
 
     // Road construction: a new bypass between two random intersections.
     let a = NodeId(rng.random_range(0..road.network().num_nodes() as u32));

@@ -2,7 +2,7 @@
 //! objects, and run the two LDSQs of the paper — kNN and range search.
 //!
 //! ```text
-//! cargo run --release -p road-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use road_core::prelude::*;
@@ -56,8 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let range = road.range(&pois, &RangeQuery::new(here, Weight::new(500.0)))?;
     println!("\nobjects within 500 m: {}", range.hits.len());
 
-    // 6. Full driving directions to the best hit.
-    if let Some((path, edge, offset)) = knn.hits.first().and_then(|h| road.knn(&pois, &KnnQuery::new(here, 1).with_filter(ObjectFilter::Category(CAFE))).ok().and_then(|r| r.path_to_hit(&road, &pois, h))) {
+    // 6. Full driving directions to the best hit — extracted straight from
+    // the kNN result above, no fresh query needed.
+    if let Some((path, edge, offset)) =
+        knn.hits.first().and_then(|h| knn.path_to_hit(&road, &pois, h))
+    {
         println!(
             "\nroute to {:?}: {} hops, {:.0} m, then {:.0} m along edge {edge}",
             knn.hits[0].object,

@@ -1,0 +1,13 @@
+//! Umbrella crate for the ROAD reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the top-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) have a
+//! single anchor package. Library users should depend on the individual
+//! crates (`road-core`, `road-network`, …) directly.
+
+pub use road_baselines as baselines;
+pub use road_bench as bench;
+pub use road_core as core;
+pub use road_network as network;
+pub use road_spatial as spatial;
+pub use road_storage as storage;

@@ -1,0 +1,78 @@
+//! Smoke tests for the five runnable examples: each is spawned as a child
+//! process (cargo builds examples before running integration tests, so the
+//! binaries exist next to this test's own executable) and must exit cleanly
+//! with the expected result markers in its output, so examples can't
+//! silently rot.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// `target/<profile>/examples`, derived from the test binary's own path
+/// (`target/<profile>/deps/<test>`).
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .map(|profile| profile.join("examples"))
+        .expect("examples dir next to test binary")
+}
+
+/// Runs one example and asserts exit 0, non-empty stdout, and that every
+/// marker (a stable fragment of a computed result line) is present.
+fn run_example(name: &str, markers: &[&str]) {
+    let bin = examples_dir().join(name);
+    assert!(
+        bin.exists(),
+        "example binary {} not built; run via `cargo test` so cargo builds examples first",
+        bin.display()
+    );
+    let out = Command::new(&bin).output().expect("spawn example");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status.code()
+    );
+    assert!(!stdout.trim().is_empty(), "{name} printed nothing");
+    for marker in markers {
+        assert!(stdout.contains(marker), "{name} output missing {marker:?}\nstdout:\n{stdout}");
+    }
+}
+
+#[test]
+fn quickstart_reports_overlay_and_answers() {
+    run_example(
+        "quickstart",
+        &["network: 400 nodes", "overlay:", "nearest cafes", "network distance"],
+    );
+}
+
+#[test]
+fn city_poi_search_finds_restaurants_and_pharmacy() {
+    run_example(
+        "city_poi_search",
+        &["street network:", "nearest restaurants", "nearest pharmacy", "network distance"],
+    );
+}
+
+#[test]
+fn live_traffic_survives_congestion_closure_and_construction() {
+    run_example(
+        "live_traffic",
+        &["highway network:", "nearest service station", "nearest station now", "final 3NN"],
+    );
+}
+
+#[test]
+fn group_meetup_agrees_after_reload() {
+    run_example(
+        "group_meetup",
+        &["built overlay", "farthest friend travels", "reloaded overlay verified"],
+    );
+}
+
+#[test]
+fn conference_planner_answers_all_queries() {
+    run_example("conference_planner", &["conference venue", "nearest bus station", "within"]);
+}

@@ -11,9 +11,8 @@ use road_network::{EdgeId, Weight};
 
 /// Strategy: a connected random network plus derived placements.
 fn network_strategy() -> impl Strategy<Value = (RoadNetwork, u64)> {
-    (10usize..80, 0usize..30, 0u64..1000).prop_map(|(n, extra, seed)| {
-        (simple::random_connected(n, extra, seed), seed)
-    })
+    (10usize..80, 0usize..30, 0u64..1000)
+        .prop_map(|(n, extra, seed)| (simple::random_connected(n, extra, seed), seed))
 }
 
 fn build_framework(g: RoadNetwork, fanout: usize, levels: u32) -> RoadFramework {

@@ -41,7 +41,8 @@ fn ccam_beats_random_placement_for_expansion_io() {
 
     // Scattered layout: node i -> page by hashed order (same record size).
     let per_page = PAGE_SIZE / 128;
-    let scatter_page = |n: u32| (n.wrapping_mul(2654435761) % (g.num_nodes() as u32)) / per_page as u32;
+    let scatter_page =
+        |n: u32| (n.wrapping_mul(2654435761) % (g.num_nodes() as u32)) / per_page as u32;
 
     // Expand from a corner in BFS order, touching each node's page.
     let mut order = Vec::new();

@@ -1,0 +1,41 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Subset of proptest's config: just the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one property test, keyed by the test's name so
+/// every test explores a distinct but reproducible stream. `PROPTEST_SEED`
+/// perturbs all streams at once when set.
+pub fn case_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(extra) = seed.trim().parse::<u64>() {
+            h = h.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
