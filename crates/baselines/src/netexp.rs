@@ -11,8 +11,9 @@ use crate::layout::{ADJ_ENTRY_BYTES, NODE_BASE_BYTES, NS_NODES, OBJECT_BYTES};
 use crate::{timed, Engine, QueryCost, UpdateCost};
 use road_core::model::{Object, ObjectFilter, ObjectId};
 use road_core::search::SearchHit;
+use road_network::dijkstra::{Control, Dijkstra};
 use road_network::graph::{RoadNetwork, WeightKind};
-use road_network::hash::FastMap;
+use road_network::hash::{FastMap, FastSet};
 use road_network::{EdgeId, NodeId, Weight};
 use road_storage::ccam::NodeClustering;
 use road_storage::pagemap::IoTracker;
@@ -20,6 +21,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// The network-expansion engine.
+///
+/// The expansion state (generation-stamped [`Dijkstra`] labels, candidate
+/// heap, emitted-object set) is owned by the engine and reused across
+/// queries, mirroring the core engine's `SearchWorkspace` discipline: a
+/// steady query stream pays no per-query container allocations.
 pub struct NetExpEngine {
     g: RoadNetwork,
     kind: WeightKind,
@@ -28,6 +34,13 @@ pub struct NetExpEngine {
     clustering: NodeClustering,
     io: IoTracker,
     build_seconds: f64,
+    dij: Dijkstra,
+    /// Discovered objects waiting for the frontier to pass their total
+    /// distance, as `(total, object id)` — popping in that order gives the
+    /// oracle's `(distance, object id)` tie-break.
+    cand: BinaryHeap<Reverse<(Weight, u64)>>,
+    /// Objects already reported this query.
+    emitted: FastSet<u64>,
 }
 
 impl NetExpEngine {
@@ -51,6 +64,7 @@ impl NetExpEngine {
             let clustering = Self::cluster(&g, &node_objects);
             (node_objects, object_map, clustering)
         });
+        let dij = Dijkstra::for_network(&g);
         NetExpEngine {
             g,
             kind,
@@ -59,6 +73,9 @@ impl NetExpEngine {
             clustering,
             io: IoTracker::new(buffer_pages),
             build_seconds,
+            dij,
+            cand: BinaryHeap::new(),
+            emitted: FastSet::default(),
         }
     }
 
@@ -69,12 +86,14 @@ impl NetExpEngine {
         })
     }
 
-    fn touch_node(&mut self, n: NodeId) {
-        let (start, span) = self.clustering.span_of(n);
-        self.io.touch_span(NS_NODES, start, span);
-    }
-
     /// Shared expansion loop; `radius = None` means kNN mode.
+    ///
+    /// Runs the reusable [`Dijkstra`] over the network and buffers objects
+    /// discovered at settled nodes in a candidate heap. A candidate is
+    /// reported only once the frontier distance passes its total distance:
+    /// by then every node able to host an equal-or-closer object has been
+    /// expanded, so candidates emit in exact `(distance, object id)` order
+    /// — the same tie-break as the core engine and the oracles.
     fn search(
         &mut self,
         source: NodeId,
@@ -83,67 +102,63 @@ impl NetExpEngine {
         filter: &ObjectFilter,
     ) -> QueryCost {
         self.io.reset(); // the paper starts every query with a cold cache
-        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
-        enum Key {
-            Object(u64),
-            Node(u32),
-        }
-        let mut dist: FastMap<u32, Weight> = FastMap::default();
-        let mut settled: road_network::hash::FastSet<u32> = Default::default();
-        let mut seen_obj: road_network::hash::FastSet<u64> = Default::default();
-        let mut heap = BinaryHeap::new();
         let mut hits = Vec::new();
         let mut nodes_visited = 0usize;
-        dist.insert(source.0, Weight::ZERO);
-        heap.push(Reverse((Weight::ZERO, Key::Node(source.0))));
-        while let Some(Reverse((d, key))) = heap.pop() {
-            match key {
-                Key::Object(oid) => {
-                    if !seen_obj.insert(oid) {
-                        continue;
-                    }
-                    hits.push(SearchHit { object: ObjectId(oid), distance: d });
+        self.cand.clear();
+        self.emitted.clear();
+        // Split borrows: the expansion state mutates alongside reads of
+        // the network and object tables.
+        let NetExpEngine {
+            g, kind, objects, node_objects, clustering, io, dij, cand, emitted, ..
+        } = self;
+        dij.expand(g, *kind, source, |nid, d| {
+            // Report candidates the frontier has passed; equal-distance
+            // candidates wait until every node at that distance settled.
+            while let Some(&Reverse((total, oid))) = cand.peek() {
+                if total >= d {
+                    break;
+                }
+                cand.pop();
+                if emitted.insert(oid) {
+                    hits.push(SearchHit { object: ObjectId(oid), distance: total });
                     if hits.len() >= k {
-                        break;
+                        return Control::Break;
                     }
                 }
-                Key::Node(n) => {
-                    if !settled.insert(n) {
+            }
+            if let Some(r) = radius {
+                if d > r {
+                    return Control::Break;
+                }
+            }
+            nodes_visited += 1;
+            let (start, span) = clustering.span_of(nid);
+            io.touch_span(NS_NODES, start, span);
+            if let Some(list) = node_objects.get(&nid.0) {
+                for oid in list {
+                    let o = &objects[&oid.0];
+                    if !filter.matches(o) || emitted.contains(&o.id.0) {
                         continue;
                     }
-                    if let Some(r) = radius {
-                        if d > r {
-                            break;
-                        }
+                    let total = d + o.offset_from(g, *kind, nid);
+                    if radius.map(|r| total > r).unwrap_or(false) {
+                        continue;
                     }
-                    nodes_visited += 1;
-                    self.touch_node(NodeId(n));
-                    if let Some(list) = self.node_objects.get(&n) {
-                        for oid in list {
-                            let o = &self.objects[&oid.0];
-                            if !filter.matches(o) || seen_obj.contains(&o.id.0) {
-                                continue;
-                            }
-                            let total = d + o.offset_from(&self.g, self.kind, NodeId(n));
-                            if radius.map(|r| total > r).unwrap_or(false) {
-                                continue;
-                            }
-                            heap.push(Reverse((total, Key::Object(o.id.0))));
-                        }
-                    }
-                    for (e, v) in self.g.neighbors(NodeId(n)) {
-                        let w = self.g.weight(e, self.kind);
-                        if w.is_infinite() {
-                            continue;
-                        }
-                        let nd = d + w;
-                        let cur = dist.get(&v.0).copied().unwrap_or(Weight::INFINITY);
-                        if nd < cur && !settled.contains(&v.0) {
-                            dist.insert(v.0, nd);
-                            heap.push(Reverse((nd, Key::Node(v.0))));
-                        }
+                    cand.push(Reverse((total, o.id.0)));
+                }
+            }
+            Control::Continue
+        });
+        // The expansion ended (component exhausted or radius passed);
+        // whatever is still buffered is within bounds and final.
+        while hits.len() < k {
+            match cand.pop() {
+                Some(Reverse((total, oid))) => {
+                    if emitted.insert(oid) {
+                        hits.push(SearchHit { object: ObjectId(oid), distance: total });
                     }
                 }
+                None => break,
             }
         }
         QueryCost { hits, page_faults: self.io.faults(), nodes_visited }

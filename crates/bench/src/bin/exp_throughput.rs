@@ -1,0 +1,8 @@
+//! Measures served query throughput (QPS) of the concurrent `QueryEngine`
+//! on the fig17 kNN workload: fresh-vs-reused workspace single-thread
+//! rates, plus multi-thread `batch_knn` scaling.
+
+fn main() {
+    let ctx = road_bench::experiments::Ctx::from_args();
+    road_bench::experiments::throughput::run(&ctx);
+}

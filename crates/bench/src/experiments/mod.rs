@@ -10,6 +10,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod throughput;
 
 use crate::config::{ExpScale, Params};
 

@@ -1,0 +1,138 @@
+//! `exp_throughput` — query throughput of the concurrent `QueryEngine`.
+//!
+//! Not a figure from the paper: the paper measures single queries on a
+//! disk-resident index, while this experiment measures the served query
+//! rate of the in-memory engine — the quantity a heavy-traffic deployment
+//! cares about. It runs the Figure 17 kNN workload (CA network, uniform
+//! objects, `k = 5`) three ways:
+//!
+//! 1. **fresh** — a brand-new `SearchWorkspace` per query: what a caller
+//!    pays if they ignore the reuse contract (allocating and
+//!    INFINITY-filling the dense per-node arrays every time — *more* work
+//!    than the old hash-map engine's five small allocations, so this row
+//!    bounds naive usage of the new API, not the old design);
+//! 2. **reused** — one workspace reused across the whole stream
+//!    (generation-stamped invalidation, zero steady-state allocations);
+//! 3. **scaled** — `QueryEngine::batch_knn` over 1..=N worker threads.
+//!
+//! Reported: queries/second, the single-thread speedup of reuse over
+//! per-query construction, the multi-thread scaling curve, and the number
+//! of queries that ran on a recycled workspace
+//! (`SearchStats::workspace_reused`) — each such query performed zero
+//! scratch-container allocations where the old hash-map engine performed
+//! five (distance + predecessor maps, two sets, heap).
+
+use super::Ctx;
+use crate::table::{fmt_f, print_table};
+use crate::{config, workload};
+use road_core::prelude::*;
+use road_network::generator::Dataset;
+use std::time::Instant;
+
+/// How many passes over the query-node set make one measured stream.
+const PASSES: usize = 20;
+
+/// Builds the fig17 workload and measures throughput.
+pub fn run(ctx: &Ctx) {
+    let ds = Dataset::CaHighways;
+    let g = config::network(ds, &ctx.scale, &ctx.params);
+    let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+    let count = ctx.scaled_count(ctx.params.objects, ctx.scale.factor(ds));
+    let objects = workload::uniform_objects(&g, count, ctx.params.seed + 17);
+    let nodes = workload::query_nodes(&g, ctx.scale.queries, ctx.params.seed + 174);
+    let k = ctx.params.k;
+
+    let fw = RoadFramework::builder(g)
+        .fanout(ctx.params.fanout)
+        .levels(levels)
+        .metric(ctx.params.metric)
+        .build()
+        .expect("framework builds");
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    for o in &objects {
+        ad.insert(fw.network(), fw.hierarchy(), o.clone()).expect("object maps");
+    }
+    let engine = QueryEngine::new(fw, ad);
+    let queries: Vec<KnnQuery> = nodes.iter().map(|&n| KnnQuery::new(n, k)).collect();
+    let stream_len = queries.len() * PASSES;
+
+    // --- single thread: fresh workspace per query (naive API usage) ----
+    let mut hits = Vec::new();
+    let fresh_secs = {
+        let t = Instant::now();
+        for _ in 0..PASSES {
+            for q in &queries {
+                let mut ws = SearchWorkspace::new();
+                engine.knn_with(q, &mut ws, &mut hits).expect("valid query");
+            }
+        }
+        t.elapsed().as_secs_f64()
+    };
+
+    // --- single thread: one workspace reused across the stream ---------
+    let mut ws = SearchWorkspace::new();
+    let mut reused_queries = 0usize;
+    // Warm pass: sizes the arrays and faults the index in.
+    for q in &queries {
+        engine.knn_with(q, &mut ws, &mut hits).expect("valid query");
+    }
+    let reused_secs = {
+        let t = Instant::now();
+        for _ in 0..PASSES {
+            for q in &queries {
+                let stats = engine.knn_with(q, &mut ws, &mut hits).expect("valid query");
+                reused_queries += usize::from(stats.workspace_reused);
+            }
+        }
+        t.elapsed().as_secs_f64()
+    };
+
+    let fresh_qps = stream_len as f64 / fresh_secs.max(1e-9);
+    let reused_qps = stream_len as f64 / reused_secs.max(1e-9);
+    print_table(
+        &format!(
+            "exp_throughput — single-thread kNN on {} (|O| = {count}, k = {k}, {stream_len} queries)",
+            ds.name()
+        ),
+        &["workspace", "QPS", "speedup", "reused queries", "allocations avoided"],
+        &[
+            vec!["fresh per query".into(), fmt_f(fresh_qps), "1.00x".into(), "0".into(), "0".into()],
+            vec![
+                "reused (generation-stamped)".into(),
+                fmt_f(reused_qps),
+                format!("{:.2}x", reused_qps / fresh_qps.max(1e-9)),
+                format!("{reused_queries}"),
+                // Versus the old hash-map engine's 5 scratch containers
+                // per query: two hash maps, two hash sets and a heap.
+                format!("{}", reused_queries * 5),
+            ],
+        ],
+    );
+
+    // --- multi-thread scaling over batch_knn ---------------------------
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let stream: Vec<KnnQuery> = (0..PASSES).flat_map(|_| queries.iter().cloned()).collect();
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0;
+    let mut t = 1usize;
+    while t <= max_threads {
+        let t0 = Instant::now();
+        let answers = engine.batch_knn(&stream, t).expect("valid batch");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(answers.len(), stream.len());
+        let qps = stream.len() as f64 / secs.max(1e-9);
+        if t == 1 {
+            base_qps = qps;
+        }
+        rows.push(vec![format!("{t}"), fmt_f(qps), format!("{:.2}x", qps / base_qps.max(1e-9))]);
+        if t == max_threads {
+            break;
+        }
+        t = (t * 2).min(max_threads);
+    }
+    print_table(
+        &format!("exp_throughput — batch_knn scaling ({} hardware threads)", max_threads),
+        &["threads", "QPS", "speedup"],
+        &rows,
+    );
+}

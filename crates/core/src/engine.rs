@@ -1,0 +1,192 @@
+//! Concurrent query serving: [`QueryEngine`].
+//!
+//! [`RoadFramework`] queries take `&self` and the framework holds no
+//! interior mutability, so one built overlay can serve any number of
+//! threads at once. `QueryEngine` makes that a first-class API: it wraps
+//! `Arc<RoadFramework>` + `Arc<AssociationDirectory>` behind a cheaply
+//! clonable handle, pairs every serving thread with its own reusable
+//! [`SearchWorkspace`], and offers a batch entry point that fans a query
+//! load out over scoped threads. Single queries route through the same
+//! per-thread workspace pool the framework uses, so steady-state serving
+//! performs no per-query container allocations (see the
+//! [`workspace`](crate::workspace) module docs).
+//!
+//! ```
+//! use road_core::prelude::*;
+//! use road_network::generator::simple;
+//!
+//! let net = simple::grid(8, 8, 1.0);
+//! let road = RoadFramework::builder(net).fanout(4).levels(2).build().unwrap();
+//! let mut pois = AssociationDirectory::new(road.hierarchy());
+//! let edge = road.network().edge_ids().next().unwrap();
+//! pois.insert(road.network(), road.hierarchy(), Object::new(ObjectId(1), edge, 0.5, CategoryId(0)))
+//!     .unwrap();
+//!
+//! let engine = QueryEngine::new(road, pois);
+//! let queries: Vec<KnnQuery> = (0..16).map(|n| KnnQuery::new(NodeId(n), 1)).collect();
+//! let answers = engine.batch_knn(&queries, 4).unwrap();
+//! assert_eq!(answers.len(), 16);
+//! ```
+
+use crate::association::AssociationDirectory;
+use crate::framework::RoadFramework;
+use crate::search::{
+    AggregateKnnQuery, KnnQuery, RangeQuery, SearchHit, SearchResult, SearchStats,
+};
+use crate::workspace::SearchWorkspace;
+use crate::RoadError;
+use road_network::{NodeId, Weight};
+use std::sync::Arc;
+
+/// A shareable, thread-safe handle over one Route Overlay and one object
+/// directory. Clone it into every serving thread; all clones answer
+/// against the same index.
+#[derive(Clone)]
+pub struct QueryEngine {
+    fw: Arc<RoadFramework>,
+    ad: Arc<AssociationDirectory>,
+}
+
+// Serving from many threads only works if the shared state really is
+// immutable-shareable; keep that a compile-time fact, not a convention.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<RoadFramework>();
+    assert_send_sync::<AssociationDirectory>();
+};
+
+impl QueryEngine {
+    /// Wraps a framework and a directory for concurrent serving.
+    pub fn new(fw: RoadFramework, ad: AssociationDirectory) -> Self {
+        QueryEngine { fw: Arc::new(fw), ad: Arc::new(ad) }
+    }
+
+    /// Builds from already-shared parts (e.g. a directory shared with a
+    /// maintenance pipeline).
+    pub fn from_shared(fw: Arc<RoadFramework>, ad: Arc<AssociationDirectory>) -> Self {
+        QueryEngine { fw, ad }
+    }
+
+    /// The wrapped framework.
+    pub fn framework(&self) -> &RoadFramework {
+        &self.fw
+    }
+
+    /// The wrapped directory.
+    pub fn directory(&self) -> &AssociationDirectory {
+        &self.ad
+    }
+
+    /// kNN through the per-thread workspace pool.
+    pub fn knn(&self, query: &KnnQuery) -> Result<SearchResult, RoadError> {
+        self.fw.knn(&self.ad, query)
+    }
+
+    /// Range query through the per-thread workspace pool.
+    pub fn range(&self, query: &RangeQuery) -> Result<SearchResult, RoadError> {
+        self.fw.range(&self.ad, query)
+    }
+
+    /// Allocation-free kNN into caller-owned scratch; the serving-loop hot
+    /// path. See [`RoadFramework::knn_with`].
+    pub fn knn_with(
+        &self,
+        query: &KnnQuery,
+        ws: &mut SearchWorkspace,
+        hits: &mut Vec<SearchHit>,
+    ) -> Result<SearchStats, RoadError> {
+        self.fw.knn_with(&self.ad, query, ws, hits)
+    }
+
+    /// Allocation-free range query into caller-owned scratch.
+    pub fn range_with(
+        &self,
+        query: &RangeQuery,
+        ws: &mut SearchWorkspace,
+        hits: &mut Vec<SearchHit>,
+    ) -> Result<SearchStats, RoadError> {
+        self.fw.range_with(&self.ad, query, ws, hits)
+    }
+
+    /// Aggregate kNN over a query group.
+    pub fn aggregate_knn(&self, query: &AggregateKnnQuery) -> Result<Vec<SearchHit>, RoadError> {
+        self.fw.aggregate_knn(&self.ad, query)
+    }
+
+    /// Point-to-point network distance through the overlay.
+    pub fn network_distance(&self, from: NodeId, to: NodeId) -> Result<Option<Weight>, RoadError> {
+        self.fw.network_distance(from, to)
+    }
+
+    /// Evaluates a batch of kNN queries on up to `threads` scoped worker
+    /// threads (each with one workspace reused across its whole share) and
+    /// returns the hit lists in query order. `threads <= 1` runs inline.
+    pub fn batch_knn(
+        &self,
+        queries: &[KnnQuery],
+        threads: usize,
+    ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
+        self.batch(queries, threads, |engine, q, ws, hits| engine.knn_with(q, ws, hits))
+    }
+
+    /// Evaluates a batch of range queries; see [`QueryEngine::batch_knn`].
+    pub fn batch_range(
+        &self,
+        queries: &[RangeQuery],
+        threads: usize,
+    ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
+        self.batch(queries, threads, |engine, q, ws, hits| engine.range_with(q, ws, hits))
+    }
+
+    fn batch<Q: Sync>(
+        &self,
+        queries: &[Q],
+        threads: usize,
+        run: impl Fn(
+                &Self,
+                &Q,
+                &mut SearchWorkspace,
+                &mut Vec<SearchHit>,
+            ) -> Result<SearchStats, RoadError>
+            + Sync,
+    ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
+        let run_chunk = |chunk: &[Q]| -> Result<Vec<Vec<SearchHit>>, RoadError> {
+            let mut ws = SearchWorkspace::new();
+            chunk
+                .iter()
+                .map(|q| {
+                    let mut hits = Vec::new();
+                    run(self, q, &mut ws, &mut hits)?;
+                    Ok(hits)
+                })
+                .collect()
+        };
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return run_chunk(queries);
+        }
+        let chunk_len = queries.len().div_ceil(threads);
+        let run_chunk = &run_chunk;
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = queries
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                .collect();
+            let mut out = Vec::with_capacity(queries.len());
+            for worker in workers {
+                out.extend(worker.join().expect("batch worker panicked")?);
+            }
+            Ok(out)
+        })
+    }
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("framework", &*self.fw)
+            .field("objects", &self.ad.len())
+            .finish()
+    }
+}

@@ -10,8 +10,11 @@
 
 use crate::association::AssociationDirectory;
 use crate::hierarchy::{HierarchyConfig, RnetHierarchy, RnetId};
-use crate::search::{self, KnnQuery, NoopObserver, RangeQuery, SearchObserver, SearchResult};
+use crate::search::{
+    self, KnnQuery, NoopObserver, RangeQuery, SearchHit, SearchObserver, SearchResult, SearchStats,
+};
 use crate::shortcut::{BuildScratch, ShortcutOptions, ShortcutStore};
+use crate::workspace::SearchWorkspace;
 use crate::RoadError;
 use road_network::graph::{RoadNetwork, WeightKind};
 use road_network::hash::FastSet;
@@ -177,6 +180,50 @@ impl RoadFramework {
         )
     }
 
+    /// kNN into caller-owned scratch: the workspace and the hit buffer are
+    /// reused across calls, so a steady-state serving loop performs **zero
+    /// per-query container allocations**. Returns the work counters;
+    /// answers land in `hits` (cleared first). This is the hot path behind
+    /// [`crate::engine::QueryEngine`].
+    pub fn knn_with(
+        &self,
+        ad: &AssociationDirectory,
+        query: &KnnQuery,
+        ws: &mut SearchWorkspace,
+        hits: &mut Vec<SearchHit>,
+    ) -> Result<SearchStats, RoadError> {
+        search::execute_into(
+            self,
+            Some(ad),
+            query.node,
+            &query.filter,
+            search::Mode::Knn(query.k, query.max_distance),
+            &mut NoopObserver,
+            ws,
+            hits,
+        )
+    }
+
+    /// Range query into caller-owned scratch; see [`RoadFramework::knn_with`].
+    pub fn range_with(
+        &self,
+        ad: &AssociationDirectory,
+        query: &RangeQuery,
+        ws: &mut SearchWorkspace,
+        hits: &mut Vec<SearchHit>,
+    ) -> Result<SearchStats, RoadError> {
+        search::execute_into(
+            self,
+            Some(ad),
+            query.node,
+            &query.filter,
+            search::Mode::Range(query.radius),
+            &mut NoopObserver,
+            ws,
+            hits,
+        )
+    }
+
     /// Evaluates a range query against a directory.
     pub fn range(
         &self,
@@ -204,46 +251,146 @@ impl RoadFramework {
     }
 
     /// Aggregate kNN over a query group (ref \[19\]'s ANN queries on the
-    /// ROAD overlay): one pruned expansion per group member collects every
-    /// matching object's distance; the aggregates are combined and the k
-    /// best returned. Objects unreachable from *any* group member are
-    /// excluded (their aggregate is undefined).
+    /// ROAD overlay): find the k objects minimising the aggregate of their
+    /// network distances from every group member. Objects unreachable from
+    /// *any* group member are excluded (their aggregate is undefined).
     pub fn aggregate_knn(
         &self,
         ad: &AssociationDirectory,
         query: &crate::search::AggregateKnnQuery,
-    ) -> Result<Vec<crate::search::SearchHit>, RoadError> {
+    ) -> Result<Vec<SearchHit>, RoadError> {
+        Ok(self.aggregate_knn_with_stats(ad, query)?.0)
+    }
+
+    /// [`RoadFramework::aggregate_knn`] plus the summed work counters of
+    /// every expansion it ran (tests use them to check that the bounded
+    /// expansions actually prune).
+    ///
+    /// Evaluation strategy: the first member runs one unbounded discovery
+    /// expansion (every answer must be reachable from it). Each later
+    /// member's expansion is then bounded by an *upper bound on the k-th
+    /// best aggregate*, derived from the triangle inequality on network
+    /// distance: `d_j(o) <= d_0(o) + ||q_0, q_j||`, so
+    /// `combine_j(d_0(o) + ||q_0, q_j||)` over-estimates any object's
+    /// final aggregate, and the k-th smallest over-estimate bounds the
+    /// k-th best answer. Pruning against that bound is sound for both
+    /// `Sum` and `Max` because every per-member distance lower-bounds the
+    /// combined aggregate — an object outside the bound for *any* member
+    /// cannot make the top k. (The previous implementation ran an
+    /// unbounded `Range(∞)` expansion per member, exhausting the whole
+    /// component each time.)
+    pub fn aggregate_knn_with_stats(
+        &self,
+        ad: &AssociationDirectory,
+        query: &crate::search::AggregateKnnQuery,
+    ) -> Result<(Vec<SearchHit>, SearchStats), RoadError> {
         if query.nodes.is_empty() {
             return Err(RoadError::InvalidConfig("aggregate query needs >= 1 node".into()));
         }
-        use road_network::hash::FastMap;
-        let mut acc: FastMap<u64, (Weight, usize)> = FastMap::default();
-        for &q in &query.nodes {
+        let mut total = SearchStats::default();
+        if query.k == 0 {
+            return Ok((Vec::new(), total));
+        }
+        let m = query.nodes.len();
+        if m == 1 {
+            // A single-member group is a plain kNN.
+            let q = KnnQuery::new(query.nodes[0], query.k).with_filter(query.filter.clone());
+            let mut res = self.knn(ad, &q)?;
+            total.absorb(&res.stats);
+            return Ok((std::mem::take(&mut res.hits), total));
+        }
+
+        // Member 0: unbounded discovery of every candidate.
+        let first = search::execute(
+            self,
+            Some(ad),
+            query.nodes[0],
+            &query.filter,
+            search::Mode::Range(Weight::INFINITY),
+            &mut NoopObserver,
+        )?;
+        total.absorb(&first.stats);
+        if first.hits.is_empty() {
+            return Ok((Vec::new(), total));
+        }
+
+        // Member-to-member distances from member 0 (the triangle tails).
+        let mut member_dist: Vec<Weight> = Vec::with_capacity(m);
+        member_dist.push(Weight::ZERO);
+        for &q in &query.nodes[1..] {
+            let res = search::execute(
+                self,
+                None,
+                query.nodes[0],
+                &crate::model::ObjectFilter::Any,
+                search::Mode::ToNode(q),
+                &mut NoopObserver,
+            )?;
+            total.absorb(&res.stats);
+            member_dist.push(res.distance_to_node(q).unwrap_or(Weight::INFINITY));
+        }
+
+        // Candidates carry (object, d_0, running partial aggregate).
+        let mut cands: Vec<(crate::model::ObjectId, Weight, Weight)> = first
+            .hits
+            .iter()
+            .map(|h| (h.object, h.distance, query.aggregate.combine(Weight::ZERO, h.distance)))
+            .collect();
+        let mut ubs: Vec<Weight> = Vec::with_capacity(cands.len());
+        for i in 1..m {
+            // Upper-bound each candidate's final aggregate: exact partials
+            // for processed members, triangle tails for the rest. The k-th
+            // smallest is a sound expansion bound for member i.
+            ubs.clear();
+            ubs.extend(cands.iter().map(|&(_, d0, partial)| {
+                let mut ub = partial;
+                for &tail in &member_dist[i..] {
+                    ub = query.aggregate.combine(ub, d0 + tail);
+                }
+                ub
+            }));
+            let bound = if ubs.len() < query.k {
+                Weight::INFINITY
+            } else {
+                let (_, kth, _) = ubs.select_nth_unstable(query.k - 1);
+                // Inflate by a relative epsilon: the triangle-inequality
+                // sum `d_0(o) + ||q_0, q_i||` and Dijkstra's edge-by-edge
+                // fold of the same path round differently, so a true
+                // answer could exceed the exact bound by a few ULPs and
+                // be wrongly pruned. Over-admitting costs a little extra
+                // expansion; under-admitting costs correctness.
+                Weight::new(kth.get() * (1.0 + 1e-9) + f64::MIN_POSITIVE)
+            };
             let res = search::execute(
                 self,
                 Some(ad),
-                q,
+                query.nodes[i],
                 &query.filter,
-                search::Mode::Range(Weight::INFINITY),
+                search::Mode::Range(bound),
                 &mut NoopObserver,
             )?;
-            for hit in res.hits {
-                let entry = acc.entry(hit.object.0).or_insert((Weight::ZERO, 0));
-                entry.0 = query.aggregate.combine(entry.0, hit.distance);
-                entry.1 += 1;
+            total.absorb(&res.stats);
+            use road_network::hash::FastMap;
+            let di: FastMap<u64, Weight> =
+                res.hits.iter().map(|h| (h.object.0, h.distance)).collect();
+            cands.retain_mut(|c| match di.get(&c.0 .0) {
+                Some(&d) => {
+                    c.2 = query.aggregate.combine(c.2, d);
+                    true
+                }
+                // Outside member i's (bounded) reach: either unreachable
+                // or provably beyond the k-th best aggregate.
+                None => false,
+            });
+            if cands.is_empty() {
+                break;
             }
         }
-        let mut hits: Vec<crate::search::SearchHit> = acc
-            .into_iter()
-            .filter(|&(_, (_, seen))| seen == query.nodes.len())
-            .map(|(o, (d, _))| crate::search::SearchHit {
-                object: crate::model::ObjectId(o),
-                distance: d,
-            })
-            .collect();
+        let mut hits: Vec<SearchHit> =
+            cands.into_iter().map(|(o, _, agg)| SearchHit { object: o, distance: agg }).collect();
         hits.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.object.cmp(&b.object)));
         hits.truncate(query.k);
-        Ok(hits)
+        Ok((hits, total))
     }
 
     /// Point-to-point network distance through the overlay: with no

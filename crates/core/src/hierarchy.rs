@@ -329,10 +329,21 @@ impl RnetHierarchy {
         &self.borders[r.index()]
     }
 
-    /// The Rnets `n` borders, sorted by level ascending (the shape of the
-    /// node's shortcut tree); empty for interior nodes.
+    /// The Rnets `n` borders, **sorted by level ascending** (the shape of
+    /// the node's shortcut tree); empty for interior nodes.
+    ///
+    /// The ordering is a load-bearing invariant, not a convenience:
+    /// `ChoosePath` seeds its top-down descent from the *first* entry's
+    /// level, so a list not led by the coarsest level would silently skip
+    /// entire subtrees. [`RnetHierarchy::validate`] checks it for every
+    /// node; here it is asserted in debug builds on every access.
     pub fn bordered_rnets(&self, n: NodeId) -> &[RnetId] {
-        self.node_rnets.get(&n.0).map(Vec::as_slice).unwrap_or(&[])
+        let rnets = self.node_rnets.get(&n.0).map(Vec::as_slice).unwrap_or(&[]);
+        debug_assert!(
+            rnets.windows(2).all(|w| self.level_of(w[0]) <= self.level_of(w[1])),
+            "bordered_rnets({n}) not sorted by level ascending: {rnets:?}"
+        );
+        rnets
     }
 
     /// `true` if `n` is a border node of `r`.
@@ -493,6 +504,15 @@ impl RnetHierarchy {
             let got = self.bordered_rnets(n);
             if got != expect.as_slice() {
                 return Err(format!("node {n} border list mismatch: {got:?} vs {expect:?}"));
+            }
+            // The list must be level-ascending — ChoosePath seeds its
+            // descent from the first entry's (topmost) level and would
+            // skip subtrees otherwise.
+            let levels: Vec<u32> = got.iter().map(|&r| self.level_of(r)).collect();
+            if !levels.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!(
+                    "node {n} border list not level-ascending: {got:?} (levels {levels:?})"
+                ));
             }
             for &r in got {
                 if !self.borders(r).contains(&n) {

@@ -47,6 +47,7 @@
 
 pub mod abstracts;
 pub mod association;
+pub mod engine;
 pub mod error;
 pub mod framework;
 pub mod hierarchy;
@@ -54,9 +55,11 @@ pub mod model;
 pub mod persist;
 pub mod search;
 pub mod shortcut;
+pub mod workspace;
 
 pub use abstracts::{AbstractKind, ObjectAbstract};
 pub use association::AssociationDirectory;
+pub use engine::QueryEngine;
 pub use error::RoadError;
 pub use framework::{RoadConfig, RoadFramework, UpdateOutcome};
 pub use hierarchy::{HierarchyConfig, RnetHierarchy, RnetId};
@@ -65,13 +68,16 @@ pub use search::{
     KnnQuery, NoopObserver, RangeQuery, SearchHit, SearchObserver, SearchResult, SearchStats,
 };
 pub use shortcut::{ShortcutEdge, ShortcutOptions, ShortcutStore};
+pub use workspace::SearchWorkspace;
 
 /// Convenient glob-import of the public API.
 pub mod prelude {
     pub use crate::association::AssociationDirectory;
+    pub use crate::engine::QueryEngine;
     pub use crate::framework::{RoadConfig, RoadFramework};
     pub use crate::model::{CategoryId, Object, ObjectFilter, ObjectId};
     pub use crate::search::{KnnQuery, RangeQuery, SearchHit};
+    pub use crate::workspace::SearchWorkspace;
     pub use road_network::graph::WeightKind;
     pub use road_network::{NodeId, Weight};
 }

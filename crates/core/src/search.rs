@@ -16,13 +16,12 @@ use crate::association::AssociationDirectory;
 use crate::framework::RoadFramework;
 use crate::hierarchy::RnetId;
 use crate::model::{ObjectFilter, ObjectId};
+use crate::workspace::{self, Hop, PooledWorkspace, QueueKey, SearchWorkspace};
 use crate::RoadError;
 use road_network::dijkstra;
-use road_network::hash::{FastMap, FastSet};
+use road_network::hash::FastMap;
 use road_network::path::Path;
 use road_network::{EdgeId, NodeId, Weight};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A k-nearest-neighbour query (e.g. Q2 in the paper's introduction).
 #[derive(Clone, Debug)]
@@ -104,7 +103,8 @@ pub enum Aggregate {
 }
 
 impl Aggregate {
-    pub(crate) fn combine(self, acc: Weight, d: Weight) -> Weight {
+    /// Folds one member distance into a running aggregate.
+    pub fn combine(self, acc: Weight, d: Weight) -> Weight {
         match self {
             Aggregate::Sum => acc + d,
             Aggregate::Max => acc.max(d),
@@ -166,6 +166,27 @@ pub struct SearchStats {
     pub objects_read: usize,
     /// Priority-queue pushes.
     pub heap_pushes: usize,
+    /// `true` when this query ran on a [`SearchWorkspace`] that had
+    /// already served earlier queries — i.e. its scratch containers were
+    /// recycled instead of freshly allocated. The `exp_throughput`
+    /// experiment sums this to report allocations avoided.
+    pub workspace_reused: bool,
+}
+
+impl SearchStats {
+    /// Accumulates another search's counters (used by multi-expansion
+    /// queries such as aggregate kNN).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes_settled += other.nodes_settled;
+        self.edges_relaxed += other.edges_relaxed;
+        self.shortcuts_taken += other.shortcuts_taken;
+        self.rnets_bypassed += other.rnets_bypassed;
+        self.rnets_descended += other.rnets_descended;
+        self.abstract_checks += other.abstract_checks;
+        self.objects_read += other.objects_read;
+        self.heap_pushes += other.heap_pushes;
+        self.workspace_reused |= other.workspace_reused;
+    }
 }
 
 /// Hook for I/O accounting: the experiment harness maps these events onto
@@ -183,39 +204,37 @@ pub trait SearchObserver {
 pub struct NoopObserver;
 impl SearchObserver for NoopObserver {}
 
-/// How a hop in the predecessor chain was made.
-#[derive(Clone, Copy, Debug)]
-enum Hop {
-    Edge(EdgeId),
-    Shortcut(RnetId),
-}
-
 /// Result of a kNN or range search.
+///
+/// Holds the workspace that ran the query (recycled into a per-thread pool
+/// on drop), so the distance labels and predecessor links stay readable
+/// for [`SearchResult::distance_to_node`] and
+/// [`SearchResult::path_to_node`] without copying them out.
 pub struct SearchResult {
     /// Answer objects in non-descending distance order.
     pub hits: Vec<SearchHit>,
     /// Work counters.
     pub stats: SearchStats,
     source: NodeId,
-    dist: FastMap<u32, Weight>,
-    pred: FastMap<u32, (u32, Hop)>,
+    ws: PooledWorkspace,
 }
 
 impl SearchResult {
-    /// The settled network distance of `n`, if the search reached it.
+    /// The labelled network distance of `n`, if the search reached it.
     pub fn distance_to_node(&self, n: NodeId) -> Option<Weight> {
-        self.dist.get(&n.0).copied()
+        self.ws.get()?.label_of(n.0)
     }
 
     /// Reconstructs the full physical path from the query node to `n`,
-    /// expanding every shortcut hop. `None` if the search never settled
+    /// expanding every shortcut hop. `None` if the search never reached
     /// `n`.
     pub fn path_to_node(&self, fw: &RoadFramework, n: NodeId) -> Option<Path> {
-        self.dist.get(&n.0)?;
+        let ws = self.ws.get()?;
+        ws.label_of(n.0)?;
         let mut hops = Vec::new();
         let mut cur = n.0;
         while cur != self.source.0 {
-            let &(prev, hop) = self.pred.get(&cur)?;
+            let (prev, hop) = ws.pred_of(cur)?;
             hops.push((prev, hop, cur));
             cur = prev;
         }
@@ -287,13 +306,10 @@ pub(crate) enum Mode {
     ToNode(NodeId),
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
-enum QueueKey {
-    Object(u64),
-    Node(u32),
-}
-
-/// Core expansion shared by kNN, range and point-to-point queries.
+/// Core expansion shared by kNN, range and point-to-point queries, using a
+/// workspace borrowed from the per-thread pool. The workspace travels into
+/// the returned [`SearchResult`] (keeping distance labels readable) and is
+/// recycled when the result is dropped.
 pub(crate) fn execute(
     fw: &RoadFramework,
     ad: Option<&AssociationDirectory>,
@@ -302,6 +318,31 @@ pub(crate) fn execute(
     mode: Mode,
     observer: &mut dyn SearchObserver,
 ) -> Result<SearchResult, RoadError> {
+    let mut ws = workspace::acquire();
+    let mut hits = Vec::new();
+    match execute_into(fw, ad, source, filter, mode, observer, &mut ws, &mut hits) {
+        Ok(stats) => Ok(SearchResult { hits, stats, source, ws: PooledWorkspace::new(ws) }),
+        Err(e) => {
+            workspace::release(ws);
+            Err(e)
+        }
+    }
+}
+
+/// Allocation-free core expansion: every scratch container lives in `ws`
+/// and answers land in the caller's `hits` buffer (cleared first). After
+/// the call, `ws` still holds this query's distance/predecessor labels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_into(
+    fw: &RoadFramework,
+    ad: Option<&AssociationDirectory>,
+    source: NodeId,
+    filter: &ObjectFilter,
+    mode: Mode,
+    observer: &mut dyn SearchObserver,
+    ws: &mut SearchWorkspace,
+    hits: &mut Vec<SearchHit>,
+) -> Result<SearchStats, RoadError> {
     let g = fw.network();
     let hier = fw.hierarchy();
     let shortcuts = fw.shortcuts();
@@ -310,13 +351,9 @@ pub(crate) fn execute(
         return Err(RoadError::NodeOutOfBounds(source));
     }
 
-    let mut stats = SearchStats::default();
-    let mut hits: Vec<SearchHit> = Vec::new();
-    let mut dist: FastMap<u32, Weight> = FastMap::default();
-    let mut pred: FastMap<u32, (u32, Hop)> = FastMap::default();
-    let mut settled_nodes: FastSet<u32> = FastSet::default();
-    let mut seen_objects: FastSet<u64> = FastSet::default();
-    let mut heap: BinaryHeap<Reverse<(Weight, QueueKey)>> = BinaryHeap::new();
+    let mut stats = SearchStats { workspace_reused: ws.reuse_count() > 0, ..Default::default() };
+    hits.clear();
+    ws.begin(g.num_nodes());
 
     let want = match mode {
         Mode::Knn(k, _) => k,
@@ -328,30 +365,17 @@ pub(crate) fn execute(
         Mode::ToNode(_) => None,
     };
     if want == 0 {
-        return Ok(SearchResult { hits, stats, source, dist, pred });
+        return Ok(stats);
     }
 
-    dist.insert(source.0, Weight::ZERO);
-    heap.push(Reverse((Weight::ZERO, QueueKey::Node(source.0))));
+    ws.label_source(source.0);
+    ws.push(Weight::ZERO, QueueKey::Node(source.0));
     stats.heap_pushes += 1;
 
-    // Local helper: relax an edge or shortcut towards `to`.
-    macro_rules! relax {
-        ($from:expr, $to:expr, $nd:expr, $hop:expr) => {{
-            let cur = dist.get(&$to).copied().unwrap_or(Weight::INFINITY);
-            if $nd < cur && !settled_nodes.contains(&$to) {
-                dist.insert($to, $nd);
-                pred.insert($to, ($from, $hop));
-                heap.push(Reverse(($nd, QueueKey::Node($to))));
-                stats.heap_pushes += 1;
-            }
-        }};
-    }
-
-    while let Some(Reverse((d, key))) = heap.pop() {
+    while let Some((d, key)) = ws.pop() {
         match key {
             QueueKey::Object(oid) => {
-                if !seen_objects.insert(oid) {
+                if !ws.first_object_sighting(oid) {
                     continue;
                 }
                 hits.push(SearchHit { object: ObjectId(oid), distance: d });
@@ -360,10 +384,11 @@ pub(crate) fn execute(
                 }
             }
             QueueKey::Node(n) => {
-                if !settled_nodes.insert(n) {
+                if ws.is_settled(n) {
                     continue; // stale entry
                 }
-                if d > dist.get(&n).copied().unwrap_or(Weight::INFINITY) {
+                ws.mark_settled(n);
+                if d > ws.label_of(n).unwrap_or(Weight::INFINITY) {
                     continue;
                 }
                 stats.nodes_settled += 1;
@@ -383,7 +408,7 @@ pub(crate) fn execute(
                     for object in ad.objects_at_node(NodeId(n)) {
                         stats.objects_read += 1;
                         observer.object_read(object.id);
-                        if !filter.matches(object) || seen_objects.contains(&object.id.0) {
+                        if !filter.matches(object) || ws.object_seen(object.id.0) {
                             continue;
                         }
                         let total = d + object.offset_from(g, kind, NodeId(n));
@@ -392,7 +417,7 @@ pub(crate) fn execute(
                                 continue;
                             }
                         }
-                        heap.push(Reverse((total, QueueKey::Object(object.id.0))));
+                        ws.push(total, QueueKey::Object(object.id.0));
                         stats.heap_pushes += 1;
                     }
                 }
@@ -407,13 +432,19 @@ pub(crate) fn execute(
                             continue;
                         }
                         stats.edges_relaxed += 1;
-                        relax!(n, v.0, d + w, Hop::Edge(e));
+                        if ws.relax(n, v.0, d + w, Hop::Edge(e)) {
+                            stats.heap_pushes += 1;
+                        }
                     }
                     continue;
                 }
+                // `bordered_rnets` lists Rnets by level ascending (an
+                // invariant it debug_asserts and `validate()` checks), so
+                // the first entry carries the coarsest (topmost) level and
+                // seeding the descent from it covers every subtree.
                 let top_level = hier.level_of(bordered[0]);
-                let mut stack: Vec<RnetId> =
-                    bordered.iter().copied().filter(|&r| hier.level_of(r) == top_level).collect();
+                let mut stack = ws.take_stack();
+                stack.extend(bordered.iter().copied().filter(|&r| hier.level_of(r) == top_level));
                 while let Some(r) = stack.pop() {
                     stats.abstract_checks += 1;
                     observer.abstract_checked(r);
@@ -427,7 +458,9 @@ pub(crate) fn execute(
                         stats.rnets_bypassed += 1;
                         for sc in shortcuts.from(r, NodeId(n)) {
                             stats.shortcuts_taken += 1;
-                            relax!(n, sc.to.0, d + sc.dist, Hop::Shortcut(r));
+                            if ws.relax(n, sc.to.0, d + sc.dist, Hop::Shortcut(r)) {
+                                stats.heap_pushes += 1;
+                            }
                         }
                     } else if hier.is_leaf(r) {
                         stats.rnets_descended += 1;
@@ -440,7 +473,9 @@ pub(crate) fn execute(
                                 continue;
                             }
                             stats.edges_relaxed += 1;
-                            relax!(n, v.0, d + w, Hop::Edge(e));
+                            if ws.relax(n, v.0, d + w, Hop::Edge(e)) {
+                                stats.heap_pushes += 1;
+                            }
                         }
                     } else {
                         stats.rnets_descended += 1;
@@ -452,10 +487,11 @@ pub(crate) fn execute(
                         }
                     }
                 }
+                ws.put_back_stack(stack);
             }
         }
     }
-    Ok(SearchResult { hits, stats, source, dist, pred })
+    Ok(stats)
 }
 
 /// Does Rnet `r` contain node `t` (as member or border)?
@@ -497,25 +533,29 @@ fn oracle(
 ) -> Vec<SearchHit> {
     let g = fw.network();
     let kind = fw.metric();
-    let mut dij = dijkstra::Dijkstra::for_network(g);
     let mut best: FastMap<u64, Weight> = FastMap::default();
-    dij.expand(g, kind, source, |n, d| {
-        if let Some(r) = radius {
-            if d > r {
-                return dijkstra::Control::Break;
+    // The oracle reuses a thread-pooled Dijkstra: agreement suites fire
+    // thousands of reference queries, and a fresh `O(|N|)` state per query
+    // would dominate their runtime.
+    dijkstra::with_pooled(g, |dij| {
+        dij.expand(g, kind, source, |n, d| {
+            if let Some(r) = radius {
+                if d > r {
+                    return dijkstra::Control::Break;
+                }
             }
-        }
-        for object in ad.objects_at_node(n) {
-            if !filter.matches(object) {
-                continue;
+            for object in ad.objects_at_node(n) {
+                if !filter.matches(object) {
+                    continue;
+                }
+                let total = d + object.offset_from(g, kind, n);
+                let cur = best.get(&object.id.0).copied().unwrap_or(Weight::INFINITY);
+                if total < cur {
+                    best.insert(object.id.0, total);
+                }
             }
-            let total = d + object.offset_from(g, kind, n);
-            let cur = best.get(&object.id.0).copied().unwrap_or(Weight::INFINITY);
-            if total < cur {
-                best.insert(object.id.0, total);
-            }
-        }
-        dijkstra::Control::Continue
+            dijkstra::Control::Continue
+        });
     });
     let mut hits: Vec<SearchHit> = best
         .into_iter()

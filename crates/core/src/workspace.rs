@@ -1,0 +1,343 @@
+//! Reusable, allocation-free per-query search state.
+//!
+//! Every LDSQ evaluation needs the same scratch containers: tentative
+//! distance labels, predecessor links, a settled marker, a priority queue,
+//! a seen-object set and a small Rnet stack for `ChoosePath`. Allocating
+//! them per query (as hash maps, the original design) makes a heavy-traffic
+//! deployment pay allocator and hashing costs proportional to the query
+//! rate. [`SearchWorkspace`] replaces them with dense arrays indexed by
+//! node id and *invalidated by a bumped generation counter* instead of
+//! being cleared: starting a query is `O(1)`, and a label is valid only
+//! when its stamp equals the current round. The same reuse discipline
+//! already drives [`road_network::dijkstra::Dijkstra`]; this module applies
+//! it to the Route Overlay expansion, which additionally tracks objects and
+//! shortcut hops.
+//!
+//! Workspaces reach queries two ways:
+//!
+//! * **explicitly** — callers that own their serving loop create one
+//!   `SearchWorkspace` per thread and pass it to
+//!   [`RoadFramework::knn_with`](crate::framework::RoadFramework::knn_with)
+//!   / [`range_with`](crate::framework::RoadFramework::range_with) together
+//!   with a reusable hit buffer: zero per-query container allocations;
+//! * **implicitly** — the convenience APIs (`knn`, `range`, …) borrow a
+//!   workspace from a small per-thread pool and hand it to the returned
+//!   [`SearchResult`](crate::search::SearchResult), which keeps the dense
+//!   distance/predecessor labels alive for `distance_to_node` /
+//!   `path_to_node` and recycles the workspace back into the pool when the
+//!   result is dropped.
+
+use crate::hierarchy::RnetId;
+use road_network::hash::FastSet;
+use road_network::{EdgeId, Weight};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a hop in the predecessor chain was made.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Hop {
+    Edge(EdgeId),
+    Shortcut(RnetId),
+}
+
+/// Priority-queue key. The variant order is load-bearing: at equal
+/// distance a **node** must pop before an **object**, so that every node
+/// able to host an equal-distance object is expanded (and its objects
+/// enqueued) before any object at that distance is reported. Equal-distance
+/// objects then pop in ascending object-id order — exactly the
+/// `(distance, object id)` tie-break the brute-force oracles use. (The
+/// previous ordering popped objects first, which could report the wrong
+/// object when a tie straddled the k-th slot.)
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+pub(crate) enum QueueKey {
+    Node(u32),
+    Object(u64),
+}
+
+const NO_PRED: u32 = u32::MAX;
+
+/// Reusable scratch state for one in-flight overlay search.
+///
+/// All per-node arrays are generation-stamped: an entry is meaningful only
+/// when its stamp equals the workspace's current round, so starting a new
+/// query never touches the arrays. Create one per serving thread and reuse
+/// it across queries; results are identical to a fresh workspace (a
+/// property the crate's proptests pin down).
+pub struct SearchWorkspace {
+    /// Tentative distance label per node; valid iff `stamp` matches.
+    dist: Vec<Weight>,
+    /// Predecessor link per node; valid iff `stamp` matches.
+    pred: Vec<(u32, Hop)>,
+    /// Label generation per node.
+    stamp: Vec<u32>,
+    /// Settle generation per node.
+    settled: Vec<u32>,
+    /// Current round; bumped per query.
+    round: u32,
+    /// Pending nodes and objects in non-descending distance order.
+    heap: BinaryHeap<Reverse<(Weight, QueueKey)>>,
+    /// Objects already reported this round (object ids are sparse `u64`s,
+    /// so this one stays a hash set; `clear()` keeps its capacity).
+    seen_objects: FastSet<u64>,
+    /// `ChoosePath` descent stack, reused across settled nodes.
+    rnet_stack: Vec<RnetId>,
+    /// Queries served so far (drives `SearchStats::workspace_reused`).
+    runs: u64,
+}
+
+impl Default for SearchWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchWorkspace {
+    /// An empty workspace; arrays grow to the network size on first use.
+    pub fn new() -> Self {
+        Self::with_node_capacity(0)
+    }
+
+    /// A workspace pre-sized for `num_nodes` nodes.
+    pub fn with_node_capacity(num_nodes: usize) -> Self {
+        SearchWorkspace {
+            dist: vec![Weight::INFINITY; num_nodes],
+            pred: vec![(NO_PRED, Hop::Edge(EdgeId(u32::MAX))); num_nodes],
+            stamp: vec![0; num_nodes],
+            settled: vec![0; num_nodes],
+            round: 0,
+            heap: BinaryHeap::new(),
+            seen_objects: FastSet::default(),
+            rnet_stack: Vec::new(),
+            runs: 0,
+        }
+    }
+
+    /// Number of queries this workspace has served.
+    pub fn reuse_count(&self) -> u64 {
+        self.runs
+    }
+
+    /// Nodes the dense arrays are currently sized for.
+    pub fn node_capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Starts a new round: grows the arrays if the network did, bumps the
+    /// generation, and clears the (capacity-retaining) containers.
+    pub(crate) fn begin(&mut self, num_nodes: usize) {
+        if num_nodes > self.dist.len() {
+            self.dist.resize(num_nodes, Weight::INFINITY);
+            self.pred.resize(num_nodes, (NO_PRED, Hop::Edge(EdgeId(u32::MAX))));
+            self.stamp.resize(num_nodes, 0);
+            self.settled.resize(num_nodes, 0);
+        }
+        self.round = self.round.wrapping_add(1);
+        if self.round == 0 {
+            // Stamp wrap-around: invalidate everything explicitly once
+            // every 2^32 queries.
+            self.stamp.fill(0);
+            self.settled.fill(0);
+            self.round = 1;
+        }
+        self.heap.clear();
+        self.seen_objects.clear();
+        self.rnet_stack.clear();
+        self.runs += 1;
+    }
+
+    /// Distance label of `n` this round (`None` = unlabelled).
+    #[inline]
+    pub(crate) fn label_of(&self, n: u32) -> Option<Weight> {
+        let i = n as usize;
+        if i < self.stamp.len() && self.stamp[i] == self.round {
+            Some(self.dist[i])
+        } else {
+            None
+        }
+    }
+
+    /// Predecessor link of `n` this round (`None` for sources and
+    /// unlabelled nodes).
+    #[inline]
+    pub(crate) fn pred_of(&self, n: u32) -> Option<(u32, Hop)> {
+        let i = n as usize;
+        if i < self.stamp.len() && self.stamp[i] == self.round && self.pred[i].0 != NO_PRED {
+            Some(self.pred[i])
+        } else {
+            None
+        }
+    }
+
+    /// Labels the source node at distance zero with no predecessor.
+    #[inline]
+    pub(crate) fn label_source(&mut self, n: u32) {
+        let i = n as usize;
+        self.dist[i] = Weight::ZERO;
+        self.pred[i] = (NO_PRED, Hop::Edge(EdgeId(u32::MAX)));
+        self.stamp[i] = self.round;
+    }
+
+    #[inline]
+    pub(crate) fn is_settled(&self, n: u32) -> bool {
+        self.settled[n as usize] == self.round
+    }
+
+    #[inline]
+    pub(crate) fn mark_settled(&mut self, n: u32) {
+        self.settled[n as usize] = self.round;
+    }
+
+    /// Relaxes a hop `from -> to` at new distance `nd`; returns `true` if
+    /// the label improved and a heap entry was pushed.
+    #[inline]
+    pub(crate) fn relax(&mut self, from: u32, to: u32, nd: Weight, hop: Hop) -> bool {
+        let i = to as usize;
+        let cur = if self.stamp[i] == self.round { self.dist[i] } else { Weight::INFINITY };
+        if nd < cur && self.settled[i] != self.round {
+            self.dist[i] = nd;
+            self.pred[i] = (from, hop);
+            self.stamp[i] = self.round;
+            self.heap.push(Reverse((nd, QueueKey::Node(to))));
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, d: Weight, key: QueueKey) {
+        self.heap.push(Reverse((d, key)));
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(Weight, QueueKey)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// First sighting of object `oid` this round?
+    #[inline]
+    pub(crate) fn first_object_sighting(&mut self, oid: u64) -> bool {
+        self.seen_objects.insert(oid)
+    }
+
+    #[inline]
+    pub(crate) fn object_seen(&self, oid: u64) -> bool {
+        self.seen_objects.contains(&oid)
+    }
+
+    /// Takes the `ChoosePath` stack out for the duration of one node's
+    /// descent (two `&mut` paths into the workspace would otherwise
+    /// conflict); return it with [`Self::put_back_stack`].
+    #[inline]
+    pub(crate) fn take_stack(&mut self) -> Vec<RnetId> {
+        std::mem::take(&mut self.rnet_stack)
+    }
+
+    #[inline]
+    pub(crate) fn put_back_stack(&mut self, stack: Vec<RnetId>) {
+        self.rnet_stack = stack;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread workspace pool
+// ---------------------------------------------------------------------------
+
+/// Upper bound on pooled workspaces per thread. More than one is only
+/// needed while several `SearchResult`s are alive at once (each keeps its
+/// workspace until dropped); the cap bounds memory if a caller hoards
+/// results.
+const POOL_CAP: usize = 8;
+
+thread_local! {
+    // Boxed on purpose (not `clippy::vec_box` noise): acquire/release
+    // shuttle the same allocation between the pool and `PooledWorkspace`
+    // guards without ever moving the workspace struct itself.
+    #[allow(clippy::vec_box)]
+    static POOL: RefCell<Vec<Box<SearchWorkspace>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrows a workspace from this thread's pool (or creates one).
+pub(crate) fn acquire() -> Box<SearchWorkspace> {
+    POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns a workspace to this thread's pool.
+pub(crate) fn release(ws: Box<SearchWorkspace>) {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(ws);
+        }
+    });
+}
+
+/// Owning guard inside a [`SearchResult`](crate::search::SearchResult):
+/// keeps the labels of the producing query readable and recycles the
+/// workspace into the thread-local pool when dropped. Deliberately a
+/// separate type so `SearchResult` itself has no `Drop` impl and its
+/// public `hits` field can still be moved out.
+pub(crate) struct PooledWorkspace(Option<Box<SearchWorkspace>>);
+
+impl PooledWorkspace {
+    pub(crate) fn new(ws: Box<SearchWorkspace>) -> Self {
+        PooledWorkspace(Some(ws))
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> Option<&SearchWorkspace> {
+        self.0.as_deref()
+    }
+}
+
+impl Drop for PooledWorkspace {
+    fn drop(&mut self) {
+        if let Some(ws) = self.0.take() {
+            release(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_invalidate_without_clearing() {
+        let mut ws = SearchWorkspace::with_node_capacity(4);
+        ws.begin(4);
+        ws.label_source(2);
+        assert_eq!(ws.label_of(2), Some(Weight::ZERO));
+        assert!(ws.relax(2, 3, Weight::new(1.5), Hop::Edge(EdgeId(0))));
+        assert_eq!(ws.label_of(3), Some(Weight::new(1.5)));
+        // New round: every label is stale, nothing was cleared.
+        ws.begin(4);
+        assert_eq!(ws.label_of(2), None);
+        assert_eq!(ws.label_of(3), None);
+        assert!(!ws.is_settled(2));
+        assert_eq!(ws.reuse_count(), 2);
+    }
+
+    #[test]
+    fn pool_recycles_up_to_cap() {
+        let before = POOL.with(|p| p.borrow().len());
+        let ws = acquire();
+        release(ws);
+        let after = POOL.with(|p| p.borrow().len());
+        assert!(after >= before.min(POOL_CAP));
+        for _ in 0..(POOL_CAP * 2) {
+            release(Box::default());
+        }
+        assert!(POOL.with(|p| p.borrow().len()) <= POOL_CAP);
+    }
+
+    #[test]
+    fn queue_key_orders_nodes_before_objects() {
+        // The tie-break contract: at equal distance, nodes expand first and
+        // objects report in ascending id order.
+        assert!(QueueKey::Node(u32::MAX) < QueueKey::Object(0));
+        assert!(QueueKey::Object(3) < QueueKey::Object(5));
+        assert!(QueueKey::Node(1) < QueueKey::Node(2));
+    }
+}

@@ -537,6 +537,107 @@ fn search_stats_are_internally_consistent() {
 }
 
 #[test]
+fn equal_distance_ties_break_by_object_id_like_the_oracle() {
+    // Three objects planted at network distance exactly 2.0 from the query
+    // node — one strictly closer object fills the first slot, so the tie
+    // straddles every k in 2..4. One tied object sits *at* a node
+    // (fraction 0/1), which the old object-before-node heap ordering could
+    // report ahead of a smaller-id object discovered through that node.
+    // Engine, kNN oracle and range oracle must produce identical
+    // *sequences*, not just multisets.
+    let fw = build(simple::chain(21, 1.0), 2, 2);
+    let g = fw.network();
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let edge = |a: u32, b: u32| g.edge_between(NodeId(a), NodeId(b)).unwrap();
+    // Closest object, distance 0.5.
+    ad.insert(g, fw.hierarchy(), Object::new(ObjectId(20), edge(10, 11), 0.5, CategoryId(0)))
+        .unwrap();
+    // Three objects tied at distance 2.0, adversarial id order: the
+    // smallest id (3) lives at the node that settles *last* among the
+    // distance-2 frontier.
+    ad.insert(g, fw.hierarchy(), Object::new(ObjectId(9), edge(12, 13), 0.0, CategoryId(0)))
+        .unwrap();
+    ad.insert(g, fw.hierarchy(), Object::new(ObjectId(5), edge(11, 12), 1.0, CategoryId(0)))
+        .unwrap();
+    ad.insert(g, fw.hierarchy(), Object::new(ObjectId(3), edge(7, 8), 1.0, CategoryId(0))).unwrap();
+
+    let source = NodeId(10);
+    for k in 1..=4usize {
+        let q = KnnQuery::new(source, k);
+        let got = fw.knn(&ad, &q).unwrap();
+        let want = oracle_knn(&fw, &ad, &q);
+        let got_ids: Vec<u64> = got.hits.iter().map(|h| h.object.0).collect();
+        let want_ids: Vec<u64> = want.iter().map(|h| h.object.0).collect();
+        assert_eq!(got_ids, want_ids, "k={k}: engine and oracle disagree on tie order");
+    }
+    // Expected order is fully determined: distance, then object id.
+    let got = fw.knn(&ad, &KnnQuery::new(source, 4)).unwrap();
+    let ids: Vec<u64> = got.hits.iter().map(|h| h.object.0).collect();
+    assert_eq!(ids, vec![20, 3, 5, 9]);
+
+    // The range oracle and the engine's range search agree on the same
+    // (distance, id) sequence, and the kNN oracle is its prefix.
+    let rq = RangeQuery::new(source, Weight::new(2.0));
+    let got_range = fw.range(&ad, &rq).unwrap();
+    let want_range = oracle_range(&fw, &ad, &rq);
+    let got_ids: Vec<u64> = got_range.hits.iter().map(|h| h.object.0).collect();
+    let want_ids: Vec<u64> = want_range.iter().map(|h| h.object.0).collect();
+    assert_eq!(got_ids, want_ids, "range tie order");
+    let knn_ids: Vec<u64> =
+        oracle_knn(&fw, &ad, &KnnQuery::new(source, 2)).iter().map(|h| h.object.0).collect();
+    assert_eq!(knn_ids, want_ids[..2], "kNN oracle is a prefix of the range oracle");
+}
+
+#[test]
+fn aggregate_knn_bounded_expansions_prune_and_agree() {
+    use road_core::search::{Aggregate, AggregateKnnQuery};
+    let fw = build(simple::grid(13, 13, 1.0), 4, 2);
+    let ad = scatter_objects(&fw, 40, 1, 23);
+    // A tight group: the k-th best aggregate is small, so the
+    // triangle-inequality bound should confine members 2 and 3 to a
+    // fraction of the component.
+    let group = vec![NodeId(40), NodeId(41), NodeId(54)];
+    for aggregate in [Aggregate::Sum, Aggregate::Max] {
+        let q = AggregateKnnQuery::new(group.clone(), 3).with_aggregate(aggregate);
+        let (got, stats) = fw.aggregate_knn_with_stats(&ad, &q).unwrap();
+
+        // Reference: the unbounded per-member evaluation (the previous
+        // implementation), combined the same way.
+        let mut unbounded_settled = 0usize;
+        let mut acc: std::collections::HashMap<u64, (Weight, usize)> = Default::default();
+        for &m in &group {
+            let res = fw.range(&ad, &RangeQuery::new(m, Weight::INFINITY)).unwrap();
+            unbounded_settled += res.stats.nodes_settled;
+            for hit in &res.hits {
+                let entry = acc.entry(hit.object.0).or_insert((Weight::ZERO, 0));
+                entry.0 = aggregate.combine(entry.0, hit.distance);
+                entry.1 += 1;
+            }
+        }
+        let mut want: Vec<(u64, Weight)> = acc
+            .into_iter()
+            .filter(|&(_, (_, seen))| seen == group.len())
+            .map(|(o, (d, _))| (o, d))
+            .collect();
+        want.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(3);
+
+        assert_eq!(got.len(), want.len(), "{aggregate:?}");
+        for (hit, (o, d)) in got.iter().zip(&want) {
+            assert_eq!(hit.object.0, *o, "{aggregate:?}");
+            assert!(hit.distance.approx_eq(*d), "{aggregate:?}: {} vs {}", hit.distance, d);
+        }
+        // The point of the fix: the bounded evaluation must do strictly
+        // less settling work than three unbounded component sweeps.
+        assert!(
+            stats.nodes_settled < unbounded_settled,
+            "{aggregate:?}: pruning never engaged ({} vs {unbounded_settled} settled)",
+            stats.nodes_settled
+        );
+    }
+}
+
+#[test]
 fn equal_distance_ties_prefer_objects_over_nodes() {
     // An object exactly at a node (fraction 0) must be reported at the
     // distance of that node, and popping it may not depend on whether the

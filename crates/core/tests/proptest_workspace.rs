@@ -1,0 +1,85 @@
+//! Property test pinning down the workspace-reuse contract: a single
+//! `SearchWorkspace` carried across many randomized queries — different
+//! query nodes, modes, filters, and even *different frameworks of
+//! different sizes* (so most of its generation stamps are stale garbage
+//! from earlier rounds) — must answer exactly like a fresh workspace every
+//! time.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::prelude::*;
+use road_network::generator::simple;
+use road_network::graph::RoadNetwork;
+
+fn build_world(
+    net: RoadNetwork,
+    objects: usize,
+    seed: u64,
+) -> (RoadFramework, AssociationDirectory) {
+    let fw = RoadFramework::builder(net).fanout(2).levels(2).build().unwrap();
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let edges: Vec<_> = fw.network().edge_ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..objects {
+        let e = edges[rng.random_range(0..edges.len())];
+        let o = Object::new(
+            ObjectId(i as u64),
+            e,
+            rng.random_range(0.0..=1.0),
+            CategoryId(rng.random_range(0..3)),
+        );
+        ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+    }
+    (fw, ad)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reused_workspace_matches_fresh_results(
+        n in 16usize..90,
+        extra in 0usize..30,
+        seed in 0u64..500,
+    ) {
+        // Two worlds of very different node counts: alternating between
+        // them forces capacity growth and leaves large stale regions in
+        // the reused workspace's stamp arrays.
+        let (fw_big, ad_big) = build_world(simple::random_connected(n, extra, seed), 14, seed);
+        let (fw_small, ad_small) = build_world(simple::chain(7, 1.0), 5, seed + 1);
+        let worlds = [(&fw_big, &ad_big), (&fw_small, &ad_small)];
+
+        let mut reused = SearchWorkspace::new();
+        let mut reused_hits = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        for step in 0..40 {
+            let (fw, ad) = worlds[step % 2];
+            let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+            let mut fresh = SearchWorkspace::new();
+            let mut fresh_hits = Vec::new();
+            if step % 3 == 0 {
+                let radius = Weight::new(rng.random_range(0.5..25.0));
+                let q = RangeQuery::new(node, radius);
+                fw.range_with(ad, &q, &mut reused, &mut reused_hits).unwrap();
+                fw.range_with(ad, &q, &mut fresh, &mut fresh_hits).unwrap();
+            } else {
+                let k = rng.random_range(1..8);
+                let mut q = KnnQuery::new(node, k);
+                if step % 2 == 1 {
+                    q = q.with_filter(ObjectFilter::Category(CategoryId(step as u16 % 3)));
+                }
+                fw.knn_with(ad, &q, &mut reused, &mut reused_hits).unwrap();
+                fw.knn_with(ad, &q, &mut fresh, &mut fresh_hits).unwrap();
+            }
+            prop_assert_eq!(
+                &reused_hits, &fresh_hits,
+                "step {} diverged (node {}, reuse #{})", step, node, reused.reuse_count()
+            );
+        }
+        // The workspace really was reused throughout, sized for the
+        // larger world.
+        prop_assert_eq!(reused.reuse_count(), 40);
+        prop_assert!(reused.node_capacity() >= fw_big.network().num_nodes());
+    }
+}

@@ -42,6 +42,9 @@ pub struct Dijkstra {
     round: u32,
     heap: BinaryHeap<Reverse<(Weight, u32)>>,
     settled_count: usize,
+    /// Scratch for [`Dijkstra::one_to_many`]; kept to avoid a per-call
+    /// allocation (cleared, capacity retained).
+    target_scratch: crate::hash::FastSet<u32>,
 }
 
 impl Dijkstra {
@@ -55,6 +58,7 @@ impl Dijkstra {
             round: 0,
             heap: BinaryHeap::new(),
             settled_count: 0,
+            target_scratch: crate::hash::FastSet::default(),
         }
     }
 
@@ -250,7 +254,9 @@ impl Dijkstra {
         src: NodeId,
         targets: &[NodeId],
     ) -> Vec<Option<Weight>> {
-        let mut remaining: crate::hash::FastSet<u32> = targets.iter().map(|t| t.0).collect();
+        let mut remaining = std::mem::take(&mut self.target_scratch);
+        remaining.clear();
+        remaining.extend(targets.iter().map(|t| t.0));
         self.expand(g, kind, src, |n, _| {
             remaining.remove(&n.0);
             if remaining.is_empty() {
@@ -259,8 +265,28 @@ impl Dijkstra {
                 Control::Continue
             }
         });
+        self.target_scratch = remaining;
         targets.iter().map(|&t| self.distance(t)).collect()
     }
+}
+
+thread_local! {
+    /// Pool backing [`with_pooled`]: one spare `Dijkstra` per thread.
+    static DIJKSTRA_POOL: std::cell::RefCell<Option<Box<Dijkstra>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with a thread-pooled, network-sized [`Dijkstra`] — the cheap
+/// way to fire many one-shot expansions (oracles, reference checks)
+/// without paying an `O(|N|)` state allocation per call. Re-entrant calls
+/// simply build a fresh state for the inner level.
+pub fn with_pooled<R>(g: &RoadNetwork, f: impl FnOnce(&mut Dijkstra) -> R) -> R {
+    let mut dij =
+        DIJKSTRA_POOL.with(|p| p.borrow_mut().take()).unwrap_or_else(|| Box::new(Dijkstra::new(0)));
+    dij.ensure_capacity(g.num_nodes());
+    let r = f(&mut dij);
+    DIJKSTRA_POOL.with(|p| *p.borrow_mut() = Some(dij));
+    r
 }
 
 /// One-shot convenience: shortest distance between two nodes.
@@ -320,6 +346,8 @@ pub struct LocalDijkstra {
     pred_node: Vec<u32>,
     pred_label: Vec<u32>,
     stamp: Vec<u32>,
+    /// Generation-stamped target marker (replaces a per-run `Vec<bool>`).
+    target_stamp: Vec<u32>,
     round: u32,
     heap: BinaryHeap<Reverse<(Weight, u32)>>,
 }
@@ -338,6 +366,7 @@ impl LocalDijkstra {
             pred_node: Vec::new(),
             pred_label: Vec::new(),
             stamp: Vec::new(),
+            target_stamp: Vec::new(),
             round: 0,
             heap: BinaryHeap::new(),
         }
@@ -352,18 +381,19 @@ impl LocalDijkstra {
             self.pred_node.resize(n, NO_PRED);
             self.pred_label.resize(n, NO_PRED);
             self.stamp.resize(n, 0);
+            self.target_stamp.resize(n, 0);
         }
         self.round = self.round.wrapping_add(1);
         if self.round == 0 {
             self.stamp.fill(0);
+            self.target_stamp.fill(0);
             self.round = 1;
         }
         self.heap.clear();
 
         let mut pending = targets.len();
-        let mut is_target = vec![false; if pending > 0 { n } else { 0 }];
         for &t in targets {
-            is_target[t as usize] = true;
+            self.target_stamp[t as usize] = self.round;
         }
 
         self.dist[src as usize] = Weight::ZERO;
@@ -376,9 +406,9 @@ impl LocalDijkstra {
             if self.stamp[ui] != self.round || d > self.dist[ui] {
                 continue;
             }
-            if pending > 0 && is_target[ui] {
+            if pending > 0 && self.target_stamp[ui] == self.round {
                 // A target can be pushed twice; only count its settlement once.
-                is_target[ui] = false;
+                self.target_stamp[ui] = self.round.wrapping_sub(1);
                 pending -= 1;
                 if pending == 0 {
                     return;
