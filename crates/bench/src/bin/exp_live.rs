@@ -1,0 +1,9 @@
+//! Measures the mixed read/write throughput of the snapshot-published
+//! `LiveEngine` on the fig17 kNN workload: reader QPS with and without a
+//! concurrent writer streaming edge-weight updates, plus the update
+//! locality and structural-sharing evidence.
+
+fn main() {
+    let ctx = road_bench::experiments::Ctx::from_args();
+    road_bench::experiments::live::run(&ctx);
+}

@@ -1,4 +1,4 @@
-//! Ablations for the design choices DESIGN.md calls out:
+//! Ablations for the design choices ARCHITECTURE.md calls out:
 //!
 //! 1. **Object distribution** — footnote 3 of the paper predicts ROAD
 //!    gains more from clustered objects (more empty Rnets to prune);

@@ -1,5 +1,6 @@
 //! One module per figure of the paper's evaluation (Section 6), plus the
-//! design-choice ablations called out in DESIGN.md.
+//! design-choice ablations called out in ARCHITECTURE.md and the two
+//! serving experiments (`exp_throughput`, `exp_live`).
 
 pub mod ablation;
 pub mod fig11;
@@ -10,6 +11,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod live;
 pub mod throughput;
 
 use crate::config::{ExpScale, Params};
@@ -55,4 +57,5 @@ pub fn run_all(ctx: &Ctx) {
     fig18::run(ctx, None);
     fig19::run(ctx);
     ablation::run(ctx);
+    live::run(ctx);
 }

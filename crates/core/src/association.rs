@@ -20,6 +20,12 @@ use road_network::hash::FastMap;
 use road_network::{EdgeId, NodeId};
 
 /// An object directory over one Rnet hierarchy.
+///
+/// `Clone` is a deep copy proportional to the object count; the live
+/// engine holds directories behind [`std::sync::Arc`] and only pays it on
+/// the first object mutation after a snapshot fork (network-side updates
+/// never touch the directory).
+#[derive(Clone)]
 pub struct AssociationDirectory {
     kind: AbstractKind,
     objects: FastMap<u64, Object>,

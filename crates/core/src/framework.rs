@@ -20,6 +20,7 @@ use road_network::graph::{RoadNetwork, WeightKind};
 use road_network::hash::FastSet;
 use road_network::partition::PartitionOptions;
 use road_network::{EdgeId, NodeId, Point, Weight};
+use std::sync::Arc;
 
 /// Framework configuration.
 #[derive(Clone, Debug, Default)]
@@ -33,6 +34,23 @@ pub struct RoadConfig {
 }
 
 /// Counters describing one maintenance operation (Section 5.2).
+///
+/// Filter-and-refresh repairs are *local*: a weight change refreshes at
+/// most one Rnet per hierarchy level, so `rnets_refreshed` staying far
+/// below [`RnetHierarchy::num_rnets`] is the proof that maintenance never
+/// degenerates into a full rebuild. Accumulate outcomes over an update
+/// stream with [`UpdateOutcome::absorb`]:
+///
+/// ```
+/// use road_core::UpdateOutcome;
+///
+/// let mut total = UpdateOutcome::default();
+/// total.absorb(&UpdateOutcome { rnets_refreshed: 3, rnets_changed: 1, ..Default::default() });
+/// total.absorb(&UpdateOutcome { rnets_refreshed: 2, borders_promoted: 1, ..Default::default() });
+/// assert_eq!(total.rnets_refreshed, 5);
+/// assert_eq!(total.rnets_changed, 1);
+/// assert_eq!(total.borders_promoted, 1);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UpdateOutcome {
     /// Rnets whose shortcuts were recomputed ("refreshed").
@@ -45,13 +63,50 @@ pub struct UpdateOutcome {
     pub borders_demoted: usize,
 }
 
+impl UpdateOutcome {
+    /// Adds another operation's counters into this one (the accumulation
+    /// the live engine's [`stats`](crate::live::LiveStats) and the
+    /// maintenance experiments report).
+    pub fn absorb(&mut self, other: &UpdateOutcome) {
+        self.rnets_refreshed += other.rnets_refreshed;
+        self.rnets_changed += other.rnets_changed;
+        self.borders_promoted += other.borders_promoted;
+        self.borders_demoted += other.borders_demoted;
+    }
+}
+
 /// The ROAD framework over one road network.
+///
+/// Internally copy-on-write: the network, hierarchy and per-Rnet shortcut
+/// maps live behind [`Arc`]s, so [`Clone`] is a cheap fork (`O(#Rnets)`
+/// pointer bumps) that shares every payload with the original. Maintenance
+/// methods un-share lazily — the first mutation after a fork copies only
+/// the component it touches (weight updates copy the network's flat edge
+/// arrays and the refreshed Rnets' shortcut maps; topology changes
+/// additionally copy the hierarchy) — which is what makes the live
+/// engine's snapshot publication affordable under a sustained update
+/// stream (see [`crate::live`]).
 pub struct RoadFramework {
-    g: RoadNetwork,
+    g: Arc<RoadNetwork>,
     cfg: RoadConfig,
-    hier: RnetHierarchy,
+    hier: Arc<RnetHierarchy>,
     shortcuts: ShortcutStore,
     scratch: BuildScratch,
+}
+
+impl Clone for RoadFramework {
+    /// Forks the framework: both copies share the network, hierarchy and
+    /// all shortcut data until one of them is mutated (standard `Clone`
+    /// semantics — the copies never observe each other's later changes).
+    fn clone(&self) -> Self {
+        RoadFramework {
+            g: Arc::clone(&self.g),
+            cfg: self.cfg.clone(),
+            hier: Arc::clone(&self.hier),
+            shortcuts: self.shortcuts.clone(),
+            scratch: BuildScratch::default(),
+        }
+    }
 }
 
 impl RoadFramework {
@@ -60,7 +115,13 @@ impl RoadFramework {
     pub fn build(g: RoadNetwork, cfg: RoadConfig) -> Result<Self, RoadError> {
         let hier = RnetHierarchy::build(&g, &cfg.hierarchy)?;
         let shortcuts = ShortcutStore::build(&g, &hier, cfg.metric, &cfg.shortcuts);
-        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+        Ok(RoadFramework {
+            g: Arc::new(g),
+            cfg,
+            hier: Arc::new(hier),
+            shortcuts,
+            scratch: BuildScratch::default(),
+        })
     }
 
     /// Fluent construction helper.
@@ -78,7 +139,13 @@ impl RoadFramework {
         shortcuts: ShortcutStore,
     ) -> Result<Self, RoadError> {
         hier.validate(&g).map_err(RoadError::InvalidConfig)?;
-        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+        Ok(RoadFramework {
+            g: Arc::new(g),
+            cfg,
+            hier: Arc::new(hier),
+            shortcuts,
+            scratch: BuildScratch::default(),
+        })
     }
 
     /// Builds the framework over a caller-supplied leaf partition (e.g.
@@ -98,7 +165,13 @@ impl RoadFramework {
             leaf_index_of,
         )?;
         let shortcuts = ShortcutStore::build(&g, &hier, cfg.metric, &cfg.shortcuts);
-        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+        Ok(RoadFramework {
+            g: Arc::new(g),
+            cfg,
+            hier: Arc::new(hier),
+            shortcuts,
+            scratch: BuildScratch::default(),
+        })
     }
 
     /// Serializes the framework (network + hierarchy + shortcuts); see
@@ -440,11 +513,20 @@ impl RoadFramework {
         e: EdgeId,
         weight: Weight,
     ) -> Result<UpdateOutcome, RoadError> {
-        let old = self.g.set_weight(e, self.cfg.metric, weight)?;
         let mut outcome = UpdateOutcome::default();
-        if old == weight {
+        // Validate and compare against the current weight before touching
+        // the Arc: neither a bad edge nor a no-op update may un-share a
+        // forked network.
+        if e.index() >= self.g.edge_slots() {
+            return Err(road_network::error::NetworkError::EdgeOutOfBounds(e).into());
+        }
+        if self.g.edge(e).is_deleted() {
+            return Err(road_network::error::NetworkError::EdgeDeleted(e).into());
+        }
+        if self.g.weight(e, self.cfg.metric) == weight {
             return Ok(outcome);
         }
+        Arc::make_mut(&mut self.g).set_weight(e, self.cfg.metric, weight)?;
         let mut r = self.hier.leaf_of_edge(e);
         while r.is_valid() {
             outcome.rnets_refreshed += 1;
@@ -468,7 +550,7 @@ impl RoadFramework {
     /// Adds a new intersection (used when road construction introduces new
     /// nodes); connect it with [`RoadFramework::add_edge`].
     pub fn add_node(&mut self, at: Point) -> NodeId {
-        self.g.add_node(at)
+        Arc::make_mut(&mut self.g).add_node(at)
     }
 
     /// Adds a road segment (Section 5.2.2, "addition of a new edge").
@@ -477,6 +559,13 @@ impl RoadFramework {
     /// edges; endpoints whose incident edges now span several Rnets are
     /// promoted to border nodes and all affected Rnets' shortcuts are
     /// refreshed.
+    ///
+    /// Fallback: when *both* endpoints are isolated (no incident edges
+    /// anywhere), no Rnet is implied by the topology, so the edge is
+    /// hosted in the finest Rnet geometrically nearest the endpoints —
+    /// the leaf containing the edge endpoint closest to the new segment's
+    /// midpoint. Only a network with no edges at all falls back to the
+    /// first leaf.
     pub fn add_edge(
         &mut self,
         a: NodeId,
@@ -501,13 +590,34 @@ impl RoadFramework {
             .or(leaves_a.first())
             .or(leaves_b.first())
             .copied()
-            .unwrap_or_else(|| {
-                // Two isolated nodes: host in the first finest Rnet.
-                self.hier.rnets_at_level(self.hier.levels()).next().expect("hierarchy has leaves")
-            });
-        let e = self.g.add_edge(a, b, weights.0, weights.1, weights.2)?;
-        self.hier.assign_edge(e, leaf);
+            .unwrap_or_else(|| self.nearest_leaf_rnet(a, b));
+        let e = Arc::make_mut(&mut self.g).add_edge(a, b, weights.0, weights.1, weights.2)?;
+        Arc::make_mut(&mut self.hier).assign_edge(e, leaf);
         Ok((e, self.repair_after_topology_change(&[a, b], leaf)))
+    }
+
+    /// The finest Rnet whose edges come geometrically closest to the
+    /// midpoint of `a` and `b` — the host for an edge between two isolated
+    /// nodes, where no existing edge implies a leaf. Falls back to the
+    /// first leaf only when every leaf is empty.
+    fn nearest_leaf_rnet(&self, a: NodeId, b: NodeId) -> RnetId {
+        let (pa, pb) = (self.g.coord(a), self.g.coord(b));
+        let mid = Point::new((pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0);
+        let first =
+            self.hier.rnets_at_level(self.hier.levels()).next().expect("hierarchy has leaves");
+        let mut best: (f64, RnetId) = (f64::INFINITY, first);
+        for r in self.hier.rnets_at_level(self.hier.levels()) {
+            for &e in self.hier.leaf_edge_list(r) {
+                let (u, v) = self.g.edge(e).endpoints();
+                for n in [u, v] {
+                    let d = mid.distance(self.g.coord(n));
+                    if d < best.0 {
+                        best = (d, r);
+                    }
+                }
+            }
+        }
+        best.1
     }
 
     /// Removes a road segment (Section 5.2.2, "deletion of an existing
@@ -529,8 +639,8 @@ impl RoadFramework {
         }
         let (a, b) = self.g.edge(e).endpoints();
         let leaf = self.hier.leaf_of_edge(e);
-        self.g.remove_edge(e)?;
-        self.hier.unassign_edge(e);
+        Arc::make_mut(&mut self.g).remove_edge(e)?;
+        Arc::make_mut(&mut self.hier).unassign_edge(e);
         Ok(self.repair_after_topology_change(&[a, b], leaf))
     }
 
@@ -546,20 +656,23 @@ impl RoadFramework {
         }
         let mut outcome = UpdateOutcome::default();
         let mut affected: FastSet<u32> = FastSet::default();
+        // Border bookkeeping mutates the hierarchy; un-share it once here
+        // (a no-op unless a snapshot fork still references it).
+        let hier = Arc::make_mut(&mut self.hier);
         if leaf.is_valid() {
-            add_chain(&self.hier, leaf, &mut affected);
+            add_chain(hier, leaf, &mut affected);
         }
         for &n in nodes {
-            let (gained, lost) = self.hier.refresh_node_borders(&self.g, n);
+            let (gained, lost) = hier.refresh_node_borders(&self.g, n);
             outcome.borders_promoted += usize::from(!gained.is_empty());
             outcome.borders_demoted += usize::from(!lost.is_empty());
             for r in gained.into_iter().chain(lost) {
-                add_chain(&self.hier, r, &mut affected);
+                add_chain(hier, r, &mut affected);
             }
             // Every Rnet the node still borders may gain/lose shortcuts
             // through the changed edge set.
-            for &r in self.hier.bordered_rnets(n) {
-                add_chain(&self.hier, r, &mut affected);
+            for &r in hier.bordered_rnets(n) {
+                add_chain(hier, r, &mut affected);
             }
         }
         // Refresh finest-first so parents see up-to-date child shortcuts.

@@ -68,6 +68,11 @@ impl Default for HierarchyConfig {
 }
 
 /// The Rnet hierarchy over a road network.
+///
+/// `Clone` is a deep copy; the framework only pays it on the first
+/// *topology* change after a snapshot fork (weight updates never touch
+/// the hierarchy), via [`std::sync::Arc::make_mut`].
+#[derive(Clone)]
 pub struct RnetHierarchy {
     fanout: u32,
     levels: u32,

@@ -51,6 +51,7 @@ pub mod engine;
 pub mod error;
 pub mod framework;
 pub mod hierarchy;
+pub mod live;
 pub mod model;
 pub mod persist;
 pub mod search;
@@ -63,6 +64,7 @@ pub use engine::QueryEngine;
 pub use error::RoadError;
 pub use framework::{RoadConfig, RoadFramework, UpdateOutcome};
 pub use hierarchy::{HierarchyConfig, RnetHierarchy, RnetId};
+pub use live::{LiveEngine, LiveStats, Snapshot, UpdateHandle};
 pub use model::{CategoryId, Object, ObjectFilter, ObjectId};
 pub use search::{
     KnnQuery, NoopObserver, RangeQuery, SearchHit, SearchObserver, SearchResult, SearchStats,
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use crate::association::AssociationDirectory;
     pub use crate::engine::QueryEngine;
     pub use crate::framework::{RoadConfig, RoadFramework};
+    pub use crate::live::{LiveEngine, Snapshot, UpdateHandle};
     pub use crate::model::{CategoryId, Object, ObjectFilter, ObjectId};
     pub use crate::search::{KnnQuery, RangeQuery, SearchHit};
     pub use crate::workspace::SearchWorkspace;

@@ -1,0 +1,458 @@
+//! Live-update serving: a writer/reader split over atomically published
+//! snapshots.
+//!
+//! ROAD's maintenance story (Section 5.2) says the Route Overlay survives
+//! edge-weight changes and topology edits by repairing only the affected
+//! Rnets — but every repair method on [`RoadFramework`] takes `&mut self`,
+//! so a deployment serving concurrent kNN traffic could not absorb a
+//! single traffic update without tearing its engine down. This module
+//! closes that gap with copy-on-write snapshot publication:
+//!
+//! * **One writer.** An [`UpdateHandle`] (not `Clone`; every mutator takes
+//!   `&mut self`) owns the master framework and directory. It applies
+//!   edge-weight changes, topology edits and object updates through the
+//!   ordinary §5.2 filter-and-refresh repairs — each update refreshes only
+//!   the affected Rnets' shortcut maps, never rebuilding the overlay —
+//!   and makes a batch of updates visible with
+//!   [`publish`](UpdateHandle::publish).
+//! * **Any number of readers.** A [`LiveEngine`] handle is cheaply
+//!   clonable; [`snapshot`](LiveEngine::snapshot) hands back an
+//!   `Arc<`[`Snapshot`]`>` — an immutable framework + directory pair that
+//!   keeps answering on exactly the state it was published with, no
+//!   matter what the writer does next. Readers drive the same zero-alloc
+//!   [`knn_with`](Snapshot::knn_with) / [`range_with`](Snapshot::range_with)
+//!   hot path as [`QueryEngine`].
+//!
+//! Publication swaps an `Arc` behind a mutex held only for the pointer
+//! exchange: readers never wait on a repair in progress, and the writer
+//! never waits for readers to finish (old snapshots are freed by the last
+//! reader dropping them). The swap is cheap because the framework is
+//! internally copy-on-write ([`RoadFramework`] docs): publishing clones
+//! `O(#Rnets)` `Arc` pointers, and the *next* update after a publish
+//! un-shares only the component it touches. A weight update therefore
+//! costs: one lazy copy of the network's flat edge arrays per publish
+//! cycle, plus fresh maps for the handful of refreshed Rnets — every
+//! other Rnet's shortcut data is physically shared across all live
+//! snapshots (asserted by `ShortcutStore::shared_rnet_count` in the test
+//! suite and reported by the `exp_live` benchmark).
+//!
+//! ```
+//! use road_core::prelude::*;
+//! use road_network::generator::simple;
+//!
+//! let net = simple::grid(8, 8, 1.0);
+//! let fw = RoadFramework::builder(net).fanout(4).levels(2).build().unwrap();
+//! let mut pois = AssociationDirectory::new(fw.hierarchy());
+//! let edge = fw.network().edge_ids().next().unwrap();
+//! pois.insert(fw.network(), fw.hierarchy(), Object::new(ObjectId(1), edge, 0.5, CategoryId(0)))
+//!     .unwrap();
+//!
+//! let (live, mut writer) = LiveEngine::new(fw, pois);
+//! let before = live.snapshot(); // clone into any number of reader threads
+//!
+//! writer.set_edge_weight(edge, Weight::new(40.0)).unwrap();
+//! let version = writer.publish();
+//! let after = live.snapshot();
+//!
+//! assert_eq!(after.version(), version);
+//! // The held snapshot still answers on pre-update weights...
+//! assert_eq!(before.framework().network().weight(edge, WeightKind::Distance), Weight::new(1.0));
+//! // ...while new snapshots see the congestion.
+//! assert_eq!(after.framework().network().weight(edge, WeightKind::Distance), Weight::new(40.0));
+//! ```
+
+use crate::association::AssociationDirectory;
+use crate::engine::QueryEngine;
+use crate::framework::{RoadFramework, UpdateOutcome};
+use crate::model::{CategoryId, Object, ObjectId};
+use crate::search::{KnnQuery, RangeQuery, SearchHit, SearchResult, SearchStats};
+use crate::workspace::SearchWorkspace;
+use crate::RoadError;
+use road_network::{EdgeId, NodeId, Point, Weight};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One published, immutable state of the road network and its objects.
+///
+/// A snapshot answers queries on exactly the state it was published with,
+/// for as long as any reader holds it; later publications never mutate it.
+/// Obtain one from [`LiveEngine::snapshot`] and hold it for the duration
+/// of a request (or a batch of requests) — re-acquiring per query is
+/// cheap, but holding one guarantees a consistent view across several
+/// queries.
+pub struct Snapshot {
+    version: u64,
+    fw: Arc<RoadFramework>,
+    ad: Arc<AssociationDirectory>,
+}
+
+impl Snapshot {
+    /// Monotonically increasing publication number (the initial state is
+    /// version 0).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The framework as of this publication.
+    pub fn framework(&self) -> &RoadFramework {
+        &self.fw
+    }
+
+    /// The object directory as of this publication.
+    pub fn directory(&self) -> &AssociationDirectory {
+        &self.ad
+    }
+
+    /// kNN through the per-thread workspace pool.
+    pub fn knn(&self, query: &KnnQuery) -> Result<SearchResult, RoadError> {
+        self.fw.knn(&self.ad, query)
+    }
+
+    /// Range query through the per-thread workspace pool.
+    pub fn range(&self, query: &RangeQuery) -> Result<SearchResult, RoadError> {
+        self.fw.range(&self.ad, query)
+    }
+
+    /// Allocation-free kNN into caller-owned scratch; the serving-loop hot
+    /// path. See [`RoadFramework::knn_with`].
+    pub fn knn_with(
+        &self,
+        query: &KnnQuery,
+        ws: &mut SearchWorkspace,
+        hits: &mut Vec<SearchHit>,
+    ) -> Result<SearchStats, RoadError> {
+        self.fw.knn_with(&self.ad, query, ws, hits)
+    }
+
+    /// Allocation-free range query into caller-owned scratch.
+    pub fn range_with(
+        &self,
+        query: &RangeQuery,
+        ws: &mut SearchWorkspace,
+        hits: &mut Vec<SearchHit>,
+    ) -> Result<SearchStats, RoadError> {
+        self.fw.range_with(&self.ad, query, ws, hits)
+    }
+
+    /// Point-to-point network distance through the overlay.
+    pub fn network_distance(&self, from: NodeId, to: NodeId) -> Result<Option<Weight>, RoadError> {
+        self.fw.network_distance(from, to)
+    }
+
+    /// A [`QueryEngine`] pinned to this snapshot — for handing a frozen
+    /// state to the batch fan-out entry points (`batch_knn` /
+    /// `batch_range`). Shares the snapshot's framework and directory.
+    pub fn query_engine(&self) -> QueryEngine {
+        QueryEngine::from_shared(Arc::clone(&self.fw), Arc::clone(&self.ad))
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("version", &self.version)
+            .field("framework", &*self.fw)
+            .field("objects", &self.ad.len())
+            .finish()
+    }
+}
+
+/// State shared between the reader handles and the writer: the currently
+/// published snapshot, swapped atomically under a briefly-held mutex.
+struct Shared {
+    current: Mutex<Arc<Snapshot>>,
+}
+
+impl Shared {
+    /// The mutex is held only to clone or store an `Arc`, so a poisoned
+    /// lock (a reader panicking mid-clone) leaves the pointer itself
+    /// intact; recover the guard instead of propagating the panic.
+    fn lock(&self) -> MutexGuard<'_, Arc<Snapshot>> {
+        self.current.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Cumulative counters of one [`UpdateHandle`]'s lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveStats {
+    /// Maintenance operations applied (weight changes, topology edits,
+    /// object updates).
+    pub updates: u64,
+    /// Snapshots published.
+    pub publishes: u64,
+    /// Summed §5.2 repair counters of every network-side update. The
+    /// ratio `outcome.rnets_refreshed / updates` staying near the
+    /// hierarchy depth — not near [`num_rnets`](crate::RnetHierarchy::num_rnets)
+    /// — is the evidence that live maintenance repairs locally instead of
+    /// rebuilding.
+    pub outcome: UpdateOutcome,
+}
+
+/// The shareable reader side of a live deployment: clone it into every
+/// serving thread; each clone hands out the currently published
+/// [`Snapshot`].
+///
+/// Created together with the unique writer by [`LiveEngine::new`]. See the
+/// [module docs](self) for the full writer/reader contract and an example.
+#[derive(Clone)]
+pub struct LiveEngine {
+    shared: Arc<Shared>,
+}
+
+impl LiveEngine {
+    /// Wraps a built framework and directory for live serving, publishing
+    /// their current state as snapshot version 0. Returns the shareable
+    /// reader handle and the unique writer.
+    pub fn new(fw: RoadFramework, ad: AssociationDirectory) -> (LiveEngine, UpdateHandle) {
+        let ad = Arc::new(ad);
+        let snapshot =
+            Arc::new(Snapshot { version: 0, fw: Arc::new(fw.clone()), ad: Arc::clone(&ad) });
+        let shared = Arc::new(Shared { current: Mutex::new(snapshot) });
+        let writer = UpdateHandle {
+            shared: Arc::clone(&shared),
+            fw,
+            ad,
+            published_version: 0,
+            dirty: false,
+            stats: LiveStats::default(),
+        };
+        (LiveEngine { shared }, writer)
+    }
+
+    /// The currently published snapshot. Briefly locks to clone the `Arc`
+    /// — never waits on a repair in progress, only (at worst) on another
+    /// pointer exchange.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.shared.lock())
+    }
+
+    /// Version of the currently published snapshot.
+    pub fn version(&self) -> u64 {
+        self.shared.lock().version
+    }
+}
+
+impl std::fmt::Debug for LiveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveEngine").field("published", &*self.snapshot()).finish()
+    }
+}
+
+/// The unique writer of a live deployment.
+///
+/// Mutators apply to the writer's private working state through the
+/// ordinary [`RoadFramework`] / [`AssociationDirectory`] maintenance
+/// paths; readers observe nothing until [`publish`](UpdateHandle::publish)
+/// swaps the working state in as the new current [`Snapshot`]. Batching
+/// several updates per publish amortises the copy-on-write costs and
+/// gives readers coherent multi-edge updates (e.g. re-weighting a whole
+/// congested route at once).
+///
+/// The handle is deliberately not `Clone` and every mutator takes
+/// `&mut self`: single-writer discipline is enforced by ownership, not by
+/// locking on the query path.
+pub struct UpdateHandle {
+    shared: Arc<Shared>,
+    /// Working framework; shares payloads with published snapshots until
+    /// a mutation un-shares the touched component.
+    fw: RoadFramework,
+    /// Working directory, same copy-on-write discipline.
+    ad: Arc<AssociationDirectory>,
+    published_version: u64,
+    dirty: bool,
+    stats: LiveStats,
+}
+
+impl UpdateHandle {
+    // ------------------------------------------------------------------
+    // Network maintenance (Section 5.2 against the working state)
+    // ------------------------------------------------------------------
+
+    /// Changes an edge weight and repairs the affected shortcuts; visible
+    /// to readers after the next [`publish`](UpdateHandle::publish). See
+    /// [`RoadFramework::set_edge_weight`]. Setting the weight an edge
+    /// already has mutates nothing and leaves the pending/stats state
+    /// untouched (no spurious snapshot version on the next publish).
+    pub fn set_edge_weight(
+        &mut self,
+        e: EdgeId,
+        weight: Weight,
+    ) -> Result<UpdateOutcome, RoadError> {
+        let outcome = self.fw.set_edge_weight(e, weight)?;
+        // A default outcome means the weight was already `weight`: a
+        // genuine change always refreshes at least the enclosing leaf.
+        if outcome != UpdateOutcome::default() {
+            self.note(outcome);
+        }
+        Ok(outcome)
+    }
+
+    /// Adds a new intersection to the working network.
+    pub fn add_node(&mut self, at: Point) -> NodeId {
+        self.bump();
+        self.fw.add_node(at)
+    }
+
+    /// Adds a road segment; see [`RoadFramework::add_edge`].
+    pub fn add_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        weights: (Weight, Weight, Weight),
+    ) -> Result<(EdgeId, UpdateOutcome), RoadError> {
+        let (e, outcome) = self.fw.add_edge(a, b, weights)?;
+        self.note(outcome);
+        Ok((e, outcome))
+    }
+
+    /// Removes a road segment; fails while the working directory still has
+    /// objects on it. See [`RoadFramework::remove_edge`].
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<UpdateOutcome, RoadError> {
+        let outcome = self.fw.remove_edge(e, &[&self.ad])?;
+        self.note(outcome);
+        Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Object maintenance (Section 5.1 against the working state)
+    // ------------------------------------------------------------------
+
+    /// Inserts an object into the working directory.
+    pub fn insert_object(&mut self, object: Object) -> Result<(), RoadError> {
+        let fw = &self.fw;
+        Arc::make_mut(&mut self.ad).insert(fw.network(), fw.hierarchy(), object)?;
+        self.bump();
+        Ok(())
+    }
+
+    /// Removes an object from the working directory, returning it.
+    pub fn remove_object(&mut self, id: ObjectId) -> Result<Object, RoadError> {
+        let fw = &self.fw;
+        let object = Arc::make_mut(&mut self.ad).remove(fw.network(), fw.hierarchy(), id)?;
+        self.bump();
+        Ok(object)
+    }
+
+    /// Moves an object to a new position (the paper's "change of object
+    /// location": deletion at the old position, insertion at the new one,
+    /// atomically within this update — readers never see the object
+    /// absent). Restores the original placement if the new one is invalid.
+    pub fn move_object(
+        &mut self,
+        id: ObjectId,
+        edge: EdgeId,
+        fraction: f64,
+    ) -> Result<(), RoadError> {
+        let fw = &self.fw;
+        let ad = Arc::make_mut(&mut self.ad);
+        let old = ad.remove(fw.network(), fw.hierarchy(), id)?;
+        let mut moved = old.clone();
+        moved.edge = edge;
+        moved.fraction = fraction;
+        if let Err(err) = ad.insert(fw.network(), fw.hierarchy(), moved) {
+            ad.insert(fw.network(), fw.hierarchy(), old)
+                .expect("re-inserting a just-removed object cannot fail");
+            return Err(err);
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Updates an object's category attribute.
+    pub fn update_category(
+        &mut self,
+        id: ObjectId,
+        category: CategoryId,
+    ) -> Result<CategoryId, RoadError> {
+        let fw = &self.fw;
+        let old = Arc::make_mut(&mut self.ad).update_category(fw.hierarchy(), id, category)?;
+        self.bump();
+        Ok(old)
+    }
+
+    // ------------------------------------------------------------------
+    // Publication
+    // ------------------------------------------------------------------
+
+    /// Atomically publishes the working state as the new current snapshot
+    /// and returns its version. Readers holding earlier snapshots are
+    /// unaffected; new [`LiveEngine::snapshot`] calls observe every update
+    /// applied since the previous publish. A no-op (returning the current
+    /// version) when nothing changed.
+    pub fn publish(&mut self) -> u64 {
+        if !self.dirty {
+            return self.published_version;
+        }
+        self.published_version += 1;
+        let snapshot = Arc::new(Snapshot {
+            version: self.published_version,
+            fw: Arc::new(self.fw.clone()),
+            ad: Arc::clone(&self.ad),
+        });
+        *self.shared.lock() = snapshot;
+        self.dirty = false;
+        self.stats.publishes += 1;
+        self.published_version
+    }
+
+    /// `true` while updates applied since the last publish are not yet
+    /// visible to readers.
+    pub fn has_pending(&self) -> bool {
+        self.dirty
+    }
+
+    /// Version of the most recent publication (0 = initial state).
+    pub fn published_version(&self) -> u64 {
+        self.published_version
+    }
+
+    /// Cumulative update/publish counters.
+    pub fn stats(&self) -> LiveStats {
+        self.stats
+    }
+
+    /// The writer's working framework — includes unpublished updates.
+    pub fn framework(&self) -> &RoadFramework {
+        &self.fw
+    }
+
+    /// The writer's working directory — includes unpublished updates.
+    pub fn directory(&self) -> &AssociationDirectory {
+        &self.ad
+    }
+
+    /// A fresh reader handle for the deployment this writer publishes to.
+    pub fn reader(&self) -> LiveEngine {
+        LiveEngine { shared: Arc::clone(&self.shared) }
+    }
+
+    fn note(&mut self, outcome: UpdateOutcome) {
+        self.stats.outcome.absorb(&outcome);
+        self.bump();
+    }
+
+    fn bump(&mut self) {
+        self.stats.updates += 1;
+        self.dirty = true;
+    }
+}
+
+impl std::fmt::Debug for UpdateHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateHandle")
+            .field("published_version", &self.published_version)
+            .field("pending", &self.dirty)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+// Readers clone `LiveEngine` into threads and ship `Arc<Snapshot>`s across
+// them; the writer may live on yet another thread. Keep all of that a
+// compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<LiveEngine>();
+    assert_send_sync::<Snapshot>();
+    assert_send::<UpdateHandle>();
+};

@@ -6,7 +6,8 @@
 //! physical edges, and level-`i` shortcuts run over an overlay graph whose
 //! edges are the level-`i+1` shortcuts of the Rnet's children. (Any global
 //! shortest path decomposes at border nodes into intra-Rnet segments, so
-//! this preserves all network distances; see DESIGN.md §1.)
+//! this preserves all network distances; see ARCHITECTURE.md, Design
+//! notes §1.)
 //!
 //! Lemma 4 pruning: a shortcut whose path passes through *another border of
 //! the same Rnet* is transitively reachable via that border's own shortcuts
@@ -18,6 +19,12 @@
 //! paper's representation `S(n1,n3) = (S(n1,nd), S(nd,n3))`; the recursive
 //! [`ShortcutStore::expand`] turns a shortcut back into a full physical
 //! [`Path`].
+//!
+//! Each Rnet's shortcut map sits behind its own [`Arc`], so cloning the
+//! store is an `O(#Rnets)` pointer copy and a refresh of one Rnet leaves
+//! every other Rnet's map physically shared with prior clones. This is
+//! what makes snapshot publication in [`crate::live`] cheap: an update
+//! clones only the affected Rnets' shortcut data.
 
 use crate::hierarchy::{RnetHierarchy, RnetId};
 use road_network::dijkstra::{LocalDijkstra, LocalEdge};
@@ -25,6 +32,7 @@ use road_network::graph::{RoadNetwork, WeightKind};
 use road_network::hash::FastMap;
 use road_network::path::Path;
 use road_network::{NodeId, Weight};
+use std::sync::Arc;
 
 /// One directed shortcut out of a border node.
 #[derive(Clone, Debug)]
@@ -53,9 +61,15 @@ impl Default for ShortcutOptions {
 }
 
 /// All shortcuts of the hierarchy, grouped per Rnet and source node.
+///
+/// Cloning the store is cheap (`O(#Rnets)` [`Arc`] bumps) and shares every
+/// per-Rnet map with the original; a refresh then replaces only the
+/// refreshed Rnet's map, which is the structural-sharing contract the
+/// live engine's snapshots rely on.
+#[derive(Clone)]
 pub struct ShortcutStore {
     /// `per_rnet[r]` maps a border-node id to its outgoing shortcuts in `r`.
-    per_rnet: Vec<FastMap<u32, Vec<ShortcutEdge>>>,
+    per_rnet: Vec<Arc<FastMap<u32, Vec<ShortcutEdge>>>>,
     num_shortcuts: usize,
 }
 
@@ -68,7 +82,7 @@ impl ShortcutStore {
         opts: &ShortcutOptions,
     ) -> Self {
         let mut store = ShortcutStore {
-            per_rnet: (0..hier.num_rnets()).map(|_| FastMap::default()).collect(),
+            per_rnet: (0..hier.num_rnets()).map(|_| Arc::new(FastMap::default())).collect(),
             num_shortcuts: 0,
         };
         let mut scratch = BuildScratch::default();
@@ -115,8 +129,17 @@ impl ShortcutStore {
         let slot = &mut self.per_rnet[r.0 as usize];
         let old: usize = slot.values().map(Vec::len).sum();
         let new: usize = map.values().map(Vec::len).sum();
-        *slot = map;
+        *slot = Arc::new(map);
         self.num_shortcuts = self.num_shortcuts - old + new;
+    }
+
+    /// How many Rnets' shortcut maps this store physically shares with
+    /// `other` (same allocation, not merely equal contents). Two stores
+    /// related by snapshot forks share every Rnet that no intervening
+    /// maintenance refreshed — the quantity the live-serving tests and
+    /// `exp_live` use to prove updates never fall back to full rebuilds.
+    pub fn shared_rnet_count(&self, other: &ShortcutStore) -> usize {
+        self.per_rnet.iter().zip(&other.per_rnet).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
     }
 
     /// Recomputes one Rnet's shortcuts in place; returns `true` when the
@@ -182,7 +205,7 @@ impl ShortcutStore {
             }
         } else {
             for child in hier.children(r) {
-                for (&from, list) in &self.per_rnet[child.0 as usize] {
+                for (&from, list) in self.per_rnet[child.0 as usize].iter() {
                     let lf = scratch.local(from);
                     for sc in list {
                         let lt = scratch.local(sc.to.0);
@@ -347,7 +370,7 @@ impl ShortcutStore {
                 num_shortcuts += list.len();
                 map.insert(from, list);
             }
-            per_rnet.push(map);
+            per_rnet.push(Arc::new(map));
         }
         Ok(ShortcutStore { per_rnet, num_shortcuts })
     }

@@ -703,3 +703,32 @@ fn point_to_point_edge_cases() {
     // Out-of-bounds errors cleanly.
     assert!(fw.network_distance(NodeId(999), NodeId(0)).is_err());
 }
+
+/// An edge between two *isolated* nodes carries no topological hint about
+/// its Rnet, so the framework hosts it in the leaf geometrically nearest
+/// the endpoints — not in an arbitrary first leaf.
+#[test]
+fn edge_between_isolated_nodes_joins_nearest_leaf() {
+    let mut fw = build(simple::grid(8, 8, 1.0), 4, 1);
+    // Two new intersections far beyond the grid's (7, 7) corner.
+    let a = fw.add_node(road_network::Point::new(30.0, 30.0));
+    let b = fw.add_node(road_network::Point::new(31.0, 30.0));
+    let w = Weight::new(1.0);
+    let (e, _) = fw.add_edge(a, b, (w, w, Weight::ZERO)).unwrap();
+
+    let hier = fw.hierarchy();
+    let chosen = hier.leaf_of_edge(e);
+    assert!(chosen.is_valid());
+    // The nearest existing structure is the corner node at (7, 7): the
+    // chosen leaf must be one hosting an edge incident to that corner,
+    // never a leaf from the far side of the grid.
+    let corner = NodeId(63); // grid node at (7, 7)
+    let corner_leaves: Vec<_> =
+        fw.network().neighbors(corner).map(|(ce, _)| hier.leaf_of_edge(ce)).collect();
+    assert!(
+        corner_leaves.contains(&chosen),
+        "edge hosted in {chosen:?}, expected one of the corner leaves {corner_leaves:?}"
+    );
+    // The repair left the overlay exact.
+    fw.verify().unwrap();
+}

@@ -1,0 +1,322 @@
+//! Live-update serving tests: readers on published snapshots must always
+//! agree with a brute-force oracle evaluated on *the snapshot they hold*
+//! (no torn reads), held snapshots must stay immutable under later
+//! publications, and the publish path must repair locally — refreshing
+//! only affected Rnets and structurally sharing the rest — never falling
+//! back to a full rebuild.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::live::LiveEngine;
+use road_core::prelude::*;
+use road_core::search::{oracle_knn, oracle_range};
+use road_network::generator::simple;
+use road_network::EdgeId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn grid_engine(seed: u64, objects: u64) -> (LiveEngine, road_core::UpdateHandle) {
+    let g = simple::grid(12, 12, 1.0);
+    let fw = RoadFramework::builder(g).fanout(4).levels(2).build().unwrap();
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..objects {
+        let e = edges[rng.random_range(0..edges.len())];
+        let o = Object::new(
+            ObjectId(i),
+            e,
+            rng.random_range(0.0..=1.0),
+            CategoryId(rng.random_range(0..3)),
+        );
+        ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+    }
+    LiveEngine::new(fw, ad)
+}
+
+fn assert_hits_match(got: &[SearchHit], want: &[SearchHit], ctx: &str) {
+    let g: Vec<u64> = got.iter().map(|h| h.object.0).collect();
+    let w: Vec<u64> = want.iter().map(|h| h.object.0).collect();
+    assert_eq!(g, w, "{ctx}: objects differ");
+    for (a, b) in got.iter().zip(want) {
+        assert!(a.distance.approx_eq(b.distance), "{ctx}: {} vs {}", a.distance, b.distance);
+    }
+}
+
+/// The headline consistency property: while a writer streams weight
+/// updates, topology edits and object churn through published snapshots,
+/// every reader's answer matches the brute-force Dijkstra oracle computed
+/// on the same snapshot the reader holds.
+#[test]
+fn concurrent_readers_agree_with_oracle_on_their_snapshot() {
+    let (live, mut writer) = grid_engine(42, 24);
+    let num_nodes = live.snapshot().framework().network().num_nodes() as u32;
+    let done = AtomicBool::new(false);
+    let checks = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Writer: 60 publish cycles mixing weight changes, object churn
+        // and a topology edit, batching a few updates per publish.
+        let worker = scope.spawn(|| {
+            let mut rng = StdRng::seed_from_u64(4242);
+            for round in 0u64..60 {
+                for _ in 0..3 {
+                    let edges: Vec<EdgeId> = writer.framework().network().edge_ids().collect();
+                    let e = edges[rng.random_range(0..edges.len())];
+                    let w = writer.framework().network().weight(e, WeightKind::Distance);
+                    let factor = rng.random_range(0.25..4.0);
+                    writer.set_edge_weight(e, Weight::new((w.get() * factor).max(0.05))).unwrap();
+                }
+                // Object churn: move one object somewhere else.
+                let id = ObjectId(rng.random_range(0..24));
+                let edges: Vec<EdgeId> = writer.framework().network().edge_ids().collect();
+                let target = edges[rng.random_range(0..edges.len())];
+                writer.move_object(id, target, 0.5).unwrap();
+                // Occasional topology edit: add then remove a connector.
+                if round % 20 == 19 {
+                    let a = NodeId(rng.random_range(0..num_nodes));
+                    let b = NodeId(rng.random_range(0..num_nodes));
+                    if a != b && writer.framework().network().edge_between(a, b).is_none() {
+                        let w = Weight::new(0.5);
+                        let (e, _) = writer.add_edge(a, b, (w, w, Weight::ZERO)).unwrap();
+                        writer.publish();
+                        writer.remove_edge(e).unwrap();
+                    }
+                }
+                writer.publish();
+            }
+            done.store(true, Ordering::Relaxed);
+            writer
+        });
+
+        // Readers: grab a snapshot, answer a query mix on it, and compare
+        // against the oracle evaluated on that same snapshot.
+        for t in 0..3u64 {
+            let live = live.clone();
+            let done = &done;
+            let checks = &checks;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + t);
+                let mut ws = SearchWorkspace::new();
+                let mut hits = Vec::new();
+                let mut rounds = 0u64;
+                // Keep checking until the writer finished, then once more
+                // on the final snapshot.
+                loop {
+                    let finished = done.load(Ordering::Relaxed);
+                    let snap = live.snapshot();
+                    for _ in 0..4 {
+                        let node = NodeId(rng.random_range(0..num_nodes));
+                        let q = KnnQuery::new(node, rng.random_range(1..5));
+                        snap.knn_with(&q, &mut ws, &mut hits).unwrap();
+                        let want = oracle_knn(snap.framework(), snap.directory(), &q);
+                        assert_hits_match(
+                            &hits,
+                            &want,
+                            &format!("snapshot v{} knn from {node}", snap.version()),
+                        );
+                        let r = RangeQuery::new(node, Weight::new(rng.random_range(1.0..5.0)));
+                        snap.range_with(&r, &mut ws, &mut hits).unwrap();
+                        let want = oracle_range(snap.framework(), snap.directory(), &r);
+                        assert_hits_match(
+                            &hits,
+                            &want,
+                            &format!("snapshot v{} range from {node}", snap.version()),
+                        );
+                        checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    rounds += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(rounds > 0);
+            });
+        }
+
+        let writer = worker.join().expect("writer thread");
+        // The writer's final working state must still verify against a
+        // from-scratch rebuild (shortcuts exact after the whole stream).
+        writer.framework().verify().unwrap();
+        writer
+            .directory()
+            .validate(writer.framework().network(), writer.framework().hierarchy())
+            .unwrap();
+    });
+    assert!(checks.load(Ordering::Relaxed) >= 24, "readers barely ran");
+}
+
+/// A held snapshot is immutable: publishing updates must not change the
+/// answers (or the observable network) of a snapshot acquired earlier.
+#[test]
+fn held_snapshots_are_unaffected_by_later_publishes() {
+    let (live, mut writer) = grid_engine(7, 12);
+    let held = live.snapshot();
+    let q = KnnQuery::new(NodeId(0), 4);
+    let before = held.knn(&q).unwrap().hits;
+    let weight_before = held.framework().network().weight(EdgeId(0), WeightKind::Distance);
+
+    // Congest every edge heavily and churn the objects.
+    let edges: Vec<EdgeId> = held.framework().network().edge_ids().collect();
+    for &e in edges.iter().take(40) {
+        writer.set_edge_weight(e, Weight::new(25.0)).unwrap();
+    }
+    writer.remove_object(ObjectId(0)).unwrap();
+    writer.publish();
+
+    // Old snapshot: identical answers, identical weights.
+    assert_eq!(held.framework().network().weight(EdgeId(0), WeightKind::Distance), weight_before);
+    assert_hits_match(&held.knn(&q).unwrap().hits, &before, "held snapshot");
+    assert!(held.directory().object(ObjectId(0)).is_some());
+
+    // New snapshot: sees the churn.
+    let fresh = live.snapshot();
+    assert!(fresh.version() > held.version());
+    assert_eq!(
+        fresh.framework().network().weight(EdgeId(0), WeightKind::Distance),
+        Weight::new(25.0)
+    );
+    assert!(fresh.directory().object(ObjectId(0)).is_none());
+    // And matches its own oracle.
+    assert_hits_match(
+        &fresh.knn(&q).unwrap().hits,
+        &oracle_knn(fresh.framework(), fresh.directory(), &q),
+        "fresh snapshot",
+    );
+}
+
+/// Updates are invisible until `publish`, and `publish` with nothing
+/// pending is a no-op.
+#[test]
+fn publication_is_explicit_and_batched() {
+    let (live, mut writer) = grid_engine(3, 6);
+    assert_eq!(live.version(), 0);
+    assert_eq!(writer.publish(), 0, "clean publish is a no-op");
+
+    let e = live.snapshot().framework().network().edge_ids().next().unwrap();
+    writer.set_edge_weight(e, Weight::new(9.0)).unwrap();
+    assert!(writer.has_pending());
+    assert_eq!(live.version(), 0, "unpublished update leaked to readers");
+    assert_eq!(
+        live.snapshot().framework().network().weight(e, WeightKind::Distance),
+        Weight::new(1.0)
+    );
+
+    let v = writer.publish();
+    assert_eq!(v, 1);
+    assert!(!writer.has_pending());
+    assert_eq!(live.version(), 1);
+    assert_eq!(
+        live.snapshot().framework().network().weight(e, WeightKind::Distance),
+        Weight::new(9.0)
+    );
+    // Reader handles reach the same deployment through the writer too.
+    assert_eq!(writer.reader().version(), 1);
+}
+
+/// The publish path repairs locally: a weight update refreshes at most
+/// one Rnet per level, and consecutive snapshots physically share every
+/// unaffected Rnet's shortcut map (no deep copy, no full rebuild).
+#[test]
+fn publish_refreshes_only_affected_rnets_and_shares_the_rest() {
+    let (live, mut writer) = grid_engine(11, 10);
+    let before = live.snapshot();
+    let hier_levels = before.framework().hierarchy().levels() as usize;
+    let num_rnets = before.framework().hierarchy().num_rnets();
+
+    let e = before.framework().network().edge_ids().next().unwrap();
+    let outcome = writer.set_edge_weight(e, Weight::new(50.0)).unwrap();
+    writer.publish();
+    let after = live.snapshot();
+
+    // Locality: the refresh walked one leaf-to-root chain at most.
+    assert!(outcome.rnets_refreshed >= 1);
+    assert!(
+        outcome.rnets_refreshed <= hier_levels,
+        "one weight change refreshed {} Rnets (levels = {hier_levels})",
+        outcome.rnets_refreshed
+    );
+
+    // Structural sharing: every unrefreshed Rnet's map is the same
+    // allocation in both snapshots.
+    let shared = after.framework().shortcuts().shared_rnet_count(before.framework().shortcuts());
+    assert!(
+        shared >= num_rnets - outcome.rnets_refreshed,
+        "only {shared}/{num_rnets} Rnets shared after refreshing {}",
+        outcome.rnets_refreshed
+    );
+    assert!(shared < num_rnets, "the refreshed Rnet must have a new map");
+
+    // Cumulative stats over a longer stream stay far below a rebuild.
+    for (i, e) in before.framework().network().edge_ids().take(20).enumerate() {
+        writer.set_edge_weight(e, Weight::new(2.0 + i as f64)).unwrap();
+    }
+    writer.publish();
+    let stats = writer.stats();
+    assert_eq!(stats.publishes, 2);
+    assert_eq!(stats.updates, 21);
+    let per_update = stats.outcome.rnets_refreshed as f64 / stats.updates as f64;
+    assert!(
+        per_update <= hier_levels as f64,
+        "average {per_update:.2} Rnets refreshed per update — repairs are not local"
+    );
+    writer.framework().verify().unwrap();
+}
+
+/// Directory copy-on-write: network-side updates never copy the object
+/// directory (snapshots share it), and object updates never copy the
+/// network side.
+#[test]
+fn snapshots_share_untouched_components() {
+    let (live, mut writer) = grid_engine(5, 8);
+    let s0 = live.snapshot();
+
+    // Weight-only publish: directories are the same Arc payload.
+    let e = s0.framework().network().edge_ids().next().unwrap();
+    writer.set_edge_weight(e, Weight::new(3.0)).unwrap();
+    writer.publish();
+    let s1 = live.snapshot();
+    assert!(
+        std::ptr::eq(s0.directory(), s1.directory()),
+        "a network-side update must not copy the directory"
+    );
+
+    // Object-only publish: all shortcut maps stay shared.
+    writer.insert_object(Object::new(ObjectId(900), e, 0.25, CategoryId(1))).unwrap();
+    writer.publish();
+    let s2 = live.snapshot();
+    let num_rnets = s1.framework().hierarchy().num_rnets();
+    assert_eq!(
+        s2.framework().shortcuts().shared_rnet_count(s1.framework().shortcuts()),
+        num_rnets,
+        "an object-side update must not copy any shortcut data"
+    );
+    assert!(!std::ptr::eq(s1.directory(), s2.directory()));
+    assert!(s2.directory().object(ObjectId(900)).is_some());
+    assert!(s1.directory().object(ObjectId(900)).is_none());
+}
+
+/// `move_object` is atomic from the readers' perspective and rolls back
+/// cleanly when the destination is invalid.
+#[test]
+fn move_object_is_atomic_and_rolls_back() {
+    let (live, mut writer) = grid_engine(13, 4);
+    let snap = live.snapshot();
+    let edges: Vec<EdgeId> = snap.framework().network().edge_ids().collect();
+    let target = edges[edges.len() / 2];
+
+    writer.move_object(ObjectId(2), target, 0.75).unwrap();
+    writer.publish();
+    let moved = live.snapshot().directory().object(ObjectId(2)).cloned().unwrap();
+    assert_eq!(moved.edge, target);
+    assert_eq!(moved.fraction, 0.75);
+
+    // Invalid destination: the object stays where it was.
+    let err = writer.move_object(ObjectId(2), EdgeId(99999), 0.5);
+    assert!(err.is_err());
+    let still = writer.directory().object(ObjectId(2)).cloned().unwrap();
+    assert_eq!(still.edge, target);
+    writer
+        .directory()
+        .validate(writer.framework().network(), writer.framework().hierarchy())
+        .unwrap();
+}

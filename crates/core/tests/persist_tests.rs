@@ -167,3 +167,61 @@ fn custom_semantic_partition_builds_and_answers() {
     );
     assert!(bad.is_err());
 }
+
+/// ROADFW01 must capture *repaired* overlays: after a mixed maintenance
+/// stream — weight changes, a new intersection wired in with new edges,
+/// and an edge deletion — the serialized bytes must restore to a
+/// framework whose shortcuts are exactly what a fresh rebuild over the
+/// mutated network produces.
+#[test]
+fn roundtrip_after_mixed_maintenance_agrees_with_fresh_rebuild() {
+    let mut fw =
+        RoadFramework::builder(simple::grid(8, 8, 1.0)).fanout(4).levels(2).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+
+    // Weight changes across several leaf Rnets.
+    let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+    for _ in 0..12 {
+        let e = edges[rng.random_range(0..edges.len())];
+        fw.set_edge_weight(e, Weight::new(rng.random_range(0.1..8.0))).unwrap();
+    }
+    // Topology growth: a new intersection connected to two existing ones
+    // (promotes borders and re-partitions shortcut chains).
+    let n_new = fw.add_node(road_network::Point::new(3.4, 3.6));
+    let w = Weight::new(0.7);
+    fw.add_edge(NodeId(27), n_new, (w, w, Weight::ZERO)).unwrap();
+    fw.add_edge(n_new, NodeId(36), (w, w, Weight::ZERO)).unwrap();
+    // And a bypass between two previously unconnected intersections.
+    if fw.network().edge_between(NodeId(0), NodeId(17)).is_none() {
+        fw.add_edge(NodeId(0), NodeId(17), (w, w, Weight::ZERO)).unwrap();
+    }
+    // Shrinkage: delete an (object-free) edge.
+    let victim = edges[40];
+    fw.remove_edge(victim, &[]).unwrap();
+
+    // The repaired overlay itself is sound...
+    fw.verify().unwrap();
+    // ...and survives the byte round-trip intact: the restored framework's
+    // shortcuts agree with a fresh rebuild over the mutated network.
+    let restored = RoadFramework::from_bytes(&fw.to_bytes()).unwrap();
+    restored.verify().unwrap();
+    assert_eq!(restored.network().num_nodes(), fw.network().num_nodes());
+    assert_eq!(restored.network().num_edges(), fw.network().num_edges());
+    assert_eq!(restored.shortcuts().num_shortcuts(), fw.shortcuts().num_shortcuts());
+    assert!(restored.network().edge(victim).is_deleted());
+
+    // Answers agree between the maintained original and the restored copy.
+    let ad_orig = scatter(&fw, 10, 8);
+    let ad_rest = scatter(&restored, 10, 8);
+    for _ in 0..8 {
+        let node = NodeId(rng.random_range(0..fw.network().num_nodes() as u32));
+        let q = KnnQuery::new(node, 3);
+        let a = fw.knn(&ad_orig, &q).unwrap();
+        let b = restored.knn(&ad_rest, &q).unwrap();
+        assert_eq!(a.hits.len(), b.hits.len());
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!(x.object, y.object);
+            assert!(x.distance.approx_eq(y.distance));
+        }
+    }
+}

@@ -12,8 +12,8 @@
 //! highway data (edges/nodes ≈ 1.03), the denser lattice of a street map
 //! (≈ 1.27), planar embeddings, and positive weights correlated with
 //! Euclidean length (so the Euclidean baseline's lower bound is meaningful,
-//! with controllable slack). See `DESIGN.md` §4 for the substitution
-//! argument.
+//! with controllable slack). See `ARCHITECTURE.md` (Design notes §4) for
+//! the substitution argument.
 //!
 //! [`simple`] additionally provides tiny deterministic shapes (grids,
 //! chains, rings) for unit and property tests.

@@ -1,8 +1,10 @@
-//! Live-traffic maintenance (Section 5.2): edge weights change as
-//! congestion builds, roads close and reopen, and a new road is built —
-//! while nearest-neighbour answers stay exact throughout. The framework
-//! repairs only the affected shortcut chains (filter-and-refresh), never
-//! rebuilding from scratch.
+//! Live-traffic serving (Section 5.2 behind `road_core::live`): edge
+//! weights change as congestion builds, roads close and reopen, and a new
+//! road is built — while reader threads keep answering exact
+//! nearest-neighbour queries on atomically published snapshots. The
+//! writer repairs only the affected shortcut chains (filter-and-refresh)
+//! and publishes batches; readers holding an old snapshot keep a
+//! consistent pre-update view until they re-acquire.
 //!
 //! ```text
 //! cargo run --release --example live_traffic
@@ -17,7 +19,7 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = Dataset::CaHighways.generate_scaled(0.2, 99)?;
-    let mut road = RoadFramework::builder(network)
+    let road = RoadFramework::builder(network)
         .fanout(4)
         .levels(4)
         .metric(WeightKind::TravelTime)
@@ -39,9 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Object::new(ObjectId(i), EdgeId(rng.random_range(0..edges)), 0.5, CategoryId(0)),
         )?;
     }
+    let num_nodes = road.network().num_nodes() as u32;
 
-    let me = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
-    let before = road.knn(&stations, &KnnQuery::new(me, 1))?;
+    // The deployment: one shareable reader handle, one unique writer.
+    let (live, mut traffic) = LiveEngine::new(road, stations);
+
+    let me = NodeId(rng.random_range(0..num_nodes));
+    let morning = live.snapshot(); // what a reader thread holds right now
+    let before = morning.knn(&KnnQuery::new(me, 1))?;
     let first = before.hits[0];
     println!(
         "\nnearest service station from {me}: {:?}, {:.1} min away",
@@ -49,26 +56,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         first.distance.get()
     );
 
-    // Rush hour: congest the edges along the current best route.
-    let (path, _, _) = before.path_to_hit(&road, &stations, &first).expect("path");
-    println!("congesting the {} segments of that route (4x travel time)...", path.edges().len());
-    let mut refreshed = 0;
+    // Rush hour: congest the edges along the current best route (or the
+    // station's own edge when it sits right at `me` and the route is
+    // edgeless), then publish the whole batch as one coherent snapshot.
+    let (path, _, _) =
+        before.path_to_hit(morning.framework(), morning.directory(), &first).expect("path");
+    let station_edge = morning.directory().object(first.object).expect("hit exists").edge;
+    let congested: Vec<EdgeId> =
+        if path.edges().is_empty() { vec![station_edge] } else { path.edges().to_vec() };
+    println!("congesting the {} segments of that route (4x travel time)...", congested.len());
     let t = Instant::now();
-    for &e in path.edges() {
-        let w = road.network().weight(e, WeightKind::TravelTime);
-        let outcome = road.set_edge_weight(e, Weight::new(w.get() * 4.0))?;
+    let mut refreshed = 0;
+    for &e in &congested {
+        let w = traffic.framework().network().weight(e, WeightKind::TravelTime);
+        let outcome = traffic.set_edge_weight(e, Weight::new(w.get() * 4.0))?;
         refreshed += outcome.rnets_refreshed;
     }
+    let version = traffic.publish();
     println!(
-        "  repaired {} Rnet shortcut sets in {:.1} ms",
+        "  repaired {} Rnet shortcut sets and published snapshot v{} in {:.1} ms",
         refreshed,
+        version,
         t.elapsed().as_secs_f64() * 1e3
     );
 
-    let after = road.knn(&stations, &KnnQuery::new(me, 1))?;
+    // A reader still holding the morning snapshot sees the old answer; a
+    // reader that re-acquires sees the congestion.
+    let held = morning.knn(&KnnQuery::new(me, 1))?;
+    let rush = live.snapshot();
+    let after = rush.knn(&KnnQuery::new(me, 1))?;
     let second = after.hits[0];
     println!(
-        "nearest station now: {:?}, {:.1} min ({}!)",
+        "reader on held snapshot v{}: {:?} at {:.1} min (pre-congestion view)",
+        morning.version(),
+        held.hits[0].object,
+        held.hits[0].distance.get()
+    );
+    println!(
+        "reader on fresh snapshot v{}: {:?} at {:.1} min ({})",
+        rush.version(),
         second.object,
         second.distance.get(),
         if second.object != first.object {
@@ -80,13 +106,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A full road closure (weight -> infinity), then reopening. Closing a
     // mid-route segment keeps `me`'s own ramp open; on a highway network a
-    // closure can still sever whole spurs, so an empty answer is legitimate.
-    // The route can also be edgeless (station on an edge at `me` itself),
-    // in which case there is nothing to close.
+    // closure can still sever whole spurs, so an empty answer is
+    // legitimate. The route can also be edgeless (station on an edge at
+    // `me` itself), in which case there is nothing to close.
     if let Some(&closed) = path.edges().get(path.edges().len() / 2) {
-        let original = road.network().weight(closed, WeightKind::TravelTime);
-        road.set_edge_weight(closed, Weight::INFINITY)?;
-        let detour = road.knn(&stations, &KnnQuery::new(me, 1))?;
+        let original = traffic.framework().network().weight(closed, WeightKind::TravelTime);
+        traffic.set_edge_weight(closed, Weight::INFINITY)?;
+        traffic.publish();
+        let detour = live.snapshot().knn(&KnnQuery::new(me, 1))?;
         match detour.hits.first() {
             Some(hit) => println!(
                 "\nwith segment {closed} closed: nearest is {:?} at {:.1} min",
@@ -97,16 +124,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "\nwith segment {closed} closed, no station is reachable: the closure cut {me} off"
             ),
         }
-        road.set_edge_weight(closed, original)?;
+        traffic.set_edge_weight(closed, original)?;
+        traffic.publish();
     }
 
     // Road construction: a new bypass between two random intersections.
-    let a = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
-    let b = NodeId(rng.random_range(0..road.network().num_nodes() as u32));
-    if a != b && road.network().edge_between(a, b).is_none() {
+    let a = NodeId(rng.random_range(0..num_nodes));
+    let b = NodeId(rng.random_range(0..num_nodes));
+    if a != b && traffic.framework().network().edge_between(a, b).is_none() {
         let t = Instant::now();
         let w = Weight::new(1.0); // a one-minute connector
-        let (e, outcome) = road.add_edge(a, b, (w, w, Weight::ZERO))?;
+        let (e, outcome) = traffic.add_edge(a, b, (w, w, Weight::ZERO))?;
+        traffic.publish();
         println!(
             "\nbuilt new road {e} between {a} and {b}: {} Rnets refreshed, {} border promotions, {:.1} ms",
             outcome.rnets_refreshed,
@@ -116,11 +145,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Answers remain exact after all of it (cross-checked in the tests via
-    // the brute-force oracle; here we just show the query still runs).
-    let fin = road.knn(&stations, &KnnQuery::new(me, 3))?;
-    println!("\nfinal 3NN from {me}:");
+    // the brute-force oracle; here we just show the query still runs), and
+    // the cumulative stats show every repair stayed local.
+    let fin = live.snapshot().knn(&KnnQuery::new(me, 3))?;
+    println!("\nfinal 3NN from {me} (snapshot v{}):", live.version());
     for hit in &fin.hits {
         println!("  {:?} — {:.1} min", hit.object, hit.distance.get());
     }
+    let stats = traffic.stats();
+    println!(
+        "\nwriter lifetime: {} updates over {} publishes, {} Rnet refreshes total ({} Rnets exist)",
+        stats.updates,
+        stats.publishes,
+        stats.outcome.rnets_refreshed,
+        live.snapshot().framework().hierarchy().num_rnets()
+    );
     Ok(())
 }

@@ -60,7 +60,15 @@ fn city_poi_search_finds_restaurants_and_pharmacy() {
 fn live_traffic_survives_congestion_closure_and_construction() {
     run_example(
         "live_traffic",
-        &["highway network:", "nearest service station", "nearest station now", "final 3NN"],
+        &[
+            "highway network:",
+            "nearest service station",
+            "published snapshot v1",
+            "reader on held snapshot v0",
+            "reader on fresh snapshot v1",
+            "final 3NN",
+            "writer lifetime:",
+        ],
     );
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored crate
 //! re-implements the subset of proptest the workspace's property tests use:
-//! the [`proptest!`] macro, numeric-range / tuple / [`Just`] / `prop_map` /
+//! the [`proptest!`] macro, numeric-range / tuple / [`Just`](strategy::Just) / `prop_map` /
 //! [`prop_oneof!`] strategies, and `prop::collection::{vec, btree_set}`.
 //!
 //! Semantics: each test draws `ProptestConfig::cases` seeded-deterministic
