@@ -1,0 +1,10 @@
+//! Disk-resident serving through the real storage stack: page accesses
+//! and buffer hit rate vs buffer size (oracle-checked, monotonicity
+//! asserted), cold per-query faults vs k against the NetExp/DistIdx
+//! baselines, and serving straight from a page-granularly opened
+//! `ROADFW01` image.
+
+fn main() {
+    let ctx = road_bench::experiments::Ctx::from_args();
+    road_bench::experiments::disk::run(&ctx);
+}

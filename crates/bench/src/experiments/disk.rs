@@ -1,0 +1,261 @@
+//! `exp_disk` — disk-resident serving through the real storage stack.
+//!
+//! The paper's headline numbers are page accesses through a 4 KB-page,
+//! 50-frame LRU buffer (Section 6 methodology; Figures 15–18 report I/O).
+//! The other experiments *model* that traffic by replaying search events
+//! through an [`road_storage::IoTracker`]; this one serves queries from
+//! **actual serialized pages** via [`road_core::paged::PagedEngine`] and
+//! reports what the buffer pool really did. Three views:
+//!
+//! 1. **Buffer sweep** (memory-constrained serving): a warm serving loop
+//!    over the Figure 17 kNN workload at increasing pool sizes. Page
+//!    *accesses* stay constant (same expansion), page *faults* must fall
+//!    monotonically as the pool grows — LRU's inclusion property, checked
+//!    here and in the `paged_tests` suite. Every sweep point also asserts
+//!    the paged hit lists equal the in-memory `QueryEngine`'s.
+//! 2. **Cold per-query I/O vs k**: the paper's discipline (empty cache
+//!    before every query), ROAD's real page faults next to the modelled
+//!    faults of the NetExp and Distance Index baselines — the Figure
+//!    17(a)-shaped comparison.
+//! 3. **Page-granular open**: serving straight from a `ROADFW01` image,
+//!    reporting how few Rnet shortcut sections the first queries page in
+//!    and the first-touch vs steady-state fault cost.
+
+use super::Ctx;
+use crate::runner::{build_engine, EngineKind};
+use crate::table::{fmt_f, fmt_mb, print_table};
+use crate::{config, workload};
+use road_core::paged::{PagedEngine, PagedOptions};
+use road_core::prelude::*;
+use road_core::{PagedImage, QueryEngine, SearchStats};
+use road_network::generator::Dataset;
+use road_network::NodeId;
+
+/// Buffer sizes swept in view 1 (pages; the paper's default is 50).
+pub const BUFFER_SWEEP: [usize; 5] = [10, 25, 50, 100, 200];
+
+/// One buffer-sweep measurement point.
+pub struct SweepPoint {
+    pub buffer_pages: usize,
+    pub pages_read: u64,
+    pub page_faults: u64,
+    pub hit_rate: f64,
+}
+
+/// Runs the warm-serving kNN workload at each buffer size, asserting
+/// oracle agreement with `engine` at every point. Returns one point per
+/// buffer size; faults are guaranteed non-increasing (panics otherwise —
+/// this is the experiment's acceptance criterion, not a soft report).
+pub fn sweep_buffer_sizes(
+    fw: &RoadFramework,
+    ad: &AssociationDirectory,
+    engine: &QueryEngine,
+    queries: &[KnnQuery],
+    buffer_sizes: &[usize],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    let mut last_faults = u64::MAX;
+    for &buffer_pages in buffer_sizes {
+        let mut disk = PagedEngine::new(fw, ad, PagedOptions::with_buffer_pages(buffer_pages))
+            .expect("paged engine builds");
+        let mut total = SearchStats::default();
+        for q in queries {
+            let paged = disk.knn(q).expect("valid query");
+            let mem = engine.knn(q).expect("valid query");
+            assert_eq!(mem.hits, paged.hits, "paged serving diverged from the in-memory oracle");
+            total.absorb(&paged.stats);
+        }
+        let (pages_read, page_faults) = (total.pages_read as u64, total.page_faults as u64);
+        assert!(
+            page_faults <= last_faults,
+            "page faults grew ({last_faults} -> {page_faults}) when the buffer grew to \
+             {buffer_pages} pages"
+        );
+        last_faults = page_faults;
+        points.push(SweepPoint {
+            buffer_pages,
+            pages_read,
+            page_faults,
+            hit_rate: total.buffer_hit_rate(),
+        });
+    }
+    points
+}
+
+/// Cold-cache per-query faults of the paged ROAD engine (the paper's
+/// measurement discipline: every query starts with an empty buffer).
+fn cold_knn_faults(disk: &mut PagedEngine, nodes: &[NodeId], k: usize) -> f64 {
+    let mut faults = 0u64;
+    for &n in nodes {
+        disk.clear_cache();
+        let res = disk.knn(&KnnQuery::new(n, k)).expect("valid query");
+        faults += res.stats.page_faults as u64;
+    }
+    faults as f64 / nodes.len().max(1) as f64
+}
+
+/// Full experiment (the `exp_disk` binary).
+pub fn run(ctx: &Ctx) {
+    let ds = Dataset::CaHighways;
+    let g = config::network(ds, &ctx.scale, &ctx.params);
+    let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+    let count = ctx.scaled_count(ctx.params.objects, ctx.scale.factor(ds));
+    let objects = workload::uniform_objects(&g, count, ctx.params.seed + 31);
+    let nodes = workload::query_nodes(&g, ctx.scale.queries, ctx.params.seed + 310);
+
+    println!("\n## exp_disk — disk-resident serving (CA, |O| = {count}, k = {})", ctx.params.k);
+    println!(
+        "\nnetwork: {} nodes / {} edges, hierarchy p={} l={levels}",
+        g.num_nodes(),
+        g.num_edges(),
+        ctx.params.fanout
+    );
+
+    let fw = RoadFramework::builder(g.clone())
+        .fanout(ctx.params.fanout)
+        .levels(levels)
+        .metric(ctx.params.metric)
+        .build()
+        .expect("framework builds");
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    for o in &objects {
+        ad.insert(fw.network(), fw.hierarchy(), o.clone()).expect("objects place");
+    }
+    let engine = QueryEngine::new(fw.clone(), ad.clone());
+    let queries: Vec<KnnQuery> = nodes.iter().map(|&n| KnnQuery::new(n, ctx.params.k)).collect();
+
+    // --- 1: warm serving vs buffer size --------------------------------
+    let points = sweep_buffer_sizes(&fw, &ad, &engine, &queries, &BUFFER_SWEEP);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.buffer_pages.to_string(),
+                p.pages_read.to_string(),
+                p.page_faults.to_string(),
+                format!("{:.1}%", p.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Warm serving: page traffic vs buffer size (kNN workload, oracle-checked)",
+        &["buffer (pages)", "page accesses", "page faults", "buffer hit rate"],
+        &rows,
+    );
+    println!(
+        "\npage faults fall monotonically with buffer size (asserted); \
+         accesses stay constant because the expansion is identical."
+    );
+
+    // --- 2: cold per-query I/O vs k, ROAD real vs modelled baselines ----
+    let ks = [1usize, 5, 10, 20];
+    let mut disk =
+        PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(ctx.params.buffer_pages))
+            .expect("paged engine builds");
+    let mut netexp = build_engine(EngineKind::NetExp, &g, &objects, &ctx.params, levels);
+    let mut distidx = build_engine(EngineKind::DistIdx, &g, &objects, &ctx.params, levels);
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let road_faults = cold_knn_faults(&mut disk, &nodes, k);
+        let mut ne = 0.0;
+        let mut di = 0.0;
+        for &n in &nodes {
+            ne += netexp.knn(n, k, &ObjectFilter::Any).page_faults as f64;
+            di += distidx.knn(n, k, &ObjectFilter::Any).page_faults as f64;
+        }
+        let q = nodes.len().max(1) as f64;
+        rows.push(vec![k.to_string(), fmt_f(road_faults), fmt_f(di / q), fmt_f(ne / q)]);
+    }
+    print_table(
+        "Cold per-query page faults vs k (paper discipline; ROAD pages are real, \
+         baselines modelled)",
+        &["k", "ROAD (paged)", "DistIdx", "NetExp"],
+        &rows,
+    );
+
+    // --- 3: page-granular open ------------------------------------------
+    let image_bytes = fw.to_bytes();
+    let image_mb = image_bytes.len();
+    let image = PagedImage::open(image_bytes).expect("image opens");
+    let total_rnets = image.num_rnets();
+    let mut lazy = PagedEngine::open(
+        image,
+        objects.clone(),
+        PagedOptions::with_buffer_pages(ctx.params.buffer_pages),
+    )
+    .expect("image serves");
+    let mut first = SearchStats::default();
+    for q in &queries {
+        let res = lazy.knn(q).expect("valid query");
+        let mem = engine.knn(q).expect("valid query");
+        assert_eq!(mem.hits, res.hits, "image-served results diverged from the oracle");
+        first.absorb(&res.stats);
+    }
+    let loaded_after_first = lazy.rnets_loaded();
+    let mut second = SearchStats::default();
+    for q in &queries {
+        second.absorb(&lazy.knn(q).expect("valid query").stats);
+    }
+    print_table(
+        "Page-granular image open (lazy per-Rnet shortcut load)",
+        &["pass", "page accesses", "page faults", "Rnets resident"],
+        &[
+            vec![
+                "first (pages Rnets in)".into(),
+                first.pages_read.to_string(),
+                first.page_faults.to_string(),
+                format!("{loaded_after_first}/{total_rnets}"),
+            ],
+            vec![
+                "second (steady state)".into(),
+                second.pages_read.to_string(),
+                second.page_faults.to_string(),
+                format!("{}/{}", lazy.rnets_loaded(), total_rnets),
+            ],
+        ],
+    );
+    println!(
+        "\nimage: {}, on-disk layout: {} pages ({}), node region {} pages; \
+         the first pass touched {loaded_after_first} of {total_rnets} Rnet sections.",
+        fmt_mb(image_mb),
+        lazy.num_disk_pages(),
+        fmt_mb(lazy.disk_size_bytes()),
+        lazy.node_region_pages(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::generator::simple;
+
+    /// The acceptance property on a CI-sized world: faults monotone in
+    /// buffer size and every point oracle-checked (the helper asserts
+    /// internally).
+    #[test]
+    fn buffer_sweep_is_monotone_and_oracle_checked() {
+        let g = simple::grid(9, 9, 1.0);
+        let fw = RoadFramework::builder(g).fanout(4).levels(2).build().unwrap();
+        let mut ad = AssociationDirectory::new(fw.hierarchy());
+        for (i, e) in fw.network().edge_ids().step_by(11).enumerate() {
+            ad.insert(
+                fw.network(),
+                fw.hierarchy(),
+                Object::new(ObjectId(i as u64), e, 0.3, CategoryId(0)),
+            )
+            .unwrap();
+        }
+        let engine = QueryEngine::new(fw.clone(), ad.clone());
+        let queries: Vec<KnnQuery> = (0..20u32).map(|i| KnnQuery::new(NodeId(i * 4), 3)).collect();
+        let points = sweep_buffer_sizes(&fw, &ad, &engine, &queries, &[2, 8, 32, 128]);
+        assert_eq!(points.len(), 4);
+        // Accesses identical at every buffer size; hit rate non-decreasing.
+        assert!(points.windows(2).all(|w| w[0].pages_read == w[1].pages_read));
+        assert!(points.windows(2).all(|w| w[0].hit_rate <= w[1].hit_rate + 1e-12));
+        // The sweep must show a real spread on this workload.
+        assert!(
+            points.first().unwrap().page_faults > points.last().unwrap().page_faults,
+            "buffer growth showed no effect"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! serving experiments (`exp_throughput`, `exp_live`).
 
 pub mod ablation;
+pub mod disk;
 pub mod fig11;
 pub mod fig13;
 pub mod fig14;
@@ -57,5 +58,6 @@ pub fn run_all(ctx: &Ctx) {
     fig18::run(ctx, None);
     fig19::run(ctx);
     ablation::run(ctx);
+    disk::run(ctx);
     live::run(ctx);
 }

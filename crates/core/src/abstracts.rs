@@ -107,6 +107,18 @@ impl ObjectAbstract {
         }
     }
 
+    /// Per-category counts in ascending category order, or `None` for the
+    /// Bloom representation (which has no exact counts to serialize). The
+    /// paged engine lays these onto abstract records.
+    pub(crate) fn sorted_counts(&self) -> Option<Vec<(u16, u32)>> {
+        if self.bloom.is_some() {
+            return None;
+        }
+        let mut counts: Vec<(u16, u32)> = self.per_category.iter().map(|(&c, &n)| (c, n)).collect();
+        counts.sort_unstable_by_key(|&(c, _)| c);
+        Some(counts)
+    }
+
     /// Exact count for a category (counts representation only).
     pub fn category_count(&self, c: CategoryId) -> Option<u32> {
         if self.bloom.is_some() {

@@ -148,6 +148,19 @@ impl RoadFramework {
         })
     }
 
+    /// [`RoadFramework::from_parts`] over already-shared network and
+    /// hierarchy handles (the page-granular image keeps serving from the
+    /// same parts it hands to the framework).
+    pub(crate) fn from_shared_parts(
+        g: Arc<RoadNetwork>,
+        cfg: RoadConfig,
+        hier: Arc<RnetHierarchy>,
+        shortcuts: ShortcutStore,
+    ) -> Result<Self, RoadError> {
+        hier.validate(&g).map_err(RoadError::InvalidConfig)?;
+        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+    }
+
     /// Builds the framework over a caller-supplied leaf partition (e.g.
     /// administrative boundaries — the paper's "partitioning based on
     /// network semantics"). `leaf_index_of(edge)` maps every live edge to
@@ -192,6 +205,12 @@ impl RoadFramework {
 
     /// The Rnet hierarchy.
     pub fn hierarchy(&self) -> &RnetHierarchy {
+        &self.hier
+    }
+
+    /// The shared handle to the hierarchy (the search loop clones it so a
+    /// borrow of the hierarchy can outlive mutable access to the source).
+    pub(crate) fn hierarchy_arc(&self) -> &Arc<RnetHierarchy> {
         &self.hier
     }
 

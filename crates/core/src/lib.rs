@@ -53,6 +53,7 @@ pub mod framework;
 pub mod hierarchy;
 pub mod live;
 pub mod model;
+pub mod paged;
 pub mod persist;
 pub mod search;
 pub mod shortcut;
@@ -66,6 +67,8 @@ pub use framework::{RoadConfig, RoadFramework, UpdateOutcome};
 pub use hierarchy::{HierarchyConfig, RnetHierarchy, RnetId};
 pub use live::{LiveEngine, LiveStats, Snapshot, UpdateHandle};
 pub use model::{CategoryId, Object, ObjectFilter, ObjectId};
+pub use paged::{PagedEngine, PagedOptions};
+pub use persist::PagedImage;
 pub use search::{
     KnnQuery, NoopObserver, RangeQuery, SearchHit, SearchObserver, SearchResult, SearchStats,
 };
@@ -79,6 +82,8 @@ pub mod prelude {
     pub use crate::framework::{RoadConfig, RoadFramework};
     pub use crate::live::{LiveEngine, Snapshot, UpdateHandle};
     pub use crate::model::{CategoryId, Object, ObjectFilter, ObjectId};
+    pub use crate::paged::{PagedEngine, PagedOptions};
+    pub use crate::persist::PagedImage;
     pub use crate::search::{KnnQuery, RangeQuery, SearchHit};
     pub use crate::workspace::SearchWorkspace;
     pub use road_network::graph::WeightKind;

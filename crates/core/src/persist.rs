@@ -103,6 +103,15 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
+    /// Fails early when fewer than `n` bytes remain — the guard that keeps
+    /// absurd element counts in corrupted images from driving giant
+    /// allocations or long decode loops.
+    fn require(&self, n: usize) -> Result<(), RoadError> {
+        if self.pos.checked_add(n).map(|end| end <= self.buf.len()) != Some(true) {
+            return Err(corrupt("truncated buffer (count exceeds remaining bytes)"));
+        }
+        Ok(())
+    }
     fn u8(&mut self) -> Result<u8, RoadError> {
         Ok(self.take(1)?[0])
     }
@@ -114,9 +123,9 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Restores a framework serialized by [`to_bytes`].
-pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
-    let mut r = Reader { buf: bytes, pos: 0 };
+/// Everything before the shortcut-store section: configuration, network and
+/// hierarchy. Shared by the monolithic and the page-granular open paths.
+fn parse_prelude(r: &mut Reader) -> Result<(RoadConfig, RoadNetwork, RnetHierarchy), RoadError> {
     if r.take(8)? != MAGIC {
         return Err(corrupt("bad magic (not a ROAD framework file?)"));
     }
@@ -127,6 +136,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
 
     // --- network -------------------------------------------------------
     let num_nodes = r.u32()? as usize;
+    r.require(num_nodes.checked_mul(16).ok_or_else(|| corrupt("node count overflow"))?)?;
     let mut builder = RoadNetwork::builder();
     for _ in 0..num_nodes {
         let x = r.f64()?;
@@ -134,6 +144,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
         builder.add_node(Point::new(x, y));
     }
     let edge_slots = r.u32()? as usize;
+    r.require(edge_slots.checked_mul(33).ok_or_else(|| corrupt("edge count overflow"))?)?;
     let mut deleted = Vec::new();
     for i in 0..edge_slots {
         let a = road_network::NodeId(r.u32()?);
@@ -152,6 +163,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
     }
 
     // --- hierarchy -----------------------------------------------------
+    r.require(edge_slots.checked_mul(4).ok_or_else(|| corrupt("edge count overflow"))?)?;
     let mut leaf_idx = Vec::with_capacity(edge_slots);
     for _ in 0..edge_slots {
         leaf_idx.push(r.u32()?);
@@ -163,18 +175,160 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
     }
     let hier = RnetHierarchy::from_leaf_assignment(&g, fanout, levels, |e| leaf_idx[e.index()])?;
 
-    // --- shortcuts -----------------------------------------------------
-    let mut pos = r.pos;
-    let shortcuts = ShortcutStore::deserialize(bytes, &mut pos).map_err(corrupt)?;
-    if pos != bytes.len() {
-        return Err(corrupt(format!("{} trailing bytes", bytes.len() - pos)));
-    }
-
     let mut cfg = RoadConfig { metric, ..Default::default() };
     cfg.hierarchy.fanout = fanout;
     cfg.hierarchy.levels = levels;
     cfg.shortcuts.prune_transitive = prune;
+    Ok((cfg, g, hier))
+}
+
+/// Restores a framework serialized by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<RoadFramework, RoadError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let (cfg, g, hier) = parse_prelude(&mut r)?;
+
+    // --- shortcuts -----------------------------------------------------
+    let mut pos = r.pos;
+    let shortcuts =
+        ShortcutStore::deserialize(bytes, &mut pos, g.num_nodes() as u32, hier.num_rnets())
+            .map_err(corrupt)?;
+    if pos != bytes.len() {
+        return Err(corrupt(format!("{} trailing bytes", bytes.len() - pos)));
+    }
+
     RoadFramework::from_parts(g, cfg, hier, shortcuts)
+}
+
+/// A `ROADFW01` image opened **page-granularly**: the prelude (config,
+/// network, hierarchy) is parsed eagerly, but the shortcut store — the
+/// bulk of a built overlay — is only *walked* to record and validate each
+/// Rnet's byte range. Individual Rnets are decoded on demand, which lets
+/// [`crate::paged::PagedEngine::open`] page shortcut data in on first
+/// touch instead of deserializing the whole store up front.
+///
+/// Because `open` fully validates every section (counts against remaining
+/// bytes, node ids against the network), later per-Rnet decodes cannot
+/// fail: corruption is rejected at open time, exactly like the monolithic
+/// [`from_bytes`] path.
+pub struct PagedImage {
+    bytes: Vec<u8>,
+    cfg: RoadConfig,
+    g: std::sync::Arc<RoadNetwork>,
+    hier: std::sync::Arc<RnetHierarchy>,
+    /// Byte range of each Rnet's section within `bytes`.
+    rnet_ranges: Vec<(usize, usize)>,
+}
+
+impl PagedImage {
+    /// Opens an image, validating it end to end without materializing the
+    /// shortcut store.
+    pub fn open(bytes: Vec<u8>) -> Result<Self, RoadError> {
+        let mut r = Reader { buf: &bytes, pos: 0 };
+        let (cfg, g, hier) = parse_prelude(&mut r)?;
+        let num_nodes = g.num_nodes() as u32;
+        let mut pos = r.pos;
+        let num_rnets = {
+            let end = pos + 4;
+            let b = bytes.get(pos..end).ok_or_else(|| corrupt("truncated shortcut store"))?;
+            pos = end;
+            u32::from_le_bytes(b.try_into().unwrap()) as usize
+        };
+        if num_rnets != hier.num_rnets() {
+            return Err(corrupt(format!(
+                "shortcut store describes {num_rnets} Rnets, hierarchy has {}",
+                hier.num_rnets()
+            )));
+        }
+        let mut rnet_ranges = Vec::with_capacity(num_rnets);
+        for _ in 0..num_rnets {
+            let start = pos;
+            ShortcutStore::skip_rnet_section(&bytes, &mut pos, num_nodes).map_err(corrupt)?;
+            rnet_ranges.push((start, pos));
+        }
+        if pos != bytes.len() {
+            return Err(corrupt(format!("{} trailing bytes", bytes.len() - pos)));
+        }
+        Ok(PagedImage {
+            bytes,
+            cfg,
+            g: std::sync::Arc::new(g),
+            hier: std::sync::Arc::new(hier),
+            rnet_ranges,
+        })
+    }
+
+    /// Opens an image file page-granularly.
+    pub fn open_file(path: impl AsRef<std::path::Path>) -> Result<Self, RoadError> {
+        let bytes = std::fs::read(path).map_err(|e| corrupt(format!("cannot read file: {e}")))?;
+        Self::open(bytes)
+    }
+
+    /// The restored road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.g
+    }
+
+    /// The restored Rnet hierarchy.
+    pub fn hierarchy(&self) -> &RnetHierarchy {
+        &self.hier
+    }
+
+    /// Shared handle to the hierarchy (retained by the paged engine).
+    pub(crate) fn hierarchy_arc(&self) -> &std::sync::Arc<RnetHierarchy> {
+        &self.hier
+    }
+
+    /// The persisted framework configuration.
+    pub fn config(&self) -> &RoadConfig {
+        &self.cfg
+    }
+
+    /// The metric the persisted shortcuts were built for.
+    pub fn metric(&self) -> WeightKind {
+        self.cfg.metric
+    }
+
+    /// Number of Rnets whose shortcut sections the image carries.
+    pub fn num_rnets(&self) -> usize {
+        self.rnet_ranges.len()
+    }
+
+    /// Serialized size of one Rnet's shortcut section in bytes.
+    pub fn rnet_section_bytes(&self, r: usize) -> usize {
+        let (start, end) = self.rnet_ranges[r];
+        end - start
+    }
+
+    /// Decodes one Rnet's shortcut map — the per-Rnet unit of lazy
+    /// loading. Cheap for object-free Rnets, and never touches any other
+    /// Rnet's bytes.
+    pub(crate) fn shortcuts_of_rnet(
+        &self,
+        r: usize,
+    ) -> road_network::hash::FastMap<u32, Vec<crate::shortcut::ShortcutEdge>> {
+        let (start, _) = self.rnet_ranges[r];
+        let mut pos = start;
+        ShortcutStore::decode_rnet_section(&self.bytes, &mut pos, self.g.num_nodes() as u32)
+            .expect("rnet section validated at open")
+    }
+
+    /// Materializes the full framework (decodes every Rnet) — the upgrade
+    /// path from a page-granular open to in-memory serving.
+    pub fn into_framework(self) -> Result<RoadFramework, RoadError> {
+        let maps = (0..self.rnet_ranges.len()).map(|r| self.shortcuts_of_rnet(r)).collect();
+        let shortcuts = ShortcutStore::from_rnet_maps(maps);
+        RoadFramework::from_shared_parts(self.g, self.cfg, self.hier, shortcuts)
+    }
+}
+
+impl std::fmt::Debug for PagedImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedImage")
+            .field("bytes", &self.bytes.len())
+            .field("nodes", &self.g.num_nodes())
+            .field("rnets", &self.rnet_ranges.len())
+            .finish()
+    }
 }
 
 /// Saves to a file.

@@ -166,6 +166,13 @@ pub struct SearchStats {
     pub objects_read: usize,
     /// Priority-queue pushes.
     pub heap_pushes: usize,
+    /// Logical page accesses through the buffer pool. Always 0 for the
+    /// in-memory engines; [`crate::paged::PagedEngine`] reads every record
+    /// through its pool and reports the traffic here.
+    pub pages_read: usize,
+    /// Page accesses that missed the buffer pool and had to fault the page
+    /// in from the store — the paper's disk-I/O metric.
+    pub page_faults: usize,
     /// `true` when this query ran on a [`SearchWorkspace`] that had
     /// already served earlier queries — i.e. its scratch containers were
     /// recycled instead of freshly allocated. The `exp_throughput`
@@ -185,7 +192,19 @@ impl SearchStats {
         self.abstract_checks += other.abstract_checks;
         self.objects_read += other.objects_read;
         self.heap_pushes += other.heap_pushes;
+        self.pages_read += other.pages_read;
+        self.page_faults += other.page_faults;
         self.workspace_reused |= other.workspace_reused;
+    }
+
+    /// Fraction of page accesses served from the buffer pool. `1.0` for a
+    /// query that touched no pages (the in-memory engines).
+    pub fn buffer_hit_rate(&self) -> f64 {
+        if self.pages_read == 0 {
+            1.0
+        } else {
+            1.0 - self.page_faults as f64 / self.pages_read as f64
+        }
     }
 }
 
@@ -306,6 +325,132 @@ pub(crate) enum Mode {
     ToNode(NodeId),
 }
 
+/// Where the expansion reads the Route Overlay and Association Directory
+/// from. One implementation serves from the deserialized in-memory
+/// structures ([`MemorySource`]); the other reads every record through a
+/// buffer pool over 4 KB pages ([`crate::paged::PagedEngine`]). Both feed
+/// the **same** expansion loop ([`execute_source_into`]), which is what
+/// guarantees the paged engine answers byte-for-byte like the in-memory
+/// one: the traversal logic cannot diverge, only the storage behind it.
+///
+/// Visitor methods take `&mut self` because paged reads mutate the buffer
+/// pool (faults, LRU order, lazy Rnet loads). Visit order is part of the
+/// contract: implementations must yield records in the same order the
+/// in-memory structures iterate them, or tie-breaking diverges.
+pub(crate) trait SearchSource {
+    /// Number of nodes in the served network (sizes the workspace).
+    fn num_nodes(&self) -> usize;
+    /// The Rnet hierarchy (always RAM-resident: it is the search skeleton).
+    fn hierarchy(&self) -> &std::sync::Arc<crate::hierarchy::RnetHierarchy>;
+    /// `true` when an object directory is attached.
+    fn has_directory(&self) -> bool;
+    /// Visits every object associated with node `n`, in directory order:
+    /// `(object id, category, offset of the object from n)`.
+    fn objects_at(
+        &mut self,
+        n: NodeId,
+        visit: &mut dyn FnMut(u64, crate::model::CategoryId, Weight),
+    );
+    /// May Rnet `r` contain objects matching `filter`? (Abstract lookup.)
+    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> bool;
+    /// Visits the usable physical edges at `n` as `(edge, neighbour,
+    /// weight)`, skipping infinite-weight edges; with `leaf` set, only the
+    /// edges belonging to that leaf Rnet.
+    fn edges_at(
+        &mut self,
+        n: NodeId,
+        leaf: Option<RnetId>,
+        visit: &mut dyn FnMut(EdgeId, u32, Weight),
+    );
+    /// Visits the outgoing shortcuts of `n` within Rnet `r` as
+    /// `(target border node, shortcut distance)`.
+    fn shortcuts_at(&mut self, r: RnetId, n: NodeId, visit: &mut dyn FnMut(u32, Weight));
+    /// Does Rnet `r` contain node `t` (as member or border)? Drives
+    /// [`Mode::ToNode`] routing.
+    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool;
+    /// Cumulative `(logical page reads, page faults)` so far; the loop
+    /// diffs this around the query to fill [`SearchStats::pages_read`] /
+    /// [`SearchStats::page_faults`]. In-memory sources report `(0, 0)`.
+    fn io_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// The RAM-resident source: the framework's own structures.
+pub(crate) struct MemorySource<'a> {
+    pub fw: &'a RoadFramework,
+    pub ad: Option<&'a AssociationDirectory>,
+}
+
+impl SearchSource for MemorySource<'_> {
+    fn num_nodes(&self) -> usize {
+        self.fw.network().num_nodes()
+    }
+
+    fn hierarchy(&self) -> &std::sync::Arc<crate::hierarchy::RnetHierarchy> {
+        self.fw.hierarchy_arc()
+    }
+
+    fn has_directory(&self) -> bool {
+        self.ad.is_some()
+    }
+
+    fn objects_at(
+        &mut self,
+        n: NodeId,
+        visit: &mut dyn FnMut(u64, crate::model::CategoryId, Weight),
+    ) {
+        let Some(ad) = self.ad else { return };
+        let g = self.fw.network();
+        let kind = self.fw.metric();
+        for object in ad.objects_at_node(n) {
+            visit(object.id.0, object.category, object.offset_from(g, kind, n));
+        }
+    }
+
+    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> bool {
+        self.ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false)
+    }
+
+    fn edges_at(
+        &mut self,
+        n: NodeId,
+        leaf: Option<RnetId>,
+        visit: &mut dyn FnMut(EdgeId, u32, Weight),
+    ) {
+        let g = self.fw.network();
+        let hier = self.fw.hierarchy();
+        let kind = self.fw.metric();
+        for (e, v) in g.neighbors(n) {
+            if let Some(r) = leaf {
+                if hier.leaf_of_edge(e) != r {
+                    continue;
+                }
+            }
+            let w = g.weight(e, kind);
+            if w.is_infinite() {
+                continue;
+            }
+            visit(e, v.0, w);
+        }
+    }
+
+    fn shortcuts_at(&mut self, r: RnetId, n: NodeId, visit: &mut dyn FnMut(u32, Weight)) {
+        for sc in self.fw.shortcuts().from(r, n) {
+            visit(sc.to.0, sc.dist);
+        }
+    }
+
+    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool {
+        let hier = self.fw.hierarchy();
+        if hier.is_border_of(t, r) {
+            return true;
+        }
+        let lv = hier.level_of(r);
+        self.fw.network().neighbors(t).any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r)
+    }
+}
+
 /// Core expansion shared by kNN, range and point-to-point queries, using a
 /// workspace borrowed from the per-thread pool. The workspace travels into
 /// the returned [`SearchResult`] (keeping distance labels readable) and is
@@ -318,9 +463,21 @@ pub(crate) fn execute(
     mode: Mode,
     observer: &mut dyn SearchObserver,
 ) -> Result<SearchResult, RoadError> {
+    execute_source(&mut MemorySource { fw, ad }, source, filter, mode, observer)
+}
+
+/// [`execute`] over an arbitrary [`SearchSource`] (the paged engine routes
+/// its pooled-workspace queries through here).
+pub(crate) fn execute_source(
+    src: &mut dyn SearchSource,
+    source: NodeId,
+    filter: &ObjectFilter,
+    mode: Mode,
+    observer: &mut dyn SearchObserver,
+) -> Result<SearchResult, RoadError> {
     let mut ws = workspace::acquire();
     let mut hits = Vec::new();
-    match execute_into(fw, ad, source, filter, mode, observer, &mut ws, &mut hits) {
+    match execute_source_into(src, source, filter, mode, observer, &mut ws, &mut hits) {
         Ok(stats) => Ok(SearchResult { hits, stats, source, ws: PooledWorkspace::new(ws) }),
         Err(e) => {
             workspace::release(ws);
@@ -343,17 +500,31 @@ pub(crate) fn execute_into(
     ws: &mut SearchWorkspace,
     hits: &mut Vec<SearchHit>,
 ) -> Result<SearchStats, RoadError> {
-    let g = fw.network();
-    let hier = fw.hierarchy();
-    let shortcuts = fw.shortcuts();
-    let kind = fw.metric();
-    if source.index() >= g.num_nodes() {
+    execute_source_into(&mut MemorySource { fw, ad }, source, filter, mode, observer, ws, hits)
+}
+
+/// The one expansion loop behind every engine (see [`SearchSource`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_source_into(
+    src: &mut dyn SearchSource,
+    source: NodeId,
+    filter: &ObjectFilter,
+    mode: Mode,
+    observer: &mut dyn SearchObserver,
+    ws: &mut SearchWorkspace,
+    hits: &mut Vec<SearchHit>,
+) -> Result<SearchStats, RoadError> {
+    let num_nodes = src.num_nodes();
+    let hier = std::sync::Arc::clone(src.hierarchy());
+    let has_directory = src.has_directory();
+    if source.index() >= num_nodes {
         return Err(RoadError::NodeOutOfBounds(source));
     }
 
     let mut stats = SearchStats { workspace_reused: ws.reuse_count() > 0, ..Default::default() };
+    let io_before = src.io_counters();
     hits.clear();
-    ws.begin(g.num_nodes());
+    ws.begin(num_nodes);
 
     let want = match mode {
         Mode::Knn(k, _) => k,
@@ -404,38 +575,36 @@ pub(crate) fn execute_into(
                     }
                 }
                 // --- SearchObject: collect objects at this node --------
-                if let Some(ad) = ad {
-                    for object in ad.objects_at_node(NodeId(n)) {
-                        stats.objects_read += 1;
-                        observer.object_read(object.id);
-                        if !filter.matches(object) || ws.object_seen(object.id.0) {
-                            continue;
+                if has_directory {
+                    let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
+                    src.objects_at(NodeId(n), &mut |oid, category, offset| {
+                        stats_ref.objects_read += 1;
+                        observer.object_read(ObjectId(oid));
+                        if !filter.accepts_category(category) || ws_ref.object_seen(oid) {
+                            return;
                         }
-                        let total = d + object.offset_from(g, kind, NodeId(n));
+                        let total = d + offset;
                         if let Some(b) = bound {
                             if total > b {
-                                continue;
+                                return;
                             }
                         }
-                        ws.push(total, QueueKey::Object(object.id.0));
-                        stats.heap_pushes += 1;
-                    }
+                        ws_ref.push(total, QueueKey::Object(oid));
+                        stats_ref.heap_pushes += 1;
+                    });
                 }
                 // --- ChoosePath: pick edges and shortcuts to relax -----
                 let bordered = hier.bordered_rnets(NodeId(n));
                 if bordered.is_empty() {
                     // Interior node: the shortcut tree is a single leaf
                     // holding the physical edges.
-                    for (e, v) in g.neighbors(NodeId(n)) {
-                        let w = g.weight(e, kind);
-                        if w.is_infinite() {
-                            continue;
+                    let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
+                    src.edges_at(NodeId(n), None, &mut |e, v, w| {
+                        stats_ref.edges_relaxed += 1;
+                        if ws_ref.relax(n, v, d + w, Hop::Edge(e)) {
+                            stats_ref.heap_pushes += 1;
                         }
-                        stats.edges_relaxed += 1;
-                        if ws.relax(n, v.0, d + w, Hop::Edge(e)) {
-                            stats.heap_pushes += 1;
-                        }
-                    }
+                    });
                     continue;
                 }
                 // `bordered_rnets` lists Rnets by level ascending (an
@@ -448,35 +617,30 @@ pub(crate) fn execute_into(
                 while let Some(r) = stack.pop() {
                     stats.abstract_checks += 1;
                     observer.abstract_checked(r);
-                    let may_match = ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false);
+                    let may_match = has_directory && src.rnet_may_match(r, filter);
                     let must_enter = match mode {
-                        Mode::ToNode(t) => rnet_contains_node(fw, r, t),
+                        Mode::ToNode(t) => src.rnet_contains_node(r, t),
                         _ => false,
                     };
                     if !may_match && !must_enter {
                         // Bypass: jump to the Rnet's other borders.
                         stats.rnets_bypassed += 1;
-                        for sc in shortcuts.from(r, NodeId(n)) {
-                            stats.shortcuts_taken += 1;
-                            if ws.relax(n, sc.to.0, d + sc.dist, Hop::Shortcut(r)) {
-                                stats.heap_pushes += 1;
+                        let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
+                        src.shortcuts_at(r, NodeId(n), &mut |to, dist| {
+                            stats_ref.shortcuts_taken += 1;
+                            if ws_ref.relax(n, to, d + dist, Hop::Shortcut(r)) {
+                                stats_ref.heap_pushes += 1;
                             }
-                        }
+                        });
                     } else if hier.is_leaf(r) {
                         stats.rnets_descended += 1;
-                        for (e, v) in g.neighbors(NodeId(n)) {
-                            if hier.leaf_of_edge(e) != r {
-                                continue;
+                        let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
+                        src.edges_at(NodeId(n), Some(r), &mut |e, v, w| {
+                            stats_ref.edges_relaxed += 1;
+                            if ws_ref.relax(n, v, d + w, Hop::Edge(e)) {
+                                stats_ref.heap_pushes += 1;
                             }
-                            let w = g.weight(e, kind);
-                            if w.is_infinite() {
-                                continue;
-                            }
-                            stats.edges_relaxed += 1;
-                            if ws.relax(n, v.0, d + w, Hop::Edge(e)) {
-                                stats.heap_pushes += 1;
-                            }
-                        }
+                        });
                     } else {
                         stats.rnets_descended += 1;
                         let lv = hier.level_of(r);
@@ -491,17 +655,10 @@ pub(crate) fn execute_into(
             }
         }
     }
+    let io_after = src.io_counters();
+    stats.pages_read = (io_after.0 - io_before.0) as usize;
+    stats.page_faults = (io_after.1 - io_before.1) as usize;
     Ok(stats)
-}
-
-/// Does Rnet `r` contain node `t` (as member or border)?
-fn rnet_contains_node(fw: &RoadFramework, r: RnetId, t: NodeId) -> bool {
-    let hier = fw.hierarchy();
-    if hier.is_border_of(t, r) {
-        return true;
-    }
-    let lv = hier.level_of(r);
-    fw.network().neighbors(t).any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r)
 }
 
 /// Brute-force oracle used by tests and benchmarks: plain network

@@ -331,48 +331,147 @@ impl ShortcutStore {
 
     /// Decodes a store previously written by
     /// [`ShortcutStore::serialize_into`]; `pos` is advanced past it.
-    pub(crate) fn deserialize(buf: &[u8], pos: &mut usize) -> Result<Self, String> {
-        let read_u32 = |buf: &[u8], pos: &mut usize| -> Result<u32, String> {
-            let end = *pos + 4;
-            let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
-            *pos = end;
-            Ok(u32::from_le_bytes(b.try_into().unwrap()))
-        };
-        let read_f64 = |buf: &[u8], pos: &mut usize| -> Result<f64, String> {
-            let end = *pos + 8;
-            let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
-            *pos = end;
-            Ok(f64::from_le_bytes(b.try_into().unwrap()))
-        };
-        let num_rnets = read_u32(buf, pos)? as usize;
-        let mut per_rnet = Vec::with_capacity(num_rnets);
+    ///
+    /// Every count is validated against the bytes that remain and every
+    /// node id against `num_nodes`, so a truncated or bit-flipped buffer
+    /// fails with an error instead of panicking, over-allocating, or
+    /// producing a store that panics at query time.
+    pub(crate) fn deserialize(
+        buf: &[u8],
+        pos: &mut usize,
+        num_nodes: u32,
+        expected_rnets: usize,
+    ) -> Result<Self, String> {
+        let num_rnets = Self::read_store_header(buf, pos, expected_rnets)?;
+        let mut per_rnet = Vec::with_capacity(num_rnets.min(buf.len() / 4 + 1));
         let mut num_shortcuts = 0usize;
         for _ in 0..num_rnets {
-            let num_sources = read_u32(buf, pos)? as usize;
-            let mut map: FastMap<u32, Vec<ShortcutEdge>> = FastMap::default();
-            for _ in 0..num_sources {
-                let from = read_u32(buf, pos)?;
-                let num_edges = read_u32(buf, pos)? as usize;
-                let mut list = Vec::with_capacity(num_edges);
-                for _ in 0..num_edges {
-                    let to = read_u32(buf, pos)?;
-                    let dist = read_f64(buf, pos)?;
-                    if dist.is_nan() || dist < 0.0 {
-                        return Err(format!("corrupt shortcut distance {dist}"));
-                    }
-                    let via_len = read_u32(buf, pos)? as usize;
-                    let mut via = Vec::with_capacity(via_len);
-                    for _ in 0..via_len {
-                        via.push(NodeId(read_u32(buf, pos)?));
-                    }
-                    list.push(ShortcutEdge { to: NodeId(to), dist: Weight::new(dist), via });
-                }
-                num_shortcuts += list.len();
-                map.insert(from, list);
-            }
+            let map = Self::decode_rnet_section(buf, pos, num_nodes)?;
+            num_shortcuts += map.values().map(Vec::len).sum::<usize>();
             per_rnet.push(Arc::new(map));
         }
         Ok(ShortcutStore { per_rnet, num_shortcuts })
+    }
+
+    /// Reads and validates the store header (the Rnet-section count)
+    /// against the hierarchy — shared by the monolithic decode and the
+    /// page-granular open so the two paths cannot drift.
+    pub(crate) fn read_store_header(
+        buf: &[u8],
+        pos: &mut usize,
+        expected_rnets: usize,
+    ) -> Result<usize, String> {
+        let num_rnets = read_u32(buf, pos)? as usize;
+        if num_rnets != expected_rnets {
+            return Err(format!(
+                "shortcut store describes {num_rnets} Rnets, hierarchy has {expected_rnets}"
+            ));
+        }
+        Ok(num_rnets)
+    }
+
+    /// Assembles a store from already-decoded per-Rnet maps (the lazy
+    /// image's "materialize everything" path).
+    pub(crate) fn from_rnet_maps(maps: Vec<FastMap<u32, Vec<ShortcutEdge>>>) -> Self {
+        let num_shortcuts = maps.iter().flat_map(|m| m.values()).map(Vec::len).sum();
+        ShortcutStore { per_rnet: maps.into_iter().map(Arc::new).collect(), num_shortcuts }
+    }
+
+    /// Decodes one Rnet's section of a serialized store, validating counts
+    /// against the remaining bytes and node ids against `num_nodes`.
+    pub(crate) fn decode_rnet_section(
+        buf: &[u8],
+        pos: &mut usize,
+        num_nodes: u32,
+    ) -> Result<FastMap<u32, Vec<ShortcutEdge>>, String> {
+        let check_node = |id: u32| -> Result<NodeId, String> {
+            if id >= num_nodes {
+                return Err(format!("shortcut references node {id} outside 0..{num_nodes}"));
+            }
+            Ok(NodeId(id))
+        };
+        let num_sources = read_u32(buf, pos)? as usize;
+        let mut map: FastMap<u32, Vec<ShortcutEdge>> = FastMap::default();
+        for _ in 0..num_sources {
+            let from = check_node(read_u32(buf, pos)?)?.0;
+            let num_edges = read_u32(buf, pos)? as usize;
+            // A shortcut costs at least 16 bytes; an over-claimed count
+            // must not drive a huge allocation.
+            if num_edges > (buf.len() - *pos) / 16 {
+                return Err("truncated shortcut store (edge count exceeds buffer)".into());
+            }
+            let mut list = Vec::with_capacity(num_edges);
+            for _ in 0..num_edges {
+                let to = check_node(read_u32(buf, pos)?)?;
+                let dist = read_f64(buf, pos)?;
+                if dist.is_nan() || dist < 0.0 {
+                    return Err(format!("corrupt shortcut distance {dist}"));
+                }
+                let via_len = read_u32(buf, pos)? as usize;
+                if via_len > (buf.len() - *pos) / 4 {
+                    return Err("truncated shortcut store (via count exceeds buffer)".into());
+                }
+                let mut via = Vec::with_capacity(via_len);
+                for _ in 0..via_len {
+                    via.push(check_node(read_u32(buf, pos)?)?);
+                }
+                list.push(ShortcutEdge { to, dist: Weight::new(dist), via });
+            }
+            if map.insert(from, list).is_some() {
+                return Err(format!("duplicate shortcut source node {from}"));
+            }
+        }
+        Ok(map)
+    }
+
+    /// Walks (and fully validates) one Rnet's section without building the
+    /// map — how a lazily-opened image records per-Rnet byte ranges up
+    /// front at a fraction of the decode cost. Must reject everything
+    /// [`ShortcutStore::decode_rnet_section`] rejects (including duplicate
+    /// source nodes), so a section that passes here can never fail to
+    /// decode later.
+    pub(crate) fn skip_rnet_section(
+        buf: &[u8],
+        pos: &mut usize,
+        num_nodes: u32,
+    ) -> Result<(), String> {
+        let check_node = |id: u32| -> Result<(), String> {
+            if id >= num_nodes {
+                return Err(format!("shortcut references node {id} outside 0..{num_nodes}"));
+            }
+            Ok(())
+        };
+        let num_sources = read_u32(buf, pos)? as usize;
+        let mut seen_sources: road_network::hash::FastSet<u32> = Default::default();
+        for _ in 0..num_sources {
+            let from = read_u32(buf, pos)?;
+            check_node(from)?;
+            if !seen_sources.insert(from) {
+                return Err(format!("duplicate shortcut source node {from}"));
+            }
+            let num_edges = read_u32(buf, pos)? as usize;
+            if num_edges > (buf.len() - *pos) / 16 {
+                return Err("truncated shortcut store (edge count exceeds buffer)".into());
+            }
+            for _ in 0..num_edges {
+                check_node(read_u32(buf, pos)?)?;
+                let dist = read_f64(buf, pos)?;
+                if dist.is_nan() || dist < 0.0 {
+                    return Err(format!("corrupt shortcut distance {dist}"));
+                }
+                let via_len = read_u32(buf, pos)? as usize;
+                let end = via_len
+                    .checked_mul(4)
+                    .and_then(|b| pos.checked_add(b))
+                    .filter(|&e| e <= buf.len())
+                    .ok_or("truncated shortcut store (via run exceeds buffer)")?;
+                for _ in 0..via_len {
+                    check_node(read_u32(buf, pos)?)?;
+                }
+                debug_assert_eq!(*pos, end);
+            }
+        }
+        Ok(())
     }
 
     /// Rebuilds from scratch and verifies this store describes the same
@@ -392,6 +491,20 @@ impl ShortcutStore {
         }
         Ok(())
     }
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let end = pos.checked_add(4).ok_or("truncated shortcut store")?;
+    let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
+    *pos = end;
+    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let end = pos.checked_add(8).ok_or("truncated shortcut store")?;
+    let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
+    *pos = end;
+    Ok(f64::from_le_bytes(b.try_into().unwrap()))
 }
 
 /// Reusable allocations for shortcut computation.
@@ -611,6 +724,32 @@ mod tests {
             r = hier.parent(r);
         }
         store.verify_against_rebuild(&g, &hier, WeightKind::Distance, &Default::default()).unwrap();
+    }
+
+    /// The skip-scan must reject everything the decode rejects — a
+    /// section passing `skip_rnet_section` can never fail to decode later
+    /// (the lazy image relies on this to keep per-Rnet decodes
+    /// infallible). Duplicate source nodes are the one structural error
+    /// the byte-walk could otherwise miss.
+    #[test]
+    fn skip_scan_rejects_duplicate_sources_like_decode() {
+        // A hand-built section: 2 sources, both node 0, each with one
+        // shortcut to node 1 at distance 1.0 and no waypoints.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes()); // num_sources
+        for _ in 0..2 {
+            buf.extend_from_slice(&0u32.to_le_bytes()); // from = 0 (duplicate)
+            buf.extend_from_slice(&1u32.to_le_bytes()); // num_edges
+            buf.extend_from_slice(&1u32.to_le_bytes()); // to
+            buf.extend_from_slice(&1.0f64.to_le_bytes()); // dist
+            buf.extend_from_slice(&0u32.to_le_bytes()); // via_len
+        }
+        let mut pos = 0;
+        let decode = ShortcutStore::decode_rnet_section(&buf, &mut pos, 4);
+        let mut pos = 0;
+        let skip = ShortcutStore::skip_rnet_section(&buf, &mut pos, 4);
+        assert!(decode.is_err(), "decode must reject duplicate sources");
+        assert!(skip.is_err(), "skip-scan must reject exactly what decode rejects");
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Oracle-agreement harness for disk-resident serving: [`PagedEngine`]
+//! must answer **byte-for-byte** like the in-memory [`QueryEngine`] —
+//! identical distances (exact f64 bits), identical object ids, identical
+//! tie order — for every query in a randomized mix, at every buffer size
+//! including a pathological 1-page pool, whether the pages were laid out
+//! eagerly from a built framework or paged in lazily from a persisted
+//! image. The expansion counters must agree too: the paged engine runs
+//! the *same* search, it only pays page I/O on top.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::paged::{PagedEngine, PagedOptions};
+use road_core::prelude::*;
+use road_core::SearchStats;
+use road_network::generator::simple;
+use road_network::graph::RoadNetwork;
+
+fn build_world(
+    net: RoadNetwork,
+    objects: usize,
+    seed: u64,
+) -> (RoadFramework, AssociationDirectory) {
+    let fw = RoadFramework::builder(net).fanout(2).levels(2).build().unwrap();
+    let mut ad = AssociationDirectory::new(fw.hierarchy());
+    let edges: Vec<_> = fw.network().edge_ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..objects {
+        let e = edges[rng.random_range(0..edges.len())];
+        let o = Object::new(
+            ObjectId(i as u64),
+            e,
+            rng.random_range(0.0..=1.0),
+            CategoryId(rng.random_range(0..4)),
+        );
+        ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+    }
+    (fw, ad)
+}
+
+/// A randomized query mix: kNN (with filters and distance caps) and range
+/// queries, deterministic in `seed`.
+fn query_mix(num_nodes: u32, count: usize, seed: u64) -> (Vec<KnnQuery>, Vec<RangeQuery>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    let mut knns = Vec::new();
+    let mut ranges = Vec::new();
+    for i in 0..count {
+        let node = NodeId(rng.random_range(0..num_nodes));
+        if i % 3 == 2 {
+            let mut q = RangeQuery::new(node, Weight::new(rng.random_range(0.1..30.0)));
+            if i % 2 == 0 {
+                q = q.with_filter(ObjectFilter::Category(CategoryId(rng.random_range(0..5))));
+            }
+            ranges.push(q);
+        } else {
+            let mut q = KnnQuery::new(node, rng.random_range(1..9));
+            match i % 4 {
+                0 => q = q.with_filter(ObjectFilter::Category(CategoryId(rng.random_range(0..5)))),
+                1 => {
+                    q = q.with_filter(ObjectFilter::AnyOf(vec![
+                        CategoryId(rng.random_range(0..3)),
+                        CategoryId(rng.random_range(0..5)),
+                    ]))
+                }
+                _ => {}
+            }
+            if i % 5 == 0 {
+                q = q.within(Weight::new(rng.random_range(1.0..20.0)));
+            }
+            knns.push(q);
+        }
+    }
+    (knns, ranges)
+}
+
+/// Expansion counters must match between memory and paged serving; only
+/// the page-I/O fields (and workspace-recycling flag) may differ.
+fn normalize(mut stats: SearchStats) -> SearchStats {
+    stats.pages_read = 0;
+    stats.page_faults = 0;
+    stats.workspace_reused = false;
+    stats
+}
+
+fn assert_engines_agree(
+    engine: &QueryEngine,
+    disk: &mut PagedEngine,
+    knns: &[KnnQuery],
+    ranges: &[RangeQuery],
+    label: &str,
+) {
+    for (i, q) in knns.iter().enumerate() {
+        let mem = engine.knn(q).unwrap();
+        let paged = disk.knn(q).unwrap();
+        assert_eq!(mem.hits, paged.hits, "{label}: kNN query #{i} hits diverged ({q:?})");
+        assert_eq!(
+            normalize(mem.stats),
+            normalize(paged.stats),
+            "{label}: kNN query #{i} took a different expansion ({q:?})"
+        );
+    }
+    for (i, q) in ranges.iter().enumerate() {
+        let mem = engine.range(q).unwrap();
+        let paged = disk.range(q).unwrap();
+        assert_eq!(mem.hits, paged.hits, "{label}: range query #{i} hits diverged ({q:?})");
+        assert_eq!(
+            normalize(mem.stats),
+            normalize(paged.stats),
+            "{label}: range query #{i} took a different expansion ({q:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: random framework + object set + query mix,
+    /// paged results equal in-memory results across buffer sizes,
+    /// including a 1-page pathological pool, for both the eager layout
+    /// and the lazily-opened persisted image.
+    #[test]
+    fn paged_matches_memory_across_buffer_sizes(
+        n in 16usize..70,
+        extra in 0usize..25,
+        objects in 0usize..22,
+        seed in 0u64..1000,
+    ) {
+        let (fw, ad) = build_world(simple::random_connected(n, extra, seed), objects, seed);
+        let num_nodes = fw.network().num_nodes() as u32;
+        let (knns, ranges) = query_mix(num_nodes, 15, seed);
+        let engine = QueryEngine::new(fw.clone(), ad.clone());
+        let image_bytes = fw.to_bytes();
+        let objs: Vec<Object> = ad.objects().cloned().collect();
+
+        for buffer_pages in [1usize, 3, 8, 64] {
+            let opts = PagedOptions::with_buffer_pages(buffer_pages);
+            let mut eager = PagedEngine::new(&fw, &ad, opts).unwrap();
+            assert_engines_agree(
+                &engine, &mut eager, &knns, &ranges,
+                &format!("eager/buffer={buffer_pages}"),
+            );
+
+            let image = PagedImage::open(image_bytes.clone()).unwrap();
+            let mut lazy = PagedEngine::open(image, objs.clone(), opts).unwrap();
+            assert_engines_agree(
+                &engine, &mut lazy, &knns, &ranges,
+                &format!("lazy/buffer={buffer_pages}"),
+            );
+            // Lazy and eager engines converge on the same resident set.
+            prop_assert!(lazy.rnets_loaded() <= eager.rnets_loaded());
+        }
+    }
+}
+
+/// The same property at a scale CI only pays for in the `--include-ignored`
+/// stress pass: a larger network, more objects, a longer query mix, and
+/// the two extreme buffer sizes.
+#[test]
+#[ignore = "stress: larger agreement sweep, run via --include-ignored"]
+fn stress_paged_agreement_large_network() {
+    for seed in [7u64, 99, 4242] {
+        let (fw, ad) = build_world(simple::random_connected(350, 140, seed), 60, seed);
+        let num_nodes = fw.network().num_nodes() as u32;
+        let (knns, ranges) = query_mix(num_nodes, 60, seed);
+        let engine = QueryEngine::new(fw.clone(), ad.clone());
+        let objs: Vec<Object> = ad.objects().cloned().collect();
+        for buffer_pages in [1usize, 50] {
+            let opts = PagedOptions::with_buffer_pages(buffer_pages);
+            let mut eager = PagedEngine::new(&fw, &ad, opts).unwrap();
+            assert_engines_agree(
+                &engine,
+                &mut eager,
+                &knns,
+                &ranges,
+                &format!("stress-eager/seed={seed}/buffer={buffer_pages}"),
+            );
+            let image = PagedImage::open(fw.to_bytes()).unwrap();
+            let mut lazy = PagedEngine::open(image, objs.clone(), opts).unwrap();
+            assert_engines_agree(
+                &engine,
+                &mut lazy,
+                &knns,
+                &ranges,
+                &format!("stress-lazy/seed={seed}/buffer={buffer_pages}"),
+            );
+        }
+    }
+}
+
+/// Workspace reuse composes with paged serving: one workspace carried
+/// across queries against engines of different sizes answers like the
+/// convenience API.
+#[test]
+fn paged_knn_with_reused_workspace() {
+    let (fw_a, ad_a) = build_world(simple::grid(7, 7, 1.0), 9, 1);
+    let (fw_b, ad_b) = build_world(simple::chain(9, 1.0), 3, 2);
+    let mut disk_a = PagedEngine::new(&fw_a, &ad_a, PagedOptions::default()).unwrap();
+    let mut disk_b = PagedEngine::new(&fw_b, &ad_b, PagedOptions::default()).unwrap();
+    let mut ws = SearchWorkspace::new();
+    let mut hits = Vec::new();
+    for step in 0..12u32 {
+        let (disk, num_nodes) = if step % 2 == 0 {
+            (&mut disk_a, fw_a.network().num_nodes())
+        } else {
+            (&mut disk_b, fw_b.network().num_nodes())
+        };
+        let q = KnnQuery::new(NodeId(step % num_nodes as u32), 1 + (step as usize % 4));
+        disk.knn_with(&q, &mut ws, &mut hits).unwrap();
+        let fresh = disk.knn(&q).unwrap();
+        assert_eq!(hits, fresh.hits, "reused workspace diverged at step {step}");
+    }
+    assert!(ws.reuse_count() >= 12);
+}
+
+/// Page faults cannot increase when the buffer grows (same layout, same
+/// query stream, LRU inclusion at these sizes) — the property `exp_disk`
+/// charts as its headline figure.
+#[test]
+fn faults_decrease_monotonically_with_buffer_size() {
+    let (fw, ad) = build_world(simple::grid(10, 10, 1.0), 14, 5);
+    let (knns, ranges) = query_mix(fw.network().num_nodes() as u32, 20, 5);
+    let mut last = u64::MAX;
+    for buffer_pages in [1usize, 4, 16, 64, 256] {
+        let mut disk =
+            PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(buffer_pages)).unwrap();
+        let mut faults = 0u64;
+        for q in &knns {
+            faults += disk.knn(q).unwrap().stats.page_faults as u64;
+        }
+        for q in &ranges {
+            faults += disk.range(q).unwrap().stats.page_faults as u64;
+        }
+        assert!(
+            faults <= last,
+            "faults grew from {last} to {faults} when buffer grew to {buffer_pages} pages"
+        );
+        last = faults;
+    }
+}

@@ -115,6 +115,112 @@ fn corrupt_inputs_are_rejected() {
     assert!(RoadFramework::from_bytes(&bad).is_err());
 }
 
+/// Systematic robustness sweep: truncations at every stride must return
+/// `RoadError` (never panic or over-allocate), bit flips at every stride
+/// must either fail cleanly or produce a framework that can actually
+/// serve, and both the monolithic and page-granular open paths must hold
+/// the line. This pins the satellite guarantee "corrupt images can never
+/// take a serving process down".
+#[test]
+fn systematic_corruption_never_panics() {
+    let fw = RoadFramework::builder(simple::grid(5, 5, 1.0)).fanout(2).levels(2).build().unwrap();
+    let bytes = fw.to_bytes();
+
+    // Truncation at every 3rd prefix length: always a clean error.
+    for cut in (0..bytes.len()).step_by(3) {
+        assert!(RoadFramework::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} parsed");
+        assert!(
+            road_core::PagedImage::open(bytes[..cut].to_vec()).is_err(),
+            "paged open of truncation at {cut} parsed"
+        );
+    }
+
+    // One flipped bit at every 7th byte: Ok(usable) or Err, never a panic.
+    for at in (0..bytes.len()).step_by(7) {
+        let mut flipped = bytes.clone();
+        flipped[at] ^= 0x10;
+        if let Ok(restored) = RoadFramework::from_bytes(&flipped) {
+            // Whatever parsed must be servable without panicking (a clean
+            // query error is fine; e.g. the flip shrank the node count).
+            let ad = AssociationDirectory::new(restored.hierarchy());
+            let _ = restored.knn(&ad, &KnnQuery::new(NodeId(0), 1));
+        }
+        if let Ok(image) = road_core::PagedImage::open(flipped) {
+            let _ = image.into_framework().map(|restored| {
+                let ad = AssociationDirectory::new(restored.hierarchy());
+                let _ = restored.knn(&ad, &KnnQuery::new(NodeId(0), 1));
+            });
+        }
+    }
+}
+
+/// Absurd element counts written into the header region must be rejected
+/// up front instead of driving giant allocations (the OOM vector: a
+/// `u32::MAX` count used as a `Vec::with_capacity` hint).
+#[test]
+fn absurd_counts_fail_fast_without_allocating() {
+    let fw = RoadFramework::builder(simple::grid(4, 4, 1.0)).fanout(2).levels(1).build().unwrap();
+    let bytes = fw.to_bytes();
+    // Offsets of the u32 count fields in the format: num_nodes at 18,
+    // edge_slots right after the node table, and the shortcut store's
+    // num_rnets near the end (patch a huge per-source edge count instead:
+    // first u32 after num_rnets+num_sources).
+    let num_nodes_at = 18;
+    let mut bad = bytes.clone();
+    bad[num_nodes_at..num_nodes_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(RoadFramework::from_bytes(&bad).is_err());
+    assert!(road_core::PagedImage::open(bad).is_err());
+
+    let edge_slots_at = 18 + 4 + 16 * fw.network().num_nodes();
+    let mut bad = bytes.clone();
+    bad[edge_slots_at..edge_slots_at + 4].copy_from_slice(&0x7FFF_FFFFu32.to_le_bytes());
+    assert!(RoadFramework::from_bytes(&bad).is_err());
+    assert!(road_core::PagedImage::open(bad).is_err());
+}
+
+/// A longer randomized corruption soak for the `--include-ignored` CI
+/// stress pass: every byte truncated, and random multi-byte stomps.
+#[test]
+#[ignore = "stress: exhaustive corruption sweep, run via --include-ignored"]
+fn stress_exhaustive_corruption_sweep() {
+    let fw = RoadFramework::builder(simple::grid(6, 6, 1.0)).fanout(2).levels(2).build().unwrap();
+    let bytes = fw.to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(RoadFramework::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} parsed");
+    }
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..400 {
+        let mut stomped = bytes.clone();
+        for _ in 0..rng.random_range(1..6) {
+            let at = rng.random_range(0..stomped.len());
+            stomped[at] = rng.random_range(0..=255u32) as u8;
+        }
+        if let Ok(restored) = RoadFramework::from_bytes(&stomped) {
+            let ad = AssociationDirectory::new(restored.hierarchy());
+            let _ = restored.knn(&ad, &KnnQuery::new(NodeId(0), 1));
+        }
+        let _ = road_core::PagedImage::open(stomped);
+    }
+}
+
+#[test]
+fn paged_image_open_matches_monolithic_restore() {
+    let fw = RoadFramework::builder(simple::grid(7, 7, 1.0)).fanout(4).levels(2).build().unwrap();
+    let bytes = fw.to_bytes();
+    let image = road_core::PagedImage::open(bytes.clone()).unwrap();
+    assert_eq!(image.num_rnets(), fw.hierarchy().num_rnets());
+    assert_eq!(image.network().num_nodes(), fw.network().num_nodes());
+    assert_eq!(image.metric(), fw.metric());
+    // Per-Rnet sections tile the shortcut payload.
+    let section_total: usize = (0..image.num_rnets()).map(|r| image.rnet_section_bytes(r)).sum();
+    assert!(section_total < bytes.len());
+    // Materializing the lazy image equals the monolithic restore.
+    let via_image = image.into_framework().unwrap();
+    let via_bytes = RoadFramework::from_bytes(&bytes).unwrap();
+    assert_eq!(via_image.shortcuts().num_shortcuts(), via_bytes.shortcuts().num_shortcuts());
+    via_image.verify().unwrap();
+}
+
 #[test]
 fn file_roundtrip() {
     let fw = RoadFramework::builder(simple::grid(6, 6, 1.0)).fanout(2).levels(2).build().unwrap();

@@ -14,11 +14,25 @@ use crate::page::PAGE_SIZE;
 use road_network::graph::RoadNetwork;
 use road_network::ids::NodeId;
 
+/// Exact placement of one record: which pages it occupies and where its
+/// bytes start. Small records sit at `offset` within their single page;
+/// multi-page records always start at offset 0 of `page` and run
+/// contiguously across `span` pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordLocation {
+    /// First page of the record.
+    pub page: u32,
+    /// Number of consecutive pages spanned (>= 1 for non-empty records).
+    pub span: u32,
+    /// Byte offset of the record within its first page.
+    pub offset: u32,
+}
+
 /// Result of clustering: where each node's record lives.
 #[derive(Clone, Debug)]
 pub struct NodeClustering {
-    /// Per node: (first page, number of pages spanned).
-    spans: Vec<(u32, u32)>,
+    /// Per node: (first page, number of pages spanned, offset in page).
+    locs: Vec<RecordLocation>,
     num_pages: u32,
     total_bytes: usize,
 }
@@ -31,7 +45,7 @@ impl NodeClustering {
     /// the approach stores per node).
     pub fn build(g: &RoadNetwork, record_size: impl Fn(NodeId) -> usize) -> Self {
         let order = bfs_order(g);
-        let mut spans = vec![(0u32, 0u32); g.num_nodes()];
+        let mut locs = vec![RecordLocation { page: 0, span: 0, offset: 0 }; g.num_nodes()];
         let mut page = 0u32;
         let mut fill = 0usize;
         let mut total_bytes = 0usize;
@@ -45,25 +59,34 @@ impl NodeClustering {
                     fill = 0;
                 }
                 let span = size.div_ceil(PAGE_SIZE) as u32;
-                spans[n.index()] = (page, span);
+                locs[n.index()] = RecordLocation { page, span, offset: 0 };
                 page += span;
             } else {
                 if fill + size > PAGE_SIZE {
                     page += 1;
                     fill = 0;
                 }
-                spans[n.index()] = (page, 1);
+                locs[n.index()] = RecordLocation { page, span: 1, offset: fill as u32 };
                 fill += size;
             }
         }
         let num_pages = if fill > 0 { page + 1 } else { page };
-        NodeClustering { spans, num_pages, total_bytes }
+        NodeClustering { locs, num_pages, total_bytes }
     }
 
     /// `(first page, span)` of a node's record.
     #[inline]
     pub fn span_of(&self, n: NodeId) -> (u32, u32) {
-        self.spans[n.index()]
+        let loc = self.locs[n.index()];
+        (loc.page, loc.span)
+    }
+
+    /// Exact placement of a node's record, including the byte offset within
+    /// its first page — what a writer needs to lay the record's actual
+    /// bytes onto [`crate::store::PageStore`] pages.
+    #[inline]
+    pub fn locate(&self, n: NodeId) -> RecordLocation {
+        self.locs[n.index()]
     }
 
     /// Total pages used.
@@ -152,6 +175,37 @@ mod tests {
         let (_, span) = c.span_of(NodeId(1));
         assert_eq!(span, 3); // ceil(10000 / 4096)
         assert!(c.num_pages() >= 4);
+    }
+
+    #[test]
+    fn locations_are_disjoint_and_in_bounds() {
+        let g = simple::grid(8, 8, 1.0);
+        let size = |n: NodeId| 200 + (n.0 as usize * 131) % 1100;
+        let c = NodeClustering::build(&g, size);
+        // Every record occupies its own byte range; collect and sort the
+        // absolute ranges and check for overlap.
+        let mut ranges: Vec<(usize, usize)> = g
+            .node_ids()
+            .map(|n| {
+                let loc = c.locate(n);
+                let start = loc.page as usize * PAGE_SIZE + loc.offset as usize;
+                (start, start + size(n))
+            })
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "records overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+        for n in g.node_ids() {
+            let loc = c.locate(n);
+            assert!((loc.offset as usize) < PAGE_SIZE);
+            if loc.span == 1 {
+                assert!(loc.offset as usize + size(n) <= PAGE_SIZE, "single-page record leaks");
+            } else {
+                assert_eq!(loc.offset, 0, "multi-page records start page-aligned");
+            }
+            assert!((loc.page + loc.span) as usize <= c.num_pages());
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod store;
 
 pub use bptree::BPlusTree;
 pub use buffer::{BufferPool, BufferStats};
-pub use ccam::NodeClustering;
+pub use ccam::{NodeClustering, RecordLocation};
 pub use lru::LruCache;
 pub use page::{PageId, PAGE_SIZE};
 pub use pagemap::{IoTracker, PageMap};

@@ -1,4 +1,4 @@
-//! Smoke tests for the five runnable examples: each is spawned as a child
+//! Smoke tests for the six runnable examples: each is spawned as a child
 //! process (cargo builds examples before running integration tests, so the
 //! binaries exist next to this test's own executable) and must exit cleanly
 //! with the expected result markers in its output, so examples can't
@@ -68,6 +68,21 @@ fn live_traffic_survives_congestion_closure_and_construction() {
             "reader on fresh snapshot v1",
             "final 3NN",
             "writer lifetime:",
+        ],
+    );
+}
+
+#[test]
+fn disk_serving_pages_in_and_agrees() {
+    run_example(
+        "disk_serving",
+        &[
+            "built overlay:",
+            "persisted image:",
+            "replica opened lazily: 0/",
+            "first burst: 40 queries oracle-checked",
+            "warm burst:",
+            "buffer sweep",
         ],
     );
 }
