@@ -20,6 +20,13 @@
 //! 3. **Page-granular open**: serving straight from a `ROADFW01` image,
 //!    reporting how few Rnet shortcut sections the first queries page in
 //!    and the first-touch vs steady-state fault cost.
+//! 4. **Thread scaling** (beyond the paper): warm-cache kNN throughput of
+//!    one *shared* `PagedEngine` (`&self` queries, lock-striped buffer
+//!    pool) at 1..N threads, against the explicitly rejected baseline —
+//!    the same engine behind one big `Mutex`, which serializes every
+//!    query. With real hardware parallelism the shared engine must beat
+//!    the mutex at 4 threads (asserted); answers are oracle-checked
+//!    either way.
 
 use super::Ctx;
 use crate::runner::{build_engine, EngineKind};
@@ -30,6 +37,8 @@ use road_core::prelude::*;
 use road_core::{PagedImage, QueryEngine, SearchStats};
 use road_network::generator::Dataset;
 use road_network::NodeId;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Buffer sizes swept in view 1 (pages; the paper's default is 50).
 pub const BUFFER_SWEEP: [usize; 5] = [10, 25, 50, 100, 200];
@@ -46,6 +55,13 @@ pub struct SweepPoint {
 /// oracle agreement with `engine` at every point. Returns one point per
 /// buffer size; faults are guaranteed non-increasing (panics otherwise —
 /// this is the experiment's acceptance criterion, not a soft report).
+///
+/// Every point runs at the **same stripe count** — pinned to the
+/// smallest swept size (capped at the default). LRU's inclusion property
+/// holds per stripe only when the page-to-stripe mapping is identical
+/// across the compared pools; letting the engine pick a different stripe
+/// count per size would re-partition the pages and break the
+/// monotonicity guarantee for non-nested stripe counts.
 pub fn sweep_buffer_sizes(
     fw: &RoadFramework,
     ad: &AssociationDirectory,
@@ -53,11 +69,17 @@ pub fn sweep_buffer_sizes(
     queries: &[KnnQuery],
     buffer_sizes: &[usize],
 ) -> Vec<SweepPoint> {
+    let stripes = buffer_sizes
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(road_storage::DEFAULT_BUFFER_STRIPES)
+        .clamp(1, road_storage::DEFAULT_BUFFER_STRIPES);
     let mut points = Vec::new();
     let mut last_faults = u64::MAX;
     for &buffer_pages in buffer_sizes {
-        let mut disk = PagedEngine::new(fw, ad, PagedOptions::with_buffer_pages(buffer_pages))
-            .expect("paged engine builds");
+        let opts = PagedOptions::with_buffer_pages(buffer_pages).with_stripes(stripes);
+        let disk = PagedEngine::new(fw, ad, opts).expect("paged engine builds");
         let mut total = SearchStats::default();
         for q in queries {
             let paged = disk.knn(q).expect("valid query");
@@ -84,7 +106,7 @@ pub fn sweep_buffer_sizes(
 
 /// Cold-cache per-query faults of the paged ROAD engine (the paper's
 /// measurement discipline: every query starts with an empty buffer).
-fn cold_knn_faults(disk: &mut PagedEngine, nodes: &[NodeId], k: usize) -> f64 {
+fn cold_knn_faults(disk: &PagedEngine, nodes: &[NodeId], k: usize) -> f64 {
     let mut faults = 0u64;
     for &n in nodes {
         disk.clear_cache();
@@ -92,6 +114,99 @@ fn cold_knn_faults(disk: &mut PagedEngine, nodes: &[NodeId], k: usize) -> f64 {
         faults += res.stats.page_faults as u64;
     }
     faults as f64 / nodes.len().max(1) as f64
+}
+
+/// One thread-scaling measurement point.
+pub struct ScalingPoint {
+    pub threads: usize,
+    pub shared_qps: f64,
+    pub mutex_qps: f64,
+}
+
+/// Warm-cache kNN throughput of one serving configuration: `threads`
+/// scoped workers interleave over the query stream (round-robin by
+/// index, so every thread mixes the whole working set), each with a
+/// reused workspace. The per-query closure is the only difference
+/// between the shared engine and the mutex baseline, so both measure the
+/// exact same workload split.
+fn serving_qps(
+    queries: &[KnnQuery],
+    threads: usize,
+    passes: usize,
+    run: impl Fn(&KnnQuery, &mut SearchWorkspace, &mut Vec<SearchHit>) + Sync,
+) -> f64 {
+    let run = &run;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut ws = SearchWorkspace::new();
+                let mut hits = Vec::new();
+                for _ in 0..passes {
+                    for (i, q) in queries.iter().enumerate() {
+                        if i % threads == t {
+                            run(q, &mut ws, &mut hits);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (passes * queries.len()) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Runs the warm-cache thread-scaling comparison (view 4): the shared
+/// `&self` engine against the rejected baseline — the same engine behind
+/// one global `Mutex`, which is what sharing a `&mut self` engine would
+/// have required. Every point serves the same stream; answers were
+/// already oracle-checked by the buffer sweep.
+///
+/// With `enforce` set and >= 4 hardware threads, the shared engine must
+/// beat the mutex baseline at 4 threads (asserted — the acceptance
+/// criterion). The harness passes `enforce = true` at its real workload
+/// scale; tiny smoke workloads should pass `false`, because measurements
+/// dominated by thread spawn/join noise would make a relative-speed
+/// assert flaky without indicating any defect.
+pub fn thread_scaling(
+    fw: &RoadFramework,
+    ad: &AssociationDirectory,
+    queries: &[KnnQuery],
+    buffer_pages: usize,
+    passes: usize,
+    enforce: bool,
+) -> Vec<ScalingPoint> {
+    let opts = PagedOptions::with_buffer_pages(buffer_pages);
+    let shared = PagedEngine::new(fw, ad, opts).expect("paged engine builds");
+    let locked = Mutex::new(PagedEngine::new(fw, ad, opts).expect("paged engine builds"));
+    let shared_run = |q: &KnnQuery, ws: &mut SearchWorkspace, hits: &mut Vec<SearchHit>| {
+        shared.knn_with(q, ws, hits).expect("valid query");
+    };
+    let mutex_run = |q: &KnnQuery, ws: &mut SearchWorkspace, hits: &mut Vec<SearchHit>| {
+        locked.lock().expect("baseline lock").knn_with(q, ws, hits).expect("valid query");
+    };
+    // Warm both caches once so every measured pass is steady-state.
+    let _ = serving_qps(queries, 1, 1, shared_run);
+    let _ = serving_qps(queries, 1, 1, mutex_run);
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut points = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let point = ScalingPoint {
+            threads,
+            shared_qps: serving_qps(queries, threads, passes, shared_run),
+            mutex_qps: serving_qps(queries, threads, passes, mutex_run),
+        };
+        if enforce && threads == 4 && hw >= 4 {
+            assert!(
+                point.shared_qps > point.mutex_qps,
+                "shared engine ({:.0} QPS) must beat the Mutex baseline ({:.0} QPS) at 4 \
+                 threads on {hw}-way hardware",
+                point.shared_qps,
+                point.mutex_qps,
+            );
+        }
+        points.push(point);
+    }
+    points
 }
 
 /// Full experiment (the `exp_disk` binary).
@@ -149,14 +264,13 @@ pub fn run(ctx: &Ctx) {
 
     // --- 2: cold per-query I/O vs k, ROAD real vs modelled baselines ----
     let ks = [1usize, 5, 10, 20];
-    let mut disk =
-        PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(ctx.params.buffer_pages))
-            .expect("paged engine builds");
+    let disk = PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(ctx.params.buffer_pages))
+        .expect("paged engine builds");
     let mut netexp = build_engine(EngineKind::NetExp, &g, &objects, &ctx.params, levels);
     let mut distidx = build_engine(EngineKind::DistIdx, &g, &objects, &ctx.params, levels);
     let mut rows = Vec::new();
     for &k in &ks {
-        let road_faults = cold_knn_faults(&mut disk, &nodes, k);
+        let road_faults = cold_knn_faults(&disk, &nodes, k);
         let mut ne = 0.0;
         let mut di = 0.0;
         for &n in &nodes {
@@ -178,7 +292,7 @@ pub fn run(ctx: &Ctx) {
     let image_mb = image_bytes.len();
     let image = PagedImage::open(image_bytes).expect("image opens");
     let total_rnets = image.num_rnets();
-    let mut lazy = PagedEngine::open(
+    let lazy = PagedEngine::open(
         image,
         objects.clone(),
         PagedOptions::with_buffer_pages(ctx.params.buffer_pages),
@@ -222,6 +336,38 @@ pub fn run(ctx: &Ctx) {
         fmt_mb(lazy.disk_size_bytes()),
         lazy.node_region_pages(),
     );
+
+    // --- 4: warm-cache thread scaling, shared vs Mutex baseline ---------
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let points = thread_scaling(&fw, &ad, &queries, ctx.params.buffer_pages, 20, true);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                fmt_f(p.shared_qps),
+                fmt_f(p.mutex_qps),
+                format!("{:.2}x", p.shared_qps / p.mutex_qps.max(1e-9)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Warm-cache thread scaling: shared &self engine vs Mutex<PagedEngine> baseline \
+             ({hw} hardware threads)"
+        ),
+        &["threads", "shared QPS", "mutex QPS", "shared/mutex"],
+        &rows,
+    );
+    println!(
+        "\nthe Mutex row is the rejected design (one lock around a &mut engine); the shared \
+         row is the lock-striped pool{}",
+        if hw >= 4 {
+            " — asserted faster at 4 threads."
+        } else {
+            ". (assertion skipped: fewer than 4 hardware threads)"
+        }
+    );
 }
 
 #[cfg(test)]
@@ -257,5 +403,29 @@ mod tests {
             points.first().unwrap().page_faults > points.last().unwrap().page_faults,
             "buffer growth showed no effect"
         );
+    }
+
+    /// The thread-scaling smoke: the shared-vs-mutex comparison completes
+    /// at every thread count. The 4-thread superiority assertion is NOT
+    /// enforced here — this workload (a few dozen queries) is dominated
+    /// by thread spawn/join noise, which would make a relative-speed
+    /// assert flaky. `exp_disk` enforces it at its real workload scale.
+    #[test]
+    fn thread_scaling_smoke() {
+        let g = simple::grid(8, 8, 1.0);
+        let fw = RoadFramework::builder(g).fanout(4).levels(2).build().unwrap();
+        let mut ad = AssociationDirectory::new(fw.hierarchy());
+        for (i, e) in fw.network().edge_ids().step_by(9).enumerate() {
+            ad.insert(
+                fw.network(),
+                fw.hierarchy(),
+                Object::new(ObjectId(i as u64), e, 0.5, CategoryId(0)),
+            )
+            .unwrap();
+        }
+        let queries: Vec<KnnQuery> = (0..16u32).map(|i| KnnQuery::new(NodeId(i * 4), 3)).collect();
+        let points = thread_scaling(&fw, &ad, &queries, 25, 2, false);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.shared_qps > 0.0 && p.mutex_qps > 0.0));
     }
 }

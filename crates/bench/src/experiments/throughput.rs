@@ -13,7 +13,10 @@
 //!    bounds naive usage of the new API, not the old design);
 //! 2. **reused** — one workspace reused across the whole stream
 //!    (generation-stamped invalidation, zero steady-state allocations);
-//! 3. **scaled** — `QueryEngine::batch_knn` over 1..=N worker threads.
+//! 3. **scaled** — `QueryEngine::batch_knn` over 1..=N worker threads,
+//!    next to the **paged** column: the same batch through one shared
+//!    disk-resident `PagedEngine` (warm lock-striped buffer pool), so the
+//!    table shows what serving from pages costs at every thread count.
 //!
 //! Reported: queries/second, the single-thread speedup of reuse over
 //! per-query construction, the multi-thread scaling curve, and the number
@@ -25,6 +28,7 @@
 use super::Ctx;
 use crate::table::{fmt_f, print_table};
 use crate::{config, workload};
+use road_core::paged::{PagedEngine, PagedOptions};
 use road_core::prelude::*;
 use road_network::generator::Dataset;
 use std::time::Instant;
@@ -52,6 +56,9 @@ pub fn run(ctx: &Ctx) {
     for o in &objects {
         ad.insert(fw.network(), fw.hierarchy(), o.clone()).expect("object maps");
     }
+    // The paged column serves the same workload from 4 KB pages through
+    // the shared (lock-striped) buffer pool, paper-default 50 frames.
+    let paged = PagedEngine::new(&fw, &ad, PagedOptions::default()).expect("paged engine builds");
     let engine = QueryEngine::new(fw, ad);
     let queries: Vec<KnnQuery> = nodes.iter().map(|&n| KnnQuery::new(n, k)).collect();
     let stream_len = queries.len() * PASSES;
@@ -109,9 +116,13 @@ pub fn run(ctx: &Ctx) {
         ],
     );
 
-    // --- multi-thread scaling over batch_knn ---------------------------
+    // --- multi-thread scaling over batch_knn: in-memory and paged ------
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let stream: Vec<KnnQuery> = (0..PASSES).flat_map(|_| queries.iter().cloned()).collect();
+    // Warm the paged pool once so the column measures steady-state
+    // serving, not first-touch faults.
+    let warm = paged.batch_knn(&queries, 1).expect("valid batch");
+    assert_eq!(warm.len(), queries.len());
     let mut rows = Vec::new();
     let mut base_qps = 0.0;
     let mut t = 1usize;
@@ -121,10 +132,20 @@ pub fn run(ctx: &Ctx) {
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(answers.len(), stream.len());
         let qps = stream.len() as f64 / secs.max(1e-9);
+        let t1 = Instant::now();
+        let paged_answers = paged.batch_knn(&stream, t).expect("valid batch");
+        let paged_qps = stream.len() as f64 / t1.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(paged_answers, answers, "paged batch diverged from the in-memory batch");
         if t == 1 {
             base_qps = qps;
         }
-        rows.push(vec![format!("{t}"), fmt_f(qps), format!("{:.2}x", qps / base_qps.max(1e-9))]);
+        rows.push(vec![
+            format!("{t}"),
+            fmt_f(qps),
+            format!("{:.2}x", qps / base_qps.max(1e-9)),
+            fmt_f(paged_qps),
+            format!("{:.0}%", 100.0 * paged_qps / qps.max(1e-9)),
+        ]);
         if t == max_threads {
             break;
         }
@@ -132,7 +153,7 @@ pub fn run(ctx: &Ctx) {
     }
     print_table(
         &format!("exp_throughput — batch_knn scaling ({} hardware threads)", max_threads),
-        &["threads", "QPS", "speedup"],
+        &["threads", "QPS", "speedup", "paged QPS", "paged/memory"],
         &rows,
     );
 }

@@ -122,12 +122,18 @@ impl QueryEngine {
     /// Evaluates a batch of kNN queries on up to `threads` scoped worker
     /// threads (each with one workspace reused across its whole share) and
     /// returns the hit lists in query order. `threads <= 1` runs inline.
+    ///
+    /// On failure the error is deterministic regardless of thread timing:
+    /// when several queries fail, the reported error is that of the
+    /// **lowest query index** — workers own contiguous in-order chunks,
+    /// all of them are joined, and results are scanned in query order,
+    /// never in completion order.
     pub fn batch_knn(
         &self,
         queries: &[KnnQuery],
         threads: usize,
     ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
-        self.batch(queries, threads, |engine, q, ws, hits| engine.knn_with(q, ws, hits))
+        run_batch(queries, threads, |q, ws, hits| self.knn_with(q, ws, hits))
     }
 
     /// Evaluates a batch of range queries; see [`QueryEngine::batch_knn`].
@@ -136,50 +142,57 @@ impl QueryEngine {
         queries: &[RangeQuery],
         threads: usize,
     ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
-        self.batch(queries, threads, |engine, q, ws, hits| engine.range_with(q, ws, hits))
+        run_batch(queries, threads, |q, ws, hits| self.range_with(q, ws, hits))
     }
+}
 
-    fn batch<Q: Sync>(
-        &self,
-        queries: &[Q],
-        threads: usize,
-        run: impl Fn(
-                &Self,
-                &Q,
-                &mut SearchWorkspace,
-                &mut Vec<SearchHit>,
-            ) -> Result<SearchStats, RoadError>
-            + Sync,
-    ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
-        let run_chunk = |chunk: &[Q]| -> Result<Vec<Vec<SearchHit>>, RoadError> {
-            let mut ws = SearchWorkspace::new();
-            chunk
-                .iter()
-                .map(|q| {
-                    let mut hits = Vec::new();
-                    run(self, q, &mut ws, &mut hits)?;
-                    Ok(hits)
-                })
-                .collect()
-        };
-        let threads = threads.clamp(1, queries.len().max(1));
-        if threads == 1 {
-            return run_chunk(queries);
-        }
-        let chunk_len = queries.len().div_ceil(threads);
-        let run_chunk = &run_chunk;
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = queries
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
-                .collect();
-            let mut out = Vec::with_capacity(queries.len());
-            for worker in workers {
-                out.extend(worker.join().expect("batch worker panicked")?);
-            }
-            Ok(out)
-        })
+/// Fans `queries` out over up to `threads` scoped workers, each with one
+/// reused [`SearchWorkspace`], and returns the hit lists in query order —
+/// the batch engine behind [`QueryEngine`] and the paged engine's batch
+/// API.
+///
+/// **Error contract:** when several queries fail, the reported error is
+/// that of the **lowest query index**, independent of which worker thread
+/// finishes (or fails) first. Workers own contiguous, in-order chunks and
+/// stop at their first failure, so the first failing chunk's error is the
+/// globally lowest-index failure; all workers are joined before any error
+/// is returned, and the chunk results are then scanned in query order —
+/// never in completion order.
+pub(crate) fn run_batch<Q: Sync>(
+    queries: &[Q],
+    threads: usize,
+    run: impl Fn(&Q, &mut SearchWorkspace, &mut Vec<SearchHit>) -> Result<SearchStats, RoadError> + Sync,
+) -> Result<Vec<Vec<SearchHit>>, RoadError> {
+    let run_chunk = |chunk: &[Q]| -> Result<Vec<Vec<SearchHit>>, RoadError> {
+        let mut ws = SearchWorkspace::new();
+        chunk
+            .iter()
+            .map(|q| {
+                let mut hits = Vec::new();
+                run(q, &mut ws, &mut hits)?;
+                Ok(hits)
+            })
+            .collect()
+    };
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 {
+        return run_chunk(queries);
     }
+    let chunk_len = queries.len().div_ceil(threads);
+    let run_chunk = &run_chunk;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> =
+            queries.chunks(chunk_len).map(|chunk| scope.spawn(move || run_chunk(chunk))).collect();
+        // Join everything first, then scan chunk results in query order:
+        // the reported error must not depend on worker completion order.
+        let results: Vec<Result<Vec<Vec<SearchHit>>, RoadError>> =
+            workers.into_iter().map(|w| w.join().expect("batch worker panicked")).collect();
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    })
 }
 
 impl std::fmt::Debug for QueryEngine {

@@ -376,113 +376,32 @@ impl RoadFramework {
         ad: &AssociationDirectory,
         query: &crate::search::AggregateKnnQuery,
     ) -> Result<(Vec<SearchHit>, SearchStats), RoadError> {
-        if query.nodes.is_empty() {
-            return Err(RoadError::InvalidConfig("aggregate query needs >= 1 node".into()));
+        // The algorithm lives in `search::aggregate_knn_backend`, shared
+        // verbatim with the disk-resident engine
+        // (`PagedEngine::aggregate_knn`), so the two cannot drift apart.
+        struct MemoryBackend<'a> {
+            fw: &'a RoadFramework,
+            ad: &'a AssociationDirectory,
         }
-        let mut total = SearchStats::default();
-        if query.k == 0 {
-            return Ok((Vec::new(), total));
-        }
-        let m = query.nodes.len();
-        if m == 1 {
-            // A single-member group is a plain kNN.
-            let q = KnnQuery::new(query.nodes[0], query.k).with_filter(query.filter.clone());
-            let mut res = self.knn(ad, &q)?;
-            total.absorb(&res.stats);
-            return Ok((std::mem::take(&mut res.hits), total));
-        }
-
-        // Member 0: unbounded discovery of every candidate.
-        let first = search::execute(
-            self,
-            Some(ad),
-            query.nodes[0],
-            &query.filter,
-            search::Mode::Range(Weight::INFINITY),
-            &mut NoopObserver,
-        )?;
-        total.absorb(&first.stats);
-        if first.hits.is_empty() {
-            return Ok((Vec::new(), total));
-        }
-
-        // Member-to-member distances from member 0 (the triangle tails).
-        let mut member_dist: Vec<Weight> = Vec::with_capacity(m);
-        member_dist.push(Weight::ZERO);
-        for &q in &query.nodes[1..] {
-            let res = search::execute(
-                self,
-                None,
-                query.nodes[0],
-                &crate::model::ObjectFilter::Any,
-                search::Mode::ToNode(q),
-                &mut NoopObserver,
-            )?;
-            total.absorb(&res.stats);
-            member_dist.push(res.distance_to_node(q).unwrap_or(Weight::INFINITY));
-        }
-
-        // Candidates carry (object, d_0, running partial aggregate).
-        let mut cands: Vec<(crate::model::ObjectId, Weight, Weight)> = first
-            .hits
-            .iter()
-            .map(|h| (h.object, h.distance, query.aggregate.combine(Weight::ZERO, h.distance)))
-            .collect();
-        let mut ubs: Vec<Weight> = Vec::with_capacity(cands.len());
-        for i in 1..m {
-            // Upper-bound each candidate's final aggregate: exact partials
-            // for processed members, triangle tails for the rest. The k-th
-            // smallest is a sound expansion bound for member i.
-            ubs.clear();
-            ubs.extend(cands.iter().map(|&(_, d0, partial)| {
-                let mut ub = partial;
-                for &tail in &member_dist[i..] {
-                    ub = query.aggregate.combine(ub, d0 + tail);
-                }
-                ub
-            }));
-            let bound = if ubs.len() < query.k {
-                Weight::INFINITY
-            } else {
-                let (_, kth, _) = ubs.select_nth_unstable(query.k - 1);
-                // Inflate by a relative epsilon: the triangle-inequality
-                // sum `d_0(o) + ||q_0, q_i||` and Dijkstra's edge-by-edge
-                // fold of the same path round differently, so a true
-                // answer could exceed the exact bound by a few ULPs and
-                // be wrongly pruned. Over-admitting costs a little extra
-                // expansion; under-admitting costs correctness.
-                Weight::new(kth.get() * (1.0 + 1e-9) + f64::MIN_POSITIVE)
-            };
-            let res = search::execute(
-                self,
-                Some(ad),
-                query.nodes[i],
-                &query.filter,
-                search::Mode::Range(bound),
-                &mut NoopObserver,
-            )?;
-            total.absorb(&res.stats);
-            use road_network::hash::FastMap;
-            let di: FastMap<u64, Weight> =
-                res.hits.iter().map(|h| (h.object.0, h.distance)).collect();
-            cands.retain_mut(|c| match di.get(&c.0 .0) {
-                Some(&d) => {
-                    c.2 = query.aggregate.combine(c.2, d);
-                    true
-                }
-                // Outside member i's (bounded) reach: either unreachable
-                // or provably beyond the k-th best aggregate.
-                None => false,
-            });
-            if cands.is_empty() {
-                break;
+        impl search::AggregateBackend for MemoryBackend<'_> {
+            fn expand(
+                &mut self,
+                node: NodeId,
+                filter: &crate::model::ObjectFilter,
+                mode: search::Mode,
+                with_directory: bool,
+            ) -> Result<SearchResult, RoadError> {
+                search::execute(
+                    self.fw,
+                    with_directory.then_some(self.ad),
+                    node,
+                    filter,
+                    mode,
+                    &mut NoopObserver,
+                )
             }
         }
-        let mut hits: Vec<SearchHit> =
-            cands.into_iter().map(|(o, _, agg)| SearchHit { object: o, distance: agg }).collect();
-        hits.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.object.cmp(&b.object)));
-        hits.truncate(query.k);
-        Ok((hits, total))
+        search::aggregate_knn_backend(&mut MemoryBackend { fw: self, ad }, query)
     }
 
     /// Point-to-point network distance through the overlay: with no

@@ -30,6 +30,29 @@
 //! RAM-resident: it is the search skeleton, small and touched on every
 //! hop.
 //!
+//! ## Concurrent serving
+//!
+//! Queries take `&self`: one engine serves any number of threads at once,
+//! like the in-memory `QueryEngine`. Three pieces make that safe without a
+//! wrapper mutex (the rejected baseline `exp_disk` measures against):
+//!
+//! * the **lock-striped buffer pool**
+//!   ([`road_storage::StripedBufferPool`]) — the LRU sharded by page id
+//!   into independently locked stripes, so cache-warm readers rarely
+//!   contend; every access is charged both to atomic global counters and
+//!   to the query's private [`IoTally`], which is what keeps per-query
+//!   [`SearchStats`] exact under concurrency (tallies sum to the pool's
+//!   cumulative stats);
+//! * **once-only lazy Rnet decode** — each Rnet's shortcut-record
+//!   locations live in a `OnceLock`, initialized under a per-Rnet mutex
+//!   (double-checked: the fast path is a lock-free `get`). Two threads
+//!   never decode the same section twice, and readers never observe a
+//!   half-decoded Rnet because the locations publish only after every
+//!   record is on its page;
+//! * **per-thread scratch** — record buffers and
+//!   [`SearchWorkspace`]s come from thread-local pools, exactly like the
+//!   in-memory engine's hot path.
+//!
 //! ## Oracle agreement
 //!
 //! `PagedEngine` runs the **same** expansion loop as the in-memory engine
@@ -37,8 +60,9 @@
 //! module only swaps the storage behind it. Record visit order matches the
 //! in-memory iteration order and distances are stored as exact `f64` bits,
 //! so results are byte-for-byte identical (distances, ids, tie order) at
-//! *every* buffer size, including a pathological 1-page pool. The
-//! `paged_tests` proptest harness pins this down.
+//! *every* buffer size, including a pathological 1-page-per-stripe pool,
+//! from any number of threads. The `paged_tests` proptest harness pins
+//! this down.
 //!
 //! ## Page-granular open
 //!
@@ -46,7 +70,10 @@
 //! ([`PagedImage`]) without ever materializing the in-memory shortcut
 //! store: an Rnet's shortcut section is decoded and laid onto pages the
 //! first time a query touches the Rnet. A cold server reaches its first
-//! answer after paging in only the Rnets that query actually crossed.
+//! answer after paging in only the Rnets that query actually crossed. A
+//! section that no longer decodes (image bytes corrupted after `open`)
+//! surfaces as `Err` through the query path instead of a silent wrong
+//! answer.
 //!
 //! ```
 //! use road_core::paged::{PagedEngine, PagedOptions};
@@ -60,7 +87,8 @@
 //! pois.insert(road.network(), road.hierarchy(), Object::new(ObjectId(1), edge, 0.5, CategoryId(0)))
 //!     .unwrap();
 //!
-//! let mut disk = PagedEngine::new(&road, &pois, PagedOptions::default()).unwrap();
+//! let disk = PagedEngine::new(&road, &pois, PagedOptions::default()).unwrap();
+//! // `knn` takes `&self`: share the engine across serving threads.
 //! let res = disk.knn(&KnnQuery::new(NodeId(12), 1)).unwrap();
 //! assert_eq!(res.hits.len(), 1);
 //! assert!(res.stats.pages_read > 0, "served from pages");
@@ -72,8 +100,8 @@ use crate::hierarchy::{RnetHierarchy, RnetId};
 use crate::model::{CategoryId, Object, ObjectFilter};
 use crate::persist::PagedImage;
 use crate::search::{
-    self, KnnQuery, Mode, NoopObserver, RangeQuery, SearchHit, SearchResult, SearchSource,
-    SearchStats,
+    self, AggregateKnnQuery, KnnQuery, Mode, NoopObserver, RangeQuery, SearchHit, SearchResult,
+    SearchSource, SearchStats,
 };
 use crate::workspace::SearchWorkspace;
 use crate::{AbstractKind, RoadError};
@@ -81,10 +109,12 @@ use road_network::graph::{RoadNetwork, WeightKind};
 use road_network::hash::FastMap;
 use road_network::{EdgeId, NodeId, Weight};
 use road_storage::{
-    BPlusTree, BufferPool, BufferStats, NodeClustering, PageId, PageStore, DEFAULT_BUFFER_PAGES,
-    PAGE_SIZE,
+    BPlusTree, BufferStats, IoTally, NodeClustering, PageId, PageStore, StripedBufferPool,
+    TalliedPool, DEFAULT_BUFFER_PAGES, DEFAULT_BUFFER_STRIPES, PAGE_SIZE,
 };
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Record locations: (page, offset, length) packed into one u64
@@ -115,10 +145,6 @@ fn unpack_loc(loc: u64) -> (u32, u32, usize) {
     let offset = ((loc >> LOC_LEN_BITS) & ((1 << LOC_OFFSET_BITS) - 1)) as u32;
     let len = (loc & ((1 << LOC_LEN_BITS) - 1)) as usize;
     (page, offset, len)
-}
-
-fn shortcut_key(r: RnetId, n: u32) -> u64 {
-    ((r.0 as u64) << 32) | n as u64
 }
 
 // ---------------------------------------------------------------------------
@@ -213,6 +239,30 @@ fn read_f64_at(buf: &[u8], at: usize) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Per-thread scratch buffers for record reads
+// ---------------------------------------------------------------------------
+
+/// Cap on pooled record buffers per thread (mirrors the workspace pool).
+const SCRATCH_POOL_CAP: usize = 8;
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_scratch() -> Vec<u8> {
+    SCRATCH_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn put_scratch(buf: Vec<u8>) {
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(buf);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Options and the engine
 // ---------------------------------------------------------------------------
 
@@ -220,56 +270,87 @@ fn read_f64_at(buf: &[u8], at: usize) -> f64 {
 #[derive(Clone, Copy, Debug)]
 pub struct PagedOptions {
     /// LRU buffer-pool capacity in 4 KB pages (the paper's default is 50).
+    /// Rounded up to at least one page per stripe.
     pub buffer_pages: usize,
+    /// Lock stripes of the concurrent buffer pool: the LRU is sharded by
+    /// `page % stripes`, each shard behind its own mutex, so serving
+    /// threads touching different pages rarely contend. Clamped to
+    /// `buffer_pages` so the pool's capacity stays exactly as requested —
+    /// the paper's cost model counts every frame.
+    pub buffer_stripes: usize,
 }
 
 impl Default for PagedOptions {
     fn default() -> Self {
-        PagedOptions { buffer_pages: DEFAULT_BUFFER_PAGES }
+        PagedOptions { buffer_pages: DEFAULT_BUFFER_PAGES, buffer_stripes: DEFAULT_BUFFER_STRIPES }
     }
 }
 
 impl PagedOptions {
-    /// Options with an explicit buffer size.
+    /// Options with an explicit buffer size (default stripe count).
     pub fn with_buffer_pages(buffer_pages: usize) -> Self {
-        PagedOptions { buffer_pages }
+        PagedOptions { buffer_pages, ..PagedOptions::default() }
+    }
+
+    /// Overrides the stripe count.
+    pub fn with_stripes(mut self, buffer_stripes: usize) -> Self {
+        self.buffer_stripes = buffer_stripes;
+        self
     }
 }
 
-/// Where a paged engine's shortcut records come from.
-enum ShortcutBacking {
-    /// Everything was laid onto pages at construction.
-    Eager,
-    /// Rnets are decoded from the retained image on first touch.
-    Lazy { image: PagedImage, loaded: Vec<bool>, rnets_loaded: usize },
+/// The lazy-open state: the retained image plus the bookkeeping that makes
+/// first-touch Rnet decoding safe under concurrency.
+struct LazyBacking {
+    /// The retained image, dropped (set to `None`) once every Rnet is
+    /// resident — a fully loaded replica must not keep a second copy of
+    /// the overlay in RAM. `Arc` so a decode can run outside the lock.
+    image: Mutex<Option<Arc<PagedImage>>>,
+    /// One lock per Rnet: the writer side of the double-checked
+    /// `OnceLock` init, so two threads never decode the same section
+    /// twice while *different* Rnets decode in parallel.
+    rnet_locks: Vec<Mutex<()>>,
+    /// How many Rnets are resident (monotone, saturates at the total).
+    rnets_loaded: AtomicUsize,
 }
 
 /// A disk-resident ROAD engine: serves `knn`/`range` by reading node,
-/// shortcut and directory records through an LRU buffer pool over 4 KB
-/// pages, mirroring [`QueryEngine`](crate::engine::QueryEngine)'s query
-/// API (methods take `&mut self` because every read moves the pool's LRU
-/// state). See the [module docs](crate::paged) for the layout.
+/// shortcut and directory records through a lock-striped LRU buffer pool
+/// over 4 KB pages, mirroring [`QueryEngine`](crate::engine::QueryEngine)'s
+/// query API. Queries take `&self` — share one engine (by reference or in
+/// an `Arc`) across any number of serving threads. See the
+/// [module docs](crate::paged) for the layout and the concurrency design.
 pub struct PagedEngine {
     hier: Arc<RnetHierarchy>,
     kind: WeightKind,
     num_nodes: usize,
-    pool: BufferPool,
-    /// Per node: packed location of its adjacency record.
+    pool: StripedBufferPool,
+    /// Per node: packed location of its adjacency record (immutable after
+    /// build).
     node_loc: Vec<u64>,
-    /// `(rnet, border node) -> location` of the shortcut record.
-    shortcut_loc: FastMap<u64, u64>,
+    /// Per Rnet: `border node -> shortcut-record location`. Set exactly
+    /// once — at build time for eager engines, under the per-Rnet lock on
+    /// first query touch for lazily opened ones. Readers go through the
+    /// lock-free `get`; a `Some` map is always complete.
+    rnet_shortcuts: Vec<OnceLock<FastMap<u32, u64>>>,
     /// Node id -> association-record location.
     assoc_index: BPlusTree,
     /// Rnet id -> abstract-record location.
     abstract_index: BPlusTree,
-    backing: ShortcutBacking,
+    /// `Some` iff the engine was opened page-granularly from an image.
+    lazy: Option<LazyBacking>,
     /// Sequential-append cursor `(page, fill)` for directory records and
-    /// lazily paged-in shortcut records.
-    append: Option<(u32, usize)>,
-    /// Reusable record read/write buffer.
-    scratch: Vec<u8>,
+    /// lazily paged-in shortcut records. The mutex also serializes
+    /// multi-page allocation runs (consecutive page ids).
+    append: Mutex<Option<(u32, usize)>>,
     node_region_pages: usize,
 }
+
+// One engine, many serving threads — keep it a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PagedEngine>();
+};
 
 impl PagedEngine {
     /// Lays a built framework + directory onto pages **eagerly**: node and
@@ -287,7 +368,11 @@ impl PagedEngine {
             fw.network().num_nodes(),
             opts,
         )?;
-        eng.lay_node_region(fw.network(), Some(fw.shortcuts()))?;
+        let per_rnet = eng.lay_node_region(fw.network(), Some(fw.shortcuts()))?;
+        for (r, map) in per_rnet.into_iter().enumerate() {
+            let set = eng.rnet_shortcuts[r].set(map);
+            debug_assert!(set.is_ok(), "fresh OnceLock set twice");
+        }
         eng.lay_directory_region(fw.network(), ad)?;
         eng.finish_build();
         Ok(eng)
@@ -314,8 +399,12 @@ impl PagedEngine {
         )?;
         eng.lay_node_region(image.network(), None)?;
         eng.lay_directory_region(image.network(), &ad)?;
-        let loaded = vec![false; image.num_rnets()];
-        eng.backing = ShortcutBacking::Lazy { image, loaded, rnets_loaded: 0 };
+        let num_rnets = image.num_rnets();
+        eng.lazy = Some(LazyBacking {
+            image: Mutex::new(Some(Arc::new(image))),
+            rnet_locks: (0..num_rnets).map(|_| Mutex::new(())).collect(),
+            rnets_loaded: AtomicUsize::new(0),
+        });
         eng.finish_build();
         Ok(eng)
     }
@@ -329,36 +418,48 @@ impl PagedEngine {
         if opts.buffer_pages == 0 {
             return Err(RoadError::InvalidConfig("buffer pool needs at least one page".into()));
         }
-        let mut pool = BufferPool::new(PageStore::new(), opts.buffer_pages);
-        let assoc_index = BPlusTree::new(&mut pool);
-        let abstract_index = BPlusTree::new(&mut pool);
+        if opts.buffer_stripes == 0 {
+            return Err(RoadError::InvalidConfig("buffer pool needs at least one stripe".into()));
+        }
+        // Clamp stripes to the page budget: a 2-page pool with 8 stripes
+        // would round up to 8 frames and break the paper's capacity
+        // accounting (and the faults-vs-buffer-size sweeps).
+        let stripes = opts.buffer_stripes.min(opts.buffer_pages);
+        let pool = StripedBufferPool::new(PageStore::new(), opts.buffer_pages, stripes);
+        let mut tally = IoTally::default();
+        let assoc_index = BPlusTree::new(&mut TalliedPool { pool: &pool, tally: &mut tally });
+        let abstract_index = BPlusTree::new(&mut TalliedPool { pool: &pool, tally: &mut tally });
+        let num_rnets = hier.num_rnets();
         Ok(PagedEngine {
             hier,
             kind,
             num_nodes,
             pool,
             node_loc: Vec::new(),
-            shortcut_loc: FastMap::default(),
+            rnet_shortcuts: (0..num_rnets).map(|_| OnceLock::new()).collect(),
             assoc_index,
             abstract_index,
-            backing: ShortcutBacking::Eager,
-            append: None,
-            scratch: Vec::new(),
+            lazy: None,
+            append: Mutex::new(None),
             node_region_pages: 0,
         })
     }
 
     /// Lays the node region: every node's adjacency record, plus (eagerly)
     /// its outgoing shortcut records, CCAM-clustered so that BFS-adjacent
-    /// nodes share pages.
+    /// nodes share pages. Returns the per-Rnet shortcut-record locations
+    /// (empty maps when `shortcuts` is `None` — the lazy path fills them
+    /// at first touch instead).
     fn lay_node_region(
         &mut self,
         g: &RoadNetwork,
         shortcuts: Option<&crate::shortcut::ShortcutStore>,
-    ) -> Result<(), RoadError> {
+    ) -> Result<Vec<FastMap<u32, u64>>, RoadError> {
         let hier = Arc::clone(&self.hier);
         let kind = self.kind;
+        let mut tally = IoTally::default();
         let mut rec = Vec::new();
+        let mut per_rnet: Vec<FastMap<u32, u64>> = vec![FastMap::default(); hier.num_rnets()];
         // Blob size = node record + (eager only) its shortcut records.
         let blob_size = |n: NodeId| -> usize {
             let mut bytes = 4 + ADJ_ENTRY * g.neighbors(n).count();
@@ -373,7 +474,7 @@ impl PagedEngine {
             bytes
         };
         let clustering = NodeClustering::build(g, blob_size);
-        let base = self.pool.store().num_pages() as u32;
+        let base = self.pool.num_pages() as u32;
         for _ in 0..clustering.num_pages() {
             self.pool.alloc();
         }
@@ -383,7 +484,7 @@ impl PagedEngine {
             let loc = clustering.locate(n);
             let (page, mut offset) = (base + loc.page, loc.offset);
             encode_node_record(g, &hier, kind, n, &mut rec);
-            self.write_bytes(page, offset as usize, &rec);
+            self.write_bytes(page, offset as usize, &rec, &mut tally);
             self.node_loc[n.index()] = pack_loc(page, offset, rec.len())?;
             offset += rec.len() as u32;
             if let Some(sc) = shortcuts {
@@ -396,13 +497,13 @@ impl PagedEngine {
                     // A multi-page blob crosses page boundaries; recompute
                     // the page/offset split for this record's start.
                     let (p, o) = (page + offset / PAGE_SIZE as u32, offset % PAGE_SIZE as u32);
-                    self.write_bytes(p, o as usize, &rec);
-                    self.shortcut_loc.insert(shortcut_key(r, n.0), pack_loc(p, o, rec.len())?);
+                    self.write_bytes(p, o as usize, &rec, &mut tally);
+                    per_rnet[r.0 as usize].insert(n.0, pack_loc(p, o, rec.len())?);
                     offset += rec.len() as u32;
                 }
             }
         }
-        Ok(())
+        Ok(per_rnet)
     }
 
     /// Lays the directory region (association + abstract records) and
@@ -419,6 +520,7 @@ impl PagedEngine {
         }
         let hier = Arc::clone(&self.hier);
         let kind = self.kind;
+        let mut tally = IoTally::default();
         let mut rec = Vec::new();
         // Association records in node order; only nodes carrying objects.
         let mut assoc_entries = Vec::new();
@@ -428,7 +530,7 @@ impl PagedEngine {
                 continue;
             }
             encode_assoc_record(ad.objects_at_node(n), g, kind, n, &mut rec);
-            let loc = self.append_record(&rec)?;
+            let loc = self.append_record(&rec, &mut tally)?;
             assoc_entries.push((n.0 as u64, loc));
         }
         // Abstract records in Rnet order; only non-empty abstracts (an
@@ -441,16 +543,20 @@ impl PagedEngine {
             }
             let counts = a.sorted_counts().expect("Counts kind checked above");
             encode_abstract_record(a.total(), &counts, &mut rec);
-            let loc = self.append_record(&rec)?;
+            let loc = self.append_record(&rec, &mut tally)?;
             abstract_entries.push((r as u64, loc));
         }
         // Index both regions (keys inserted in ascending order for a
         // deterministic tree shape).
         for (k, v) in assoc_entries {
-            self.assoc_index.insert(&mut self.pool, k, v);
+            self.assoc_index.insert(&mut TalliedPool { pool: &self.pool, tally: &mut tally }, k, v);
         }
         for (k, v) in abstract_entries {
-            self.abstract_index.insert(&mut self.pool, k, v);
+            self.abstract_index.insert(
+                &mut TalliedPool { pool: &self.pool, tally: &mut tally },
+                k,
+                v,
+            );
         }
         Ok(())
     }
@@ -463,37 +569,51 @@ impl PagedEngine {
     }
 
     /// Appends a record into the sequential region (directory records and
-    /// lazily paged-in shortcut records), first-fit within pages.
-    fn append_record(&mut self, bytes: &[u8]) -> Result<u64, RoadError> {
+    /// lazily paged-in shortcut records), first-fit within pages. The
+    /// cursor mutex makes concurrent appends (two Rnets decoding in
+    /// parallel) claim disjoint byte ranges; the page writes themselves
+    /// happen outside the cursor lock, synchronized by the pool's stripe
+    /// locks.
+    fn append_record(&self, bytes: &[u8], tally: &mut IoTally) -> Result<u64, RoadError> {
         let len = bytes.len();
         if len > PAGE_SIZE {
-            // Multi-page record: spans fresh consecutive pages.
-            let first = self.pool.alloc();
-            for _ in 1..len.div_ceil(PAGE_SIZE) {
-                self.pool.alloc();
-            }
-            self.append = None;
-            self.write_bytes(first.0, 0, bytes);
+            // Multi-page record: needs consecutive page ids, so the whole
+            // allocation run stays under the cursor lock (every
+            // query-time allocation goes through this method).
+            let first = {
+                let mut cursor = self.append.lock().expect("append cursor poisoned");
+                let first = self.pool.alloc();
+                for _ in 1..len.div_ceil(PAGE_SIZE) {
+                    self.pool.alloc();
+                }
+                *cursor = None;
+                first
+            };
+            self.write_bytes(first.0, 0, bytes, tally);
             return pack_loc(first.0, 0, len);
         }
-        let (page, fill) = match self.append {
-            Some((page, fill)) if fill + len <= PAGE_SIZE => (page, fill),
-            _ => (self.pool.alloc().0, 0),
+        let (page, fill) = {
+            let mut cursor = self.append.lock().expect("append cursor poisoned");
+            let (page, fill) = match *cursor {
+                Some((page, fill)) if fill + len <= PAGE_SIZE => (page, fill),
+                _ => (self.pool.alloc().0, 0),
+            };
+            *cursor = Some((page, fill + len));
+            (page, fill)
         };
-        self.write_bytes(page, fill, bytes);
-        self.append = Some((page, fill + len));
+        self.write_bytes(page, fill, bytes, tally);
         pack_loc(page, fill as u32, len)
     }
 
     /// Writes `bytes` starting at (`page`, `offset`), walking page
     /// boundaries for multi-page records.
-    fn write_bytes(&mut self, page: u32, offset: usize, bytes: &[u8]) {
+    fn write_bytes(&self, page: u32, offset: usize, bytes: &[u8], tally: &mut IoTally) {
         let mut p = page;
         let mut off = offset;
         let mut rest = bytes;
         while !rest.is_empty() {
             let take = rest.len().min(PAGE_SIZE - off);
-            self.pool.with_page_mut(PageId(p), |pg| {
+            self.pool.with_page_mut(PageId(p), tally, |pg| {
                 pg.bytes_mut()[off..off + take].copy_from_slice(&rest[..take]);
             });
             rest = &rest[take..];
@@ -502,90 +622,87 @@ impl PagedEngine {
         }
     }
 
-    /// Reads the record at `loc` through the buffer pool into the scratch
-    /// buffer and hands the buffer out (return it by assigning
-    /// `self.scratch` back). Every page the record touches costs one
-    /// logical pool read (and a fault when cold).
-    fn take_record(&mut self, loc: u64) -> Vec<u8> {
-        let (page, offset, len) = unpack_loc(loc);
-        let mut buf = std::mem::take(&mut self.scratch);
-        buf.clear();
-        buf.reserve(len);
-        let mut p = page;
-        let mut off = offset as usize;
-        let mut left = len;
-        while left > 0 {
-            let take = left.min(PAGE_SIZE - off);
-            self.pool.with_page(PageId(p), |pg| {
-                buf.extend_from_slice(&pg.bytes()[off..off + take]);
-            });
-            left -= take;
-            off = 0;
-            p += 1;
-        }
-        buf
-    }
-
     /// Pages Rnet `r`'s shortcut records in from the retained image if
-    /// this engine is lazy and has not touched `r` yet. Once the last
-    /// Rnet lands on pages the image is dropped — a fully resident
-    /// replica must not keep a second copy of the overlay in RAM.
-    fn ensure_rnet_loaded(&mut self, r: RnetId) -> bool {
-        let ShortcutBacking::Lazy { image, loaded, rnets_loaded } = &mut self.backing else {
-            return false;
+    /// this engine is lazy and has not touched `r` yet — the
+    /// double-checked per-Rnet init described in the module docs. Once
+    /// the last Rnet lands on pages the image is dropped: a fully
+    /// resident replica must not keep a second copy of the overlay in
+    /// RAM.
+    ///
+    /// A section that fails to decode (image corrupted after `open`)
+    /// returns `Err` and leaves the Rnet unloaded, so the failure
+    /// surfaces on every query that needs the Rnet instead of silently
+    /// serving it as "no shortcuts".
+    fn ensure_rnet_loaded(&self, r: RnetId, tally: &mut IoTally) -> Result<(), RoadError> {
+        let Some(lazy) = &self.lazy else {
+            return Ok(()); // eager: everything resident since build
         };
         let idx = r.0 as usize;
-        if loaded[idx] {
-            return false;
+        // Fast path: lock-free, and the common case after warm-up.
+        if self.rnet_shortcuts[idx].get().is_some() {
+            return Ok(());
         }
-        loaded[idx] = true;
-        *rnets_loaded += 1;
-        let fully_loaded = *rnets_loaded == loaded.len();
-        let map = image.shortcuts_of_rnet(idx); // owned; ends the backing borrow
+        let _guard = lazy.rnet_locks[idx].lock().expect("rnet load lock poisoned");
+        // Double-check under the lock: another thread may have just won.
+        if self.rnet_shortcuts[idx].get().is_some() {
+            return Ok(());
+        }
+        let image = lazy.image.lock().expect("image lock poisoned").clone().ok_or_else(|| {
+            RoadError::InvalidConfig("lazy image dropped while Rnets were still unloaded".into())
+        })?;
+        // Decode outside the image lock so other Rnets can load in
+        // parallel; the per-Rnet guard already excludes duplicate work.
+        let map = image.shortcuts_of_rnet(idx)?;
         let mut sources: Vec<u32> = map.keys().copied().collect();
         sources.sort_unstable();
         let mut rec = Vec::new();
+        let mut locs = FastMap::default();
         for from in sources {
             encode_shortcut_record(&map[&from], &mut rec);
             let loc = self
-                .append_record(&rec)
+                .append_record(&rec, tally)
                 .expect("shortcut records are far below the record size cap");
-            self.shortcut_loc.insert(shortcut_key(r, from), loc);
+            locs.insert(from, loc);
         }
-        if fully_loaded {
-            self.backing = ShortcutBacking::Eager;
+        // Publish only after every record is on its page: readers that
+        // win the `get` race see a complete map or none at all.
+        let set = self.rnet_shortcuts[idx].set(locs);
+        debug_assert!(set.is_ok(), "per-Rnet lock excludes concurrent set");
+        let loaded = lazy.rnets_loaded.fetch_add(1, Ordering::AcqRel) + 1;
+        if loaded == self.rnet_shortcuts.len() {
+            *lazy.image.lock().expect("image lock poisoned") = None;
         }
-        true
+        Ok(())
     }
 
     // ------------------------------------------------------------------
-    // Queries — mirrors `QueryEngine`
+    // Queries — mirrors `QueryEngine` (all take `&self`)
     // ------------------------------------------------------------------
 
     /// Evaluates a kNN query from pages.
-    pub fn knn(&mut self, query: &KnnQuery) -> Result<SearchResult, RoadError> {
+    pub fn knn(&self, query: &KnnQuery) -> Result<SearchResult, RoadError> {
         let mode = Mode::Knn(query.k, query.max_distance);
-        let mut src = PagedSource { eng: self, use_directory: true };
+        let mut src = PagedSource::new(self, true);
         search::execute_source(&mut src, query.node, &query.filter, mode, &mut NoopObserver)
     }
 
     /// Evaluates a range query from pages.
-    pub fn range(&mut self, query: &RangeQuery) -> Result<SearchResult, RoadError> {
+    pub fn range(&self, query: &RangeQuery) -> Result<SearchResult, RoadError> {
         let mode = Mode::Range(query.radius);
-        let mut src = PagedSource { eng: self, use_directory: true };
+        let mut src = PagedSource::new(self, true);
         search::execute_source(&mut src, query.node, &query.filter, mode, &mut NoopObserver)
     }
 
     /// Allocation-free kNN into caller-owned scratch; see
     /// [`RoadFramework::knn_with`](crate::framework::RoadFramework::knn_with).
     pub fn knn_with(
-        &mut self,
+        &self,
         query: &KnnQuery,
         ws: &mut SearchWorkspace,
         hits: &mut Vec<SearchHit>,
     ) -> Result<SearchStats, RoadError> {
         let mode = Mode::Knn(query.k, query.max_distance);
-        let mut src = PagedSource { eng: self, use_directory: true };
+        let mut src = PagedSource::new(self, true);
         search::execute_source_into(
             &mut src,
             query.node,
@@ -599,13 +716,13 @@ impl PagedEngine {
 
     /// Allocation-free range query into caller-owned scratch.
     pub fn range_with(
-        &mut self,
+        &self,
         query: &RangeQuery,
         ws: &mut SearchWorkspace,
         hits: &mut Vec<SearchHit>,
     ) -> Result<SearchStats, RoadError> {
         let mode = Mode::Range(query.radius);
-        let mut src = PagedSource { eng: self, use_directory: true };
+        let mut src = PagedSource::new(self, true);
         search::execute_source_into(
             &mut src,
             query.node,
@@ -617,13 +734,61 @@ impl PagedEngine {
         )
     }
 
+    /// Evaluates a batch of kNN queries on up to `threads` scoped worker
+    /// threads sharing this engine, returning hit lists in query order —
+    /// same contract as [`QueryEngine::batch_knn`](crate::engine::QueryEngine::batch_knn),
+    /// including the deterministic lowest-query-index error.
+    pub fn batch_knn(
+        &self,
+        queries: &[KnnQuery],
+        threads: usize,
+    ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
+        crate::engine::run_batch(queries, threads, |q, ws, hits| self.knn_with(q, ws, hits))
+    }
+
+    /// Evaluates a batch of range queries; see [`PagedEngine::batch_knn`].
+    pub fn batch_range(
+        &self,
+        queries: &[RangeQuery],
+        threads: usize,
+    ) -> Result<Vec<Vec<SearchHit>>, RoadError> {
+        crate::engine::run_batch(queries, threads, |q, ws, hits| self.range_with(q, ws, hits))
+    }
+
+    /// Aggregate kNN over a query group, evaluated from pages — the same
+    /// algorithm as
+    /// [`RoadFramework::aggregate_knn`](crate::framework::RoadFramework::aggregate_knn)
+    /// (one shared implementation), so paged and in-memory answers are
+    /// identical by construction.
+    pub fn aggregate_knn(&self, query: &AggregateKnnQuery) -> Result<Vec<SearchHit>, RoadError> {
+        Ok(self.aggregate_knn_with_stats(query)?.0)
+    }
+
+    /// [`PagedEngine::aggregate_knn`] plus the summed work counters
+    /// (including the page traffic of every expansion).
+    pub fn aggregate_knn_with_stats(
+        &self,
+        query: &AggregateKnnQuery,
+    ) -> Result<(Vec<SearchHit>, SearchStats), RoadError> {
+        struct PagedBackend<'a>(&'a PagedEngine);
+        impl search::AggregateBackend for PagedBackend<'_> {
+            fn expand(
+                &mut self,
+                node: NodeId,
+                filter: &ObjectFilter,
+                mode: Mode,
+                with_directory: bool,
+            ) -> Result<SearchResult, RoadError> {
+                let mut src = PagedSource::new(self.0, with_directory);
+                search::execute_source(&mut src, node, filter, mode, &mut NoopObserver)
+            }
+        }
+        search::aggregate_knn_backend(&mut PagedBackend(self), query)
+    }
+
     /// Point-to-point network distance through the paged overlay.
-    pub fn network_distance(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-    ) -> Result<Option<Weight>, RoadError> {
-        let mut src = PagedSource { eng: self, use_directory: false };
+    pub fn network_distance(&self, from: NodeId, to: NodeId) -> Result<Option<Weight>, RoadError> {
+        let mut src = PagedSource::new(self, false);
         let res = search::execute_source(
             &mut src,
             from,
@@ -653,35 +818,45 @@ impl PagedEngine {
         self.num_nodes
     }
 
-    /// Cumulative buffer-pool counters since the last reset.
+    /// Cumulative buffer-pool counters since the last reset. Under
+    /// concurrency this equals the sum of every query's `SearchStats`
+    /// page deltas (plus any prefetch traffic) — a property the paged
+    /// tests assert.
     pub fn buffer_stats(&self) -> BufferStats {
         self.pool.stats()
     }
 
-    /// Zeroes the pool counters (cache contents unchanged).
-    pub fn reset_io_stats(&mut self) {
+    /// Zeroes the cumulative pool counters (cache contents unchanged;
+    /// in-flight queries keep their own exact tallies).
+    pub fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
     /// Flushes and empties the buffer pool — the paper initialises every
     /// measured query with an empty cache.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.pool.clear_cache();
     }
 
-    /// Buffer-pool capacity in pages.
+    /// Buffer-pool capacity in pages (requested size rounded up to one
+    /// page per stripe).
     pub fn buffer_capacity(&self) -> usize {
         self.pool.capacity()
     }
 
+    /// Lock stripes of the buffer pool.
+    pub fn buffer_stripes(&self) -> usize {
+        self.pool.num_stripes()
+    }
+
     /// Pages the engine's records occupy on the simulated disk.
     pub fn num_disk_pages(&self) -> usize {
-        self.pool.store().num_pages()
+        self.pool.num_pages()
     }
 
     /// On-disk size in bytes (pages x 4 KB).
     pub fn disk_size_bytes(&self) -> usize {
-        self.pool.store().size_bytes()
+        self.pool.size_bytes()
     }
 
     /// Pages of the CCAM-clustered node region.
@@ -693,25 +868,28 @@ impl PagedEngine {
     /// a retained image; becomes `false` once every Rnet is resident (the
     /// image is dropped at that point).
     pub fn is_lazy(&self) -> bool {
-        matches!(self.backing, ShortcutBacking::Lazy { .. })
+        self.lazy.as_ref().is_some_and(|l| l.image.lock().expect("image lock poisoned").is_some())
     }
 
     /// How many Rnets' shortcut sections have been paged in so far
     /// (equals the Rnet count for eager engines).
     pub fn rnets_loaded(&self) -> usize {
-        match &self.backing {
-            ShortcutBacking::Eager => self.hier.num_rnets(),
-            ShortcutBacking::Lazy { rnets_loaded, .. } => *rnets_loaded,
+        match &self.lazy {
+            None => self.hier.num_rnets(),
+            Some(l) => l.rnets_loaded.load(Ordering::Acquire),
         }
     }
 
     /// Pages every remaining Rnet in (prefetch): a lazy engine becomes
     /// fully resident on disk, drops the retained image, and behaves like
-    /// an eagerly built one from then on.
-    pub fn load_all_rnets(&mut self) {
+    /// an eagerly built one from then on. The prefetch I/O appears in the
+    /// cumulative [`PagedEngine::buffer_stats`] but in no query's stats.
+    pub fn load_all_rnets(&self) -> Result<(), RoadError> {
+        let mut tally = IoTally::default();
         for r in 0..self.hier.num_rnets() {
-            self.ensure_rnet_loaded(RnetId(r as u32));
+            self.ensure_rnet_loaded(RnetId(r as u32), &mut tally)?;
         }
+        Ok(())
     }
 }
 
@@ -721,6 +899,7 @@ impl std::fmt::Debug for PagedEngine {
             .field("nodes", &self.num_nodes)
             .field("disk_pages", &self.num_disk_pages())
             .field("buffer_pages", &self.buffer_capacity())
+            .field("stripes", &self.buffer_stripes())
             .field("lazy", &self.is_lazy())
             .field("rnets_loaded", &self.rnets_loaded())
             .finish()
@@ -731,11 +910,54 @@ impl std::fmt::Debug for PagedEngine {
 // The SearchSource implementation: records in, visits out
 // ---------------------------------------------------------------------------
 
+/// One query's private view of the engine: a shared engine reference plus
+/// the query's own I/O tally and a pooled record buffer. Creating one is
+/// what makes `&self` queries possible — all mutable state is here, not in
+/// the engine.
 struct PagedSource<'a> {
-    eng: &'a mut PagedEngine,
+    eng: &'a PagedEngine,
     /// `false` for point-to-point routing: the directory is not consulted,
     /// matching the in-memory engine's `ad: None` behaviour.
     use_directory: bool,
+    /// This query's exact I/O deltas (never polluted by other threads).
+    tally: IoTally,
+    /// Reusable record read buffer (thread-local pool).
+    scratch: Vec<u8>,
+}
+
+impl<'a> PagedSource<'a> {
+    fn new(eng: &'a PagedEngine, use_directory: bool) -> Self {
+        PagedSource { eng, use_directory, tally: IoTally::default(), scratch: take_scratch() }
+    }
+
+    /// Reads the record at `loc` through the buffer pool into the scratch
+    /// buffer. Every page the record touches costs one logical pool read
+    /// (and a fault when cold), charged to this query's tally.
+    fn read_record(&mut self, loc: u64) {
+        let (page, offset, len) = unpack_loc(loc);
+        let eng = self.eng;
+        let buf = &mut self.scratch;
+        buf.clear();
+        buf.reserve(len);
+        let mut p = page;
+        let mut off = offset as usize;
+        let mut left = len;
+        while left > 0 {
+            let take = left.min(PAGE_SIZE - off);
+            eng.pool.with_page(PageId(p), &mut self.tally, |pg| {
+                buf.extend_from_slice(&pg.bytes()[off..off + take]);
+            });
+            left -= take;
+            off = 0;
+            p += 1;
+        }
+    }
+}
+
+impl Drop for PagedSource<'_> {
+    fn drop(&mut self) {
+        put_scratch(std::mem::take(&mut self.scratch));
+    }
 }
 
 impl SearchSource for PagedSource<'_> {
@@ -752,39 +974,46 @@ impl SearchSource for PagedSource<'_> {
     }
 
     fn objects_at(&mut self, n: NodeId, visit: &mut dyn FnMut(u64, CategoryId, Weight)) {
-        let Some(loc) = self.eng.assoc_index.get(&mut self.eng.pool, n.0 as u64) else {
+        let eng = self.eng;
+        let Some(loc) = eng
+            .assoc_index
+            .get(&mut TalliedPool { pool: &eng.pool, tally: &mut self.tally }, n.0 as u64)
+        else {
             return;
         };
-        let buf = self.eng.take_record(loc);
-        let count = read_u32_at(&buf, 0) as usize;
+        self.read_record(loc);
+        let buf = &self.scratch;
+        let count = read_u32_at(buf, 0) as usize;
         for i in 0..count {
             let at = 4 + i * OBJ_ENTRY;
             let id = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
-            let category = CategoryId(read_u16_at(&buf, at + 8));
-            let offset = Weight::new(read_f64_at(&buf, at + 10));
+            let category = CategoryId(read_u16_at(buf, at + 8));
+            let offset = Weight::new(read_f64_at(buf, at + 10));
             visit(id, category, offset);
         }
-        self.eng.scratch = buf;
     }
 
     fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> bool {
-        let Some(loc) = self.eng.abstract_index.get(&mut self.eng.pool, r.0 as u64) else {
+        let eng = self.eng;
+        let Some(loc) = eng
+            .abstract_index
+            .get(&mut TalliedPool { pool: &eng.pool, tally: &mut self.tally }, r.0 as u64)
+        else {
             return false; // no record = empty abstract = cannot match
         };
-        let buf = self.eng.take_record(loc);
-        let total = read_u32_at(&buf, 0);
-        let ncats = read_u32_at(&buf, 4) as usize;
+        self.read_record(loc);
+        let buf = &self.scratch;
+        let total = read_u32_at(buf, 0);
+        let ncats = read_u32_at(buf, 4) as usize;
         let has_cat = |c: CategoryId| -> bool {
-            (0..ncats).any(|i| read_u16_at(&buf, 8 + i * CAT_ENTRY) == c.0)
+            (0..ncats).any(|i| read_u16_at(buf, 8 + i * CAT_ENTRY) == c.0)
         };
-        let matched = total > 0
+        total > 0
             && match filter {
                 ObjectFilter::Any => true,
                 ObjectFilter::Category(c) => has_cat(*c),
                 ObjectFilter::AnyOf(cs) => cs.iter().any(|&c| has_cat(c)),
-            };
-        self.eng.scratch = buf;
-        matched
+            }
     }
 
     fn edges_at(
@@ -794,64 +1023,70 @@ impl SearchSource for PagedSource<'_> {
         visit: &mut dyn FnMut(EdgeId, u32, Weight),
     ) {
         let loc = self.eng.node_loc[n.index()];
-        let buf = self.eng.take_record(loc);
-        let count = read_u32_at(&buf, 0) as usize;
+        self.read_record(loc);
+        let buf = &self.scratch;
+        let count = read_u32_at(buf, 0) as usize;
         for i in 0..count {
             let at = 4 + i * ADJ_ENTRY;
             if let Some(r) = leaf {
-                if read_u32_at(&buf, at + 8) != r.0 {
+                if read_u32_at(buf, at + 8) != r.0 {
                     continue;
                 }
             }
-            let w = Weight::new(read_f64_at(&buf, at + 12));
+            let w = Weight::new(read_f64_at(buf, at + 12));
             if w.is_infinite() {
                 continue; // closed edge: stored for containment, never relaxed
             }
-            let e = EdgeId(read_u32_at(&buf, at));
-            let v = read_u32_at(&buf, at + 4);
+            let e = EdgeId(read_u32_at(buf, at));
+            let v = read_u32_at(buf, at + 4);
             visit(e, v, w);
         }
-        self.eng.scratch = buf;
     }
 
-    fn shortcuts_at(&mut self, r: RnetId, n: NodeId, visit: &mut dyn FnMut(u32, Weight)) {
-        self.eng.ensure_rnet_loaded(r);
-        let Some(&loc) = self.eng.shortcut_loc.get(&shortcut_key(r, n.0)) else {
-            return;
+    fn shortcuts_at(
+        &mut self,
+        r: RnetId,
+        n: NodeId,
+        visit: &mut dyn FnMut(u32, Weight),
+    ) -> Result<(), RoadError> {
+        let eng = self.eng;
+        eng.ensure_rnet_loaded(r, &mut self.tally)?;
+        let Some(&loc) = eng.rnet_shortcuts[r.0 as usize].get().and_then(|locs| locs.get(&n.0))
+        else {
+            return Ok(());
         };
-        let buf = self.eng.take_record(loc);
-        let count = read_u32_at(&buf, 0) as usize;
+        self.read_record(loc);
+        let buf = &self.scratch;
+        let count = read_u32_at(buf, 0) as usize;
         for i in 0..count {
             let at = 4 + i * SC_ENTRY;
-            visit(read_u32_at(&buf, at), Weight::new(read_f64_at(&buf, at + 4)));
+            visit(read_u32_at(buf, at), Weight::new(read_f64_at(buf, at + 4)));
         }
-        self.eng.scratch = buf;
+        Ok(())
     }
 
     fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool {
-        let hier = Arc::clone(&self.eng.hier);
+        let hier = &self.eng.hier;
         if hier.is_border_of(t, r) {
             return true;
         }
         let lv = hier.level_of(r);
         let loc = self.eng.node_loc[t.index()];
-        let buf = self.eng.take_record(loc);
-        let count = read_u32_at(&buf, 0) as usize;
-        let mut contained = false;
+        self.read_record(loc);
+        let hier = &self.eng.hier;
+        let buf = &self.scratch;
+        let count = read_u32_at(buf, 0) as usize;
         for i in 0..count {
-            let leaf = RnetId(read_u32_at(&buf, 4 + i * ADJ_ENTRY + 8));
+            let leaf = RnetId(read_u32_at(buf, 4 + i * ADJ_ENTRY + 8));
             if leaf.is_valid() && hier.level_of(leaf) >= lv && hier.ancestor_at(leaf, lv) == r {
-                contained = true;
-                break;
+                return true;
             }
         }
-        self.eng.scratch = buf;
-        contained
+        false
     }
 
     fn io_counters(&self) -> (u64, u64) {
-        let st = self.eng.pool.stats();
-        (st.logical_reads, st.page_faults)
+        (self.tally.logical_reads, self.tally.page_faults)
     }
 }
 
@@ -893,7 +1128,7 @@ mod tests {
     fn paged_agrees_with_memory_engine() {
         let (fw, ad) = setup(12);
         let engine = QueryEngine::new(fw.clone(), ad.clone());
-        let mut disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
+        let disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
         for n in 0..64u32 {
             let q = KnnQuery::new(NodeId(n), 3);
             let mem = engine.knn(&q).unwrap();
@@ -907,7 +1142,7 @@ mod tests {
     #[test]
     fn paged_reports_page_traffic() {
         let (fw, ad) = setup(8);
-        let mut disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
+        let disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
         let res = disk.knn(&KnnQuery::new(NodeId(0), 2)).unwrap();
         assert!(res.stats.pages_read > 0);
         assert!(res.stats.page_faults > 0, "cold pool must fault");
@@ -921,7 +1156,7 @@ mod tests {
     #[test]
     fn network_distance_matches_framework() {
         let (fw, ad) = setup(4);
-        let mut disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
+        let disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
         for (a, b) in [(0u32, 63u32), (5, 40), (17, 18)] {
             assert_eq!(
                 disk.network_distance(NodeId(a), NodeId(b)).unwrap(),
@@ -935,7 +1170,7 @@ mod tests {
         let (fw, ad) = setup(10);
         let objects: Vec<Object> = ad.objects().cloned().collect();
         let image = PagedImage::open(fw.to_bytes()).unwrap();
-        let mut disk = PagedEngine::open(image, objects, PagedOptions::default()).unwrap();
+        let disk = PagedEngine::open(image, objects, PagedOptions::default()).unwrap();
         assert!(disk.is_lazy());
         assert_eq!(disk.rnets_loaded(), 0, "nothing paged in before the first query");
         let engine = QueryEngine::new(fw.clone(), ad);
@@ -944,11 +1179,55 @@ mod tests {
         let after_first = disk.rnets_loaded();
         assert!(after_first > 0, "the query must have paged Rnets in");
         assert!(after_first <= disk.hierarchy().num_rnets());
-        disk.load_all_rnets();
+        disk.load_all_rnets().unwrap();
         assert_eq!(disk.rnets_loaded(), disk.hierarchy().num_rnets());
         assert!(!disk.is_lazy(), "a fully resident replica must drop the retained image");
         // Still serves correctly without the image.
         assert_eq!(disk.knn(&q).unwrap().hits, engine.knn(&q).unwrap().hits);
+    }
+
+    /// Satellite regression: a lazily opened image whose bytes are
+    /// corrupted *after* `open` (so open-time validation passed) must
+    /// surface the decode failure as `Err` through the query path — never
+    /// as a silently empty shortcut set, which would be indistinguishable
+    /// from "Rnet has no shortcuts" and produce wrong answers.
+    #[test]
+    fn corrupted_after_open_surfaces_as_query_error() {
+        let (fw, ad) = setup(1); // one object: most Rnets bypass via shortcuts
+        let objects: Vec<Object> = ad.objects().cloned().collect();
+        let mut image = PagedImage::open(fw.to_bytes()).unwrap();
+        // Corrupt every section that actually carries a shortcut record:
+        // overwrite the first record's node-id field with an id far
+        // outside the network, which open-time validation would have
+        // rejected had it been there.
+        let mut corrupted = 0;
+        for r in 0..image.num_rnets() {
+            let (start, end) = image.rnet_range(r);
+            if end - start > 12 {
+                image.bytes_mut()[start + 12..start + 16].copy_from_slice(&u32::MAX.to_le_bytes());
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 0, "world must have shortcut sections to corrupt");
+        let engine = QueryEngine::new(fw.clone(), ad);
+        let disk = PagedEngine::open(image, objects, PagedOptions::default()).unwrap();
+        let mut failures = 0;
+        for n in 0..64u32 {
+            let q = KnnQuery::new(NodeId(n), 2);
+            match disk.knn(&q) {
+                // A query that never needed a corrupt section must still
+                // answer correctly.
+                Ok(res) => assert_eq!(res.hits, engine.knn(&q).unwrap().hits),
+                Err(e) => {
+                    assert!(e.to_string().contains("shortcut section"), "unexpected error: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > 0, "no query touched a corrupt section — test is vacuous");
+        // The corrupt Rnets must not be marked resident.
+        assert!(disk.rnets_loaded() < disk.hierarchy().num_rnets());
+        assert!(disk.load_all_rnets().is_err(), "prefetch must also surface the corruption");
     }
 
     /// Closed roads (infinite weight) must not change the paged engine's
@@ -964,7 +1243,7 @@ mod tests {
             }
         }
         let engine = QueryEngine::new(fw.clone(), ad.clone());
-        let mut disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
+        let disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
         for n in (0..64u32).step_by(5) {
             let q = KnnQuery::new(NodeId(n), 4);
             let mem = engine.knn(&q).unwrap();
@@ -977,6 +1256,49 @@ mod tests {
                 disk.network_distance(NodeId(n), NodeId(63 - n)).unwrap(),
                 fw.network_distance(NodeId(n), NodeId(63 - n)).unwrap(),
             );
+        }
+    }
+
+    /// A quick in-crate concurrency smoke (the heavy sweeps live in the
+    /// `paged_tests` harness): four threads on one shared engine, answers
+    /// byte-identical to the in-memory engine.
+    #[test]
+    fn shared_engine_serves_threads() {
+        let (fw, ad) = setup(12);
+        let engine = QueryEngine::new(fw.clone(), ad.clone());
+        let disk = PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(8)).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let disk = &disk;
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut ws = SearchWorkspace::new();
+                    let mut hits = Vec::new();
+                    for i in 0..32u32 {
+                        let q = KnnQuery::new(NodeId((i * 7 + t * 13) % 64), 3);
+                        disk.knn_with(&q, &mut ws, &mut hits).unwrap();
+                        assert_eq!(hits, engine.knn(&q).unwrap().hits, "thread {t} query {i}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn aggregate_knn_matches_memory_engine() {
+        let (fw, ad) = setup(14);
+        let disk = PagedEngine::new(&fw, &ad, PagedOptions::default()).unwrap();
+        for (nodes, k) in [
+            (vec![NodeId(0), NodeId(63)], 3),
+            (vec![NodeId(5), NodeId(40), NodeId(22)], 2),
+            (vec![NodeId(12)], 4),
+        ] {
+            for agg in [crate::search::Aggregate::Sum, crate::search::Aggregate::Max] {
+                let q = AggregateKnnQuery::new(nodes.clone(), k).with_aggregate(agg);
+                let mem = fw.aggregate_knn(&ad, &q).unwrap();
+                let paged = disk.aggregate_knn(&q).unwrap();
+                assert_eq!(mem, paged, "aggregate diverged ({nodes:?}, k={k}, {agg:?})");
+            }
         }
     }
 
@@ -995,5 +1317,8 @@ mod tests {
     fn zero_buffer_rejected() {
         let (fw, ad) = setup(1);
         assert!(PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(0)).is_err());
+        assert!(
+            PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(4).with_stripes(0)).is_err()
+        );
     }
 }

@@ -302,22 +302,50 @@ impl PagedImage {
     /// Decodes one Rnet's shortcut map — the per-Rnet unit of lazy
     /// loading. Cheap for object-free Rnets, and never touches any other
     /// Rnet's bytes.
+    ///
+    /// Fallible even though `open` validated every section: the decode
+    /// runs arbitrarily later, and bytes that changed in the meantime
+    /// (torn mmap, bit rot, a buggy writer) must surface as an error
+    /// through the query path — not as a silently empty shortcut set,
+    /// which would produce *wrong answers* indistinguishable from "this
+    /// Rnet has no shortcuts".
     pub(crate) fn shortcuts_of_rnet(
         &self,
         r: usize,
-    ) -> road_network::hash::FastMap<u32, Vec<crate::shortcut::ShortcutEdge>> {
+    ) -> Result<road_network::hash::FastMap<u32, Vec<crate::shortcut::ShortcutEdge>>, RoadError>
+    {
         let (start, _) = self.rnet_ranges[r];
         let mut pos = start;
         ShortcutStore::decode_rnet_section(&self.bytes, &mut pos, self.g.num_nodes() as u32)
-            .expect("rnet section validated at open")
+            .map_err(|e| {
+                corrupt(format!(
+                    "Rnet {r} shortcut section no longer decodes (image corrupted after \
+                     open?): {e}"
+                ))
+            })
     }
 
     /// Materializes the full framework (decodes every Rnet) — the upgrade
     /// path from a page-granular open to in-memory serving.
     pub fn into_framework(self) -> Result<RoadFramework, RoadError> {
-        let maps = (0..self.rnet_ranges.len()).map(|r| self.shortcuts_of_rnet(r)).collect();
+        let maps = (0..self.rnet_ranges.len())
+            .map(|r| self.shortcuts_of_rnet(r))
+            .collect::<Result<Vec<_>, _>>()?;
         let shortcuts = ShortcutStore::from_rnet_maps(maps);
         RoadFramework::from_shared_parts(self.g, self.cfg, self.hier, shortcuts)
+    }
+
+    /// Byte range of Rnet `r`'s shortcut section (corruption tests).
+    #[cfg(test)]
+    pub(crate) fn rnet_range(&self, r: usize) -> (usize, usize) {
+        self.rnet_ranges[r]
+    }
+
+    /// Mutable image bytes — only for tests that corrupt a validated
+    /// image *after* open to exercise the query-time decode-failure path.
+    #[cfg(test)]
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
     }
 }
 

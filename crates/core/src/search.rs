@@ -363,8 +363,18 @@ pub(crate) trait SearchSource {
         visit: &mut dyn FnMut(EdgeId, u32, Weight),
     );
     /// Visits the outgoing shortcuts of `n` within Rnet `r` as
-    /// `(target border node, shortcut distance)`.
-    fn shortcuts_at(&mut self, r: RnetId, n: NodeId, visit: &mut dyn FnMut(u32, Weight));
+    /// `(target border node, shortcut distance)`. Fallible: a paged source
+    /// may have to decode the Rnet's shortcut section from a retained
+    /// image on first touch, and a section found corrupt *at query time*
+    /// must surface as an error — silently visiting nothing would be
+    /// indistinguishable from "Rnet has no shortcuts" and produce wrong
+    /// answers.
+    fn shortcuts_at(
+        &mut self,
+        r: RnetId,
+        n: NodeId,
+        visit: &mut dyn FnMut(u32, Weight),
+    ) -> Result<(), RoadError>;
     /// Does Rnet `r` contain node `t` (as member or border)? Drives
     /// [`Mode::ToNode`] routing.
     fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool;
@@ -435,10 +445,16 @@ impl SearchSource for MemorySource<'_> {
         }
     }
 
-    fn shortcuts_at(&mut self, r: RnetId, n: NodeId, visit: &mut dyn FnMut(u32, Weight)) {
+    fn shortcuts_at(
+        &mut self,
+        r: RnetId,
+        n: NodeId,
+        visit: &mut dyn FnMut(u32, Weight),
+    ) -> Result<(), RoadError> {
         for sc in self.fw.shortcuts().from(r, n) {
             visit(sc.to.0, sc.dist);
         }
+        Ok(())
     }
 
     fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool {
@@ -614,6 +630,9 @@ pub(crate) fn execute_source_into(
                 let top_level = hier.level_of(bordered[0]);
                 let mut stack = ws.take_stack();
                 stack.extend(bordered.iter().copied().filter(|&r| hier.level_of(r) == top_level));
+                // Lazy shortcut decodes can fail; remember the error and
+                // break so the stack still returns to the workspace.
+                let mut failed: Option<RoadError> = None;
                 while let Some(r) = stack.pop() {
                     stats.abstract_checks += 1;
                     observer.abstract_checked(r);
@@ -626,12 +645,16 @@ pub(crate) fn execute_source_into(
                         // Bypass: jump to the Rnet's other borders.
                         stats.rnets_bypassed += 1;
                         let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
-                        src.shortcuts_at(r, NodeId(n), &mut |to, dist| {
+                        let visited = src.shortcuts_at(r, NodeId(n), &mut |to, dist| {
                             stats_ref.shortcuts_taken += 1;
                             if ws_ref.relax(n, to, d + dist, Hop::Shortcut(r)) {
                                 stats_ref.heap_pushes += 1;
                             }
                         });
+                        if let Err(e) = visited {
+                            failed = Some(e);
+                            break;
+                        }
                     } else if hier.is_leaf(r) {
                         stats.rnets_descended += 1;
                         let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
@@ -652,6 +675,9 @@ pub(crate) fn execute_source_into(
                     }
                 }
                 ws.put_back_stack(stack);
+                if let Some(e) = failed {
+                    return Err(e);
+                }
             }
         }
     }
@@ -659,6 +685,116 @@ pub(crate) fn execute_source_into(
     stats.pages_read = (io_after.0 - io_before.0) as usize;
     stats.page_faults = (io_after.1 - io_before.1) as usize;
     Ok(stats)
+}
+
+/// One engine's way of running a single expansion — the only primitive
+/// aggregate kNN needs. Implemented by the in-memory framework (over
+/// [`MemorySource`]) and by the paged engine (over its page-backed
+/// source), so the aggregate algorithm is written once and both engines
+/// answer identically by construction.
+pub(crate) trait AggregateBackend {
+    /// Runs one expansion from `node`. `with_directory = false` is the
+    /// point-to-point routing configuration (no objects consulted).
+    fn expand(
+        &mut self,
+        node: NodeId,
+        filter: &ObjectFilter,
+        mode: Mode,
+        with_directory: bool,
+    ) -> Result<SearchResult, RoadError>;
+}
+
+/// Aggregate kNN over any [`AggregateBackend`]; see
+/// [`RoadFramework::aggregate_knn_with_stats`] for the strategy
+/// (discovery expansion from member 0, then triangle-inequality-bounded
+/// expansions for the remaining members).
+pub(crate) fn aggregate_knn_backend(
+    be: &mut dyn AggregateBackend,
+    query: &AggregateKnnQuery,
+) -> Result<(Vec<SearchHit>, SearchStats), RoadError> {
+    if query.nodes.is_empty() {
+        return Err(RoadError::InvalidConfig("aggregate query needs >= 1 node".into()));
+    }
+    let mut total = SearchStats::default();
+    if query.k == 0 {
+        return Ok((Vec::new(), total));
+    }
+    let m = query.nodes.len();
+    if m == 1 {
+        // A single-member group is a plain kNN.
+        let mut res = be.expand(query.nodes[0], &query.filter, Mode::Knn(query.k, None), true)?;
+        total.absorb(&res.stats);
+        return Ok((std::mem::take(&mut res.hits), total));
+    }
+
+    // Member 0: unbounded discovery of every candidate.
+    let first = be.expand(query.nodes[0], &query.filter, Mode::Range(Weight::INFINITY), true)?;
+    total.absorb(&first.stats);
+    if first.hits.is_empty() {
+        return Ok((Vec::new(), total));
+    }
+
+    // Member-to-member distances from member 0 (the triangle tails).
+    let mut member_dist: Vec<Weight> = Vec::with_capacity(m);
+    member_dist.push(Weight::ZERO);
+    for &q in &query.nodes[1..] {
+        let res = be.expand(query.nodes[0], &ObjectFilter::Any, Mode::ToNode(q), false)?;
+        total.absorb(&res.stats);
+        member_dist.push(res.distance_to_node(q).unwrap_or(Weight::INFINITY));
+    }
+
+    // Candidates carry (object, d_0, running partial aggregate).
+    let mut cands: Vec<(ObjectId, Weight, Weight)> = first
+        .hits
+        .iter()
+        .map(|h| (h.object, h.distance, query.aggregate.combine(Weight::ZERO, h.distance)))
+        .collect();
+    let mut ubs: Vec<Weight> = Vec::with_capacity(cands.len());
+    for i in 1..m {
+        // Upper-bound each candidate's final aggregate: exact partials
+        // for processed members, triangle tails for the rest. The k-th
+        // smallest is a sound expansion bound for member i.
+        ubs.clear();
+        ubs.extend(cands.iter().map(|&(_, d0, partial)| {
+            let mut ub = partial;
+            for &tail in &member_dist[i..] {
+                ub = query.aggregate.combine(ub, d0 + tail);
+            }
+            ub
+        }));
+        let bound = if ubs.len() < query.k {
+            Weight::INFINITY
+        } else {
+            let (_, kth, _) = ubs.select_nth_unstable(query.k - 1);
+            // Inflate by a relative epsilon: the triangle-inequality
+            // sum `d_0(o) + ||q_0, q_i||` and Dijkstra's edge-by-edge
+            // fold of the same path round differently, so a true
+            // answer could exceed the exact bound by a few ULPs and
+            // be wrongly pruned. Over-admitting costs a little extra
+            // expansion; under-admitting costs correctness.
+            Weight::new(kth.get() * (1.0 + 1e-9) + f64::MIN_POSITIVE)
+        };
+        let res = be.expand(query.nodes[i], &query.filter, Mode::Range(bound), true)?;
+        total.absorb(&res.stats);
+        let di: FastMap<u64, Weight> = res.hits.iter().map(|h| (h.object.0, h.distance)).collect();
+        cands.retain_mut(|c| match di.get(&c.0 .0) {
+            Some(&d) => {
+                c.2 = query.aggregate.combine(c.2, d);
+                true
+            }
+            // Outside member i's (bounded) reach: either unreachable
+            // or provably beyond the k-th best aggregate.
+            None => false,
+        });
+        if cands.is_empty() {
+            break;
+        }
+    }
+    let mut hits: Vec<SearchHit> =
+        cands.into_iter().map(|(o, _, agg)| SearchHit { object: o, distance: agg }).collect();
+    hits.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.object.cmp(&b.object)));
+    hits.truncate(query.k);
+    Ok((hits, total))
 }
 
 /// Brute-force oracle used by tests and benchmarks: plain network

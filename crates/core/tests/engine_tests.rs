@@ -125,6 +125,37 @@ fn batch_propagates_invalid_nodes() {
     assert!(engine.knn(&KnnQuery::new(bad, 1)).is_err());
 }
 
+/// Satellite regression: when several queries in a batch fail, the
+/// reported error is that of the **lowest query index** — deterministic,
+/// never "whichever worker thread loses the race". Distinct out-of-bounds
+/// node ids make the failures distinguishable through the error value.
+#[test]
+fn batch_error_is_lowest_query_index() {
+    let (engine, _, _) = setup();
+    let n = engine.framework().network().num_nodes() as u32;
+    for threads in [1usize, 2, 4, 7, 64] {
+        let mut queries: Vec<KnnQuery> = (0..40u32).map(|i| KnnQuery::new(NodeId(i), 2)).collect();
+        // Failures at indices 31, 17 and 6 — on different worker chunks
+        // for most thread counts. Index 6 must win every time.
+        queries[31] = KnnQuery::new(NodeId(n + 31), 2);
+        queries[17] = KnnQuery::new(NodeId(n + 17), 2);
+        queries[6] = KnnQuery::new(NodeId(n + 6), 2);
+        let err = engine.batch_knn(&queries, threads).unwrap_err();
+        assert_eq!(
+            err,
+            road_core::RoadError::NodeOutOfBounds(NodeId(n + 6)),
+            "threads={threads}: batch must report the lowest failing index"
+        );
+        // Same contract for range batches.
+        let mut ranges: Vec<RangeQuery> =
+            (0..40u32).map(|i| RangeQuery::new(NodeId(i), Weight::new(2.0))).collect();
+        ranges[25] = RangeQuery::new(NodeId(n + 25), Weight::new(2.0));
+        ranges[9] = RangeQuery::new(NodeId(n + 9), Weight::new(2.0));
+        let err = engine.batch_range(&ranges, threads).unwrap_err();
+        assert_eq!(err, road_core::RoadError::NodeOutOfBounds(NodeId(n + 9)), "threads={threads}");
+    }
+}
+
 #[test]
 fn pooled_results_keep_labels_while_other_queries_run() {
     let (engine, queries, _) = setup();

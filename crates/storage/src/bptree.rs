@@ -6,16 +6,18 @@
 //! unique node IDs or Rnet IDs as the search key". Values here are opaque
 //! `u64` record pointers (page id + offset, or an inline small payload).
 //!
-//! Every node occupies one 4 KB page and is read and written through the
-//! [`BufferPool`], so tree operations produce realistic page-fault
-//! patterns. Branching factors are configurable (tests use tiny fanouts to
-//! force deep trees); the defaults fill a page.
+//! Every node occupies one 4 KB page and is read and written through a
+//! [`PagePool`] — the single-threaded [`crate::BufferPool`] or a per-query
+//! [`crate::striped::TalliedPool`] view of the concurrent striped pool —
+//! so tree operations produce realistic page-fault patterns. Branching
+//! factors are configurable (tests use tiny fanouts to force deep trees);
+//! the defaults fill a page.
 //!
 //! Deletion does full textbook rebalancing (borrow from siblings, merge on
 //! double-underflow, shrink the root), and freed pages are recycled through
 //! an internal free list.
 
-use crate::buffer::BufferPool;
+use crate::buffer::PagePool;
 use crate::page::{Page, PageId, PAGE_SIZE};
 
 /// Default maximum entries per leaf: `(4096 - 8) / 16`.
@@ -128,7 +130,7 @@ impl BNode {
 
 impl BPlusTree {
     /// Creates an empty tree with default (page-filling) fanouts.
-    pub fn new(pool: &mut BufferPool) -> Self {
+    pub fn new(pool: &mut impl PagePool) -> Self {
         Self::with_caps(pool, DEFAULT_LEAF_CAP, DEFAULT_INT_CAP)
     }
 
@@ -137,7 +139,7 @@ impl BPlusTree {
     /// # Panics
     /// Panics on fanouts that are too small to split (< 3) or that would
     /// not fit a page.
-    pub fn with_caps(pool: &mut BufferPool, leaf_cap: usize, int_cap: usize) -> Self {
+    pub fn with_caps(pool: &mut impl PagePool, leaf_cap: usize, int_cap: usize) -> Self {
         assert!(leaf_cap >= 3 && int_cap >= 3, "B+-tree fanout too small");
         assert!(8 + leaf_cap * 16 <= PAGE_SIZE, "leaf fanout does not fit a page");
         assert!(
@@ -158,17 +160,17 @@ impl BPlusTree {
         tree
     }
 
-    fn read_node(&self, pool: &mut BufferPool, id: PageId) -> BNode {
+    fn read_node(&self, pool: &mut impl PagePool, id: PageId) -> BNode {
         let cap = self.int_cap;
         pool.with_page(id, |p| BNode::decode(p, cap))
     }
 
-    fn write_node(&self, pool: &mut BufferPool, id: PageId, node: &BNode) {
+    fn write_node(&self, pool: &mut impl PagePool, id: PageId, node: &BNode) {
         let cap = self.int_cap;
         pool.with_page_mut(id, |p| node.encode(p, cap));
     }
 
-    fn alloc_node(&mut self, pool: &mut BufferPool) -> PageId {
+    fn alloc_node(&mut self, pool: &mut impl PagePool) -> PageId {
         self.live_pages += 1;
         self.free_list.pop().unwrap_or_else(|| pool.alloc())
     }
@@ -204,7 +206,7 @@ impl BPlusTree {
     }
 
     /// Looks up `key`.
-    pub fn get(&self, pool: &mut BufferPool, key: u64) -> Option<u64> {
+    pub fn get(&self, pool: &mut impl PagePool, key: u64) -> Option<u64> {
         let mut page = self.root;
         for _ in 0..self.height {
             let node = self.read_node(pool, page);
@@ -221,7 +223,7 @@ impl BPlusTree {
     }
 
     /// Inserts `key -> val`; returns the previous value if the key existed.
-    pub fn insert(&mut self, pool: &mut BufferPool, key: u64, val: u64) -> Option<u64> {
+    pub fn insert(&mut self, pool: &mut impl PagePool, key: u64, val: u64) -> Option<u64> {
         // Preemptive root split keeps the downward pass single-pass.
         let root_node = self.read_node(pool, self.root);
         if self.is_full(&root_node) {
@@ -246,7 +248,7 @@ impl BPlusTree {
     }
 
     /// Splits the full child at `child_idx` of the internal node `parent`.
-    fn split_child(&mut self, pool: &mut BufferPool, parent_page: PageId, child_idx: usize) {
+    fn split_child(&mut self, pool: &mut impl PagePool, parent_page: PageId, child_idx: usize) {
         let mut parent = self.read_node(pool, parent_page);
         let child_page = PageId(parent.children[child_idx]);
         let mut child = self.read_node(pool, child_page);
@@ -279,7 +281,7 @@ impl BPlusTree {
 
     fn insert_nonfull(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut impl PagePool,
         page: PageId,
         level: u32,
         key: u64,
@@ -318,7 +320,7 @@ impl BPlusTree {
     }
 
     /// Removes `key`; returns its value if it existed.
-    pub fn remove(&mut self, pool: &mut BufferPool, key: u64) -> Option<u64> {
+    pub fn remove(&mut self, pool: &mut impl PagePool, key: u64) -> Option<u64> {
         let removed = self.remove_rec(pool, self.root, self.height, key);
         if removed.is_some() {
             self.len -= 1;
@@ -346,7 +348,7 @@ impl BPlusTree {
 
     fn remove_rec(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut impl PagePool,
         page: PageId,
         level: u32,
         key: u64,
@@ -378,7 +380,7 @@ impl BPlusTree {
     /// by borrowing from a sibling or merging with one.
     fn fix_underflow(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut impl PagePool,
         parent_page: PageId,
         child_idx: usize,
         _child_level: u32,
@@ -467,7 +469,7 @@ impl BPlusTree {
     }
 
     /// All entries with `lo <= key <= hi`, in key order.
-    pub fn range(&self, pool: &mut BufferPool, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    pub fn range(&self, pool: &mut impl PagePool, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         if lo > hi {
             return Vec::new();
         }
@@ -497,7 +499,7 @@ impl BPlusTree {
     }
 
     /// Every entry in key order (diagnostics / verification).
-    pub fn entries(&self, pool: &mut BufferPool) -> Vec<(u64, u64)> {
+    pub fn entries(&self, pool: &mut impl PagePool) -> Vec<(u64, u64)> {
         self.range(pool, 0, u64::MAX)
     }
 }
@@ -505,6 +507,7 @@ impl BPlusTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::BufferPool;
     use crate::store::PageStore;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};

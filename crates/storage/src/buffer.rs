@@ -18,6 +18,33 @@ pub struct BufferStats {
     pub write_backs: u64,
 }
 
+impl BufferStats {
+    /// Fraction of accesses served from the cache. Defined at zero reads:
+    /// a pool that has served no accesses has missed none, so the rate is
+    /// `1.0` (never `NaN`) — the same convention as
+    /// `SearchStats::buffer_hit_rate` in the core crate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            1.0 - self.page_faults as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+/// Page-granular storage access: what the paged [`crate::BPlusTree`] needs
+/// from its backing pool. Implemented by the single-threaded [`BufferPool`]
+/// and by [`crate::striped::TalliedPool`], a per-query view of the
+/// concurrent [`crate::striped::StripedBufferPool`].
+pub trait PagePool {
+    /// Allocates a fresh zeroed page (cached clean).
+    fn alloc(&mut self) -> PageId;
+    /// Reads page `id` through the cache.
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> R;
+    /// Mutates page `id` through the cache, marking it dirty.
+    fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R;
+}
+
 struct Frame {
     page: Page,
     dirty: bool,
@@ -121,6 +148,20 @@ impl BufferPool {
     /// Number of frames the pool may hold.
     pub fn capacity(&self) -> usize {
         self.frames.capacity()
+    }
+}
+
+impl PagePool for BufferPool {
+    fn alloc(&mut self) -> PageId {
+        BufferPool::alloc(self)
+    }
+
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> R {
+        BufferPool::with_page(self, id, f)
+    }
+
+    fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
+        BufferPool::with_page_mut(self, id, f)
     }
 }
 

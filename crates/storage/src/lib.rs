@@ -13,7 +13,12 @@
 //! * [`store`] — the simulated disk (a growable array of pages with
 //!   physical read/write counters);
 //! * [`lru`] — a generic O(1) LRU cache;
-//! * [`buffer`] — the buffer pool: LRU page frames with dirty write-back;
+//! * [`buffer`] — the buffer pool: LRU page frames with dirty write-back,
+//!   plus the [`PagePool`] access trait;
+//! * [`striped`] — the concurrent buffer pool: the LRU sharded into lock
+//!   stripes keyed by page id, with atomic global counters and exact
+//!   per-query [`IoTally`] deltas (what lets one disk-resident engine
+//!   serve many threads);
 //! * [`bptree`] — a real paged B+-tree (the paper's Route Overlay and
 //!   Association Directory both index by node/Rnet id through B+-trees);
 //! * [`ccam`] — connectivity-clustered node-to-page assignment after
@@ -29,14 +34,16 @@ pub mod lru;
 pub mod page;
 pub mod pagemap;
 pub mod store;
+pub mod striped;
 
 pub use bptree::BPlusTree;
-pub use buffer::{BufferPool, BufferStats};
+pub use buffer::{BufferPool, BufferStats, PagePool};
 pub use ccam::{NodeClustering, RecordLocation};
 pub use lru::LruCache;
 pub use page::{PageId, PAGE_SIZE};
 pub use pagemap::{IoTracker, PageMap};
 pub use store::PageStore;
+pub use striped::{IoTally, StripedBufferPool, TalliedPool, DEFAULT_BUFFER_STRIPES};
 
 /// The paper's buffer-pool capacity: "a memory cache of 50 pages with LRU
 /// replacement scheme".

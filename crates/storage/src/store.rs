@@ -2,6 +2,7 @@
 //! counters.
 
 use crate::page::{Page, PageId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative physical I/O counters of a [`PageStore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -15,10 +16,16 @@ pub struct StoreStats {
 }
 
 /// An in-memory "disk" of 4 KB pages.
+///
+/// Reads take `&self` (counters are atomic), so a concurrent buffer pool
+/// can fault pages in under a shared lock; allocation and write-back still
+/// need `&mut self` because they grow or mutate the page array.
 #[derive(Default)]
 pub struct PageStore {
     pages: Vec<Page>,
-    stats: StoreStats,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
 }
 
 impl PageStore {
@@ -41,7 +48,7 @@ impl PageStore {
     pub fn alloc(&mut self) -> PageId {
         let id = PageId(self.pages.len() as u32);
         self.pages.push(Page::zeroed());
-        self.stats.allocations += 1;
+        self.allocations.fetch_add(1, Ordering::Relaxed);
         id
     }
 
@@ -49,25 +56,31 @@ impl PageStore {
     ///
     /// # Panics
     /// Panics on an unallocated page id — always a logic error here.
-    pub fn read(&mut self, id: PageId) -> Page {
-        self.stats.reads += 1;
+    pub fn read(&self, id: PageId) -> Page {
+        self.reads.fetch_add(1, Ordering::Relaxed);
         self.pages[id.index()].clone()
     }
 
     /// Writes a page back (counted as one physical write).
     pub fn write(&mut self, id: PageId, page: &Page) {
-        self.stats.writes += 1;
+        self.writes.fetch_add(1, Ordering::Relaxed);
         self.pages[id.index()] = page.clone();
     }
 
     /// Cumulative counters.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        StoreStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
     }
 
     /// Zeroes the counters (page contents are retained).
     pub fn reset_stats(&mut self) {
-        self.stats = StoreStats::default();
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
     }
 }
 

@@ -6,7 +6,9 @@
 //! The walk-through: build + persist, open the image *page-granularly*
 //! (no monolithic deserialize — Rnet shortcut sections page in on first
 //! touch), serve a burst of queries under a small memory budget,
-//! cross-check every answer against the in-memory engine, and watch the
+//! cross-check every answer against the in-memory engine, fan the same
+//! replica out across **four serving threads** (queries take `&self`;
+//! the lock-striped buffer pool needs no wrapper mutex), and watch the
 //! buffer-pool economics change as the pool grows.
 //!
 //! ```text
@@ -49,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    until a query first crosses that Rnet.
     let image = PagedImage::open(image_bytes)?;
     let objects: Vec<Object> = stations.objects().cloned().collect();
-    let mut replica = PagedEngine::open(image, objects, PagedOptions::with_buffer_pages(25))?;
+    let replica = PagedEngine::open(image, objects, PagedOptions::with_buffer_pages(25))?;
     println!(
         "replica opened lazily: {}/{} Rnet sections resident, {} disk pages",
         replica.rnets_loaded(),
@@ -86,7 +88,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("warm burst: {accesses} page accesses, {warm} faults");
 
-    // 6. Memory-constrained serving: the same workload under shrinking
+    // 6. Concurrent serving: queries take `&self`, so four threads share
+    //    the replica directly — no Mutex wrapper — each oracle-checking
+    //    its own slice of the burst. Per-thread SearchStats stay exact
+    //    (each query's page counters come from its private tally).
+    let served: usize = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let replica = &replica;
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let mut ws = SearchWorkspace::new();
+                    let mut hits = Vec::new();
+                    let mut served = 0usize;
+                    for i in 0..40u32 {
+                        if i % 4 != t {
+                            continue;
+                        }
+                        let q = KnnQuery::new(NodeId((i * 14) % 576), 3)
+                            .with_filter(ObjectFilter::Category(FUEL));
+                        replica.knn_with(&q, &mut ws, &mut hits).expect("valid query");
+                        let mem = oracle.knn(&q).expect("valid query");
+                        assert_eq!(hits, mem.hits, "concurrent paged serving must stay exact");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("serving thread panicked")).sum()
+    });
+    println!(
+        "concurrent burst: {served} queries from 4 threads on one shared replica, all \
+         oracle-checked ({} buffer stripes)",
+        replica.buffer_stripes()
+    );
+
+    // 7. Memory-constrained serving: the same workload under shrinking
     //    buffer budgets (eager layout so each run is self-contained).
     println!("\nbuffer sweep (same 40-query burst, eager layout):");
     let stations2 = {
@@ -97,8 +135,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ad
     };
     for pages in [5usize, 25, 100] {
-        let mut engine =
-            PagedEngine::new(&road, &stations2, PagedOptions::with_buffer_pages(pages))?;
+        let engine = PagedEngine::new(&road, &stations2, PagedOptions::with_buffer_pages(pages))?;
         let mut faults = 0usize;
         let mut reads = 0usize;
         for i in 0..40u32 {

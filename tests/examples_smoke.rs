@@ -82,6 +82,7 @@ fn disk_serving_pages_in_and_agrees() {
             "replica opened lazily: 0/",
             "first burst: 40 queries oracle-checked",
             "warm burst:",
+            "concurrent burst: 40 queries from 4 threads",
             "buffer sweep",
         ],
     );
