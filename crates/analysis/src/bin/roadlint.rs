@@ -1,0 +1,61 @@
+//! The roadlint CLI.
+//!
+//! ```text
+//! roadlint [ROOT] [--graph]
+//! ```
+//!
+//! Walks the workspace at ROOT (default: the current directory), runs
+//! every rule and prints the findings. `--graph` additionally prints the
+//! acquired-while-held lock graph. Exit status: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut graph = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--graph" => graph = true,
+            "--help" | "-h" => {
+                println!("usage: roadlint [ROOT] [--graph]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("roadlint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+
+    let analysis = match road_analysis::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(err) => {
+            eprintln!("roadlint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if graph {
+        println!("lock classes: {:?}", analysis.graph.classes);
+        for ((from, to), site) in &analysis.graph.edges {
+            println!("  {from} -> {to}   (e.g. {}:{} in {})", site.file, site.line, site.function);
+        }
+    }
+
+    for f in &analysis.findings {
+        println!("{f}");
+    }
+    println!(
+        "roadlint: {} file(s), {} finding(s)",
+        analysis.files_scanned,
+        analysis.findings.len()
+    );
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

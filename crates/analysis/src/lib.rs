@@ -1,0 +1,118 @@
+//! roadlint — project-specific static analysis for the ROAD workspace.
+//!
+//! A dependency-free, token-level pass proving five invariants of the
+//! serving path (see ARCHITECTURE.md §"Invariants and static analysis"):
+//!
+//! 1. **panic** — `serving-path` files contain no `.unwrap()` /
+//!    `.expect()`, no panicking macros and no slice indexing;
+//! 2. **lock-order** — the acquired-while-held graph over the named lock
+//!    classes is a DAG;
+//! 3. **hot-alloc** — `hot-path` fences contain no fresh heap
+//!    allocations;
+//! 4. **atomic-ordering** — every `Ordering::Relaxed` carries a
+//!    `relaxed-ok` justification and bare `Ordering::SeqCst` is flagged;
+//! 5. **decode-bound** — `with_capacity` in `decode-fn` functions is
+//!    dominated by a bound/error check on the decoded count.
+//!
+//! The pass walks every `.rs` file of the workspace (skipping `target`,
+//! `vendor`, test trees and fixtures) and exits non-zero on any finding,
+//! which makes it usable as a hard CI gate.
+
+pub mod lexer;
+pub mod lockgraph;
+pub mod markers;
+pub mod rules;
+pub mod syntax;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation (or marker-hygiene problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line; 0 for whole-file findings.
+    pub line: u32,
+    /// Stable rule identifier (`panic`, `lock-order`, `hot-alloc`,
+    /// `atomic-ordering`, `decode-bound`, `marker`).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The result of analysing a set of sources.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// The acquired-while-held lock graph (for `--graph`).
+    pub graph: lockgraph::LockGraph,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Analyses in-memory `(path, source)` pairs — the composition point the
+/// workspace walk and the fixture tests share.
+pub fn analyze_sources<'a>(sources: impl IntoIterator<Item = (&'a str, &'a str)>) -> Analysis {
+    let mut analysis = Analysis::default();
+    let mut locks = Vec::new();
+    for (path, src) in sources {
+        analysis.files_scanned += 1;
+        let report = rules::check_file(path, src);
+        analysis.findings.extend(report.findings);
+        locks.extend(report.locks);
+    }
+    let (graph, order_findings) = lockgraph::check(&locks);
+    analysis.graph = graph;
+    analysis.findings.extend(order_findings);
+    analysis.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    analysis
+}
+
+/// Directory names never descended into: build output, vendored
+/// third-party code, test trees (unit-test modules inside live files are
+/// excluded separately, by token range) and the lint's own fixtures.
+const SKIP_DIRS: &[&str] =
+    &[".git", "target", "vendor", "tests", "benches", "fixtures", "examples"];
+
+/// Collects every workspace `.rs` file under `root`, sorted for
+/// deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Walks the workspace at `root` and runs every rule.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let files = workspace_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().into_owned();
+        sources.push((rel, src));
+    }
+    Ok(analyze_sources(sources.iter().map(|(p, s)| (p.as_str(), s.as_str()))))
+}

@@ -1,0 +1,595 @@
+//! Rule 2: lock-order discipline across the serving path.
+//!
+//! The pass extracts every lock acquisition (`.lock()`, and zero-argument
+//! `.read()` / `.write()` on `RwLock`-shaped receivers) from
+//! `serving-path` files, classifies each site into a named lock class by
+//! its receiver, and builds an **acquired-while-held** graph:
+//!
+//! * a guard bound by a `let` whose statement ends at the acquisition
+//!   chain is considered held until the end of the function;
+//! * an acquisition consumed mid-expression (`self.store.write()?.alloc()`)
+//!   is *transient* — held only for the rest of its own statement;
+//! * a call to a function that itself acquires locks (resolved by name
+//!   across all serving-path files, to a fixpoint over the call graph)
+//!   adds edges from every held class to everything the callee may
+//!   acquire; a `let`-bound call to a function returning a `…Guard` type
+//!   counts as acquiring those classes.
+//!
+//! Any cycle — including a self-edge, i.e. re-acquiring a held class —
+//! fails the build. Transient guards deliberately do not propagate
+//! through calls, and call-derived self-edges are dropped: both are
+//! over-approximation escape valves for name-level call resolution; the
+//! direct-acquisition edges that define the discipline are exact.
+
+use crate::lexer::Token;
+use crate::markers::Markers;
+use crate::syntax::{self, FnSpan};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Receiver-identifier → lock-class table for this codebase. A site whose
+/// receiver is not listed here can be classified manually with a
+/// `lock(<class>)` marker on the same line; otherwise it is a finding.
+const RECEIVER_CLASSES: &[(&str, &str)] = &[
+    ("stripe", "stripe"),
+    ("stripes", "stripe"),
+    ("store", "store"),
+    ("append", "append"),
+    ("rnet_locks", "rnet-decode"),
+    ("image", "image"),
+    ("current", "publish"),
+    ("shared", "publish"),
+];
+
+/// Method names that acquire a lock when called with zero arguments.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Chain adapters that pass the guard through unchanged.
+const GUARD_ADAPTERS: &[&str] = &["map_err", "unwrap_or_else", "expect", "unwrap", "ok_or"];
+
+/// One body-ordered lock-relevant event inside a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockEvent {
+    /// A direct acquisition. `held` means let-bound: the guard lives to
+    /// the end of the brace block at `depth` that contains it.
+    Acquire { class: String, held: bool, line: u32, depth: u32 },
+    /// A call to (possibly) one of the scanned functions, by name.
+    Call { name: String, let_bound: bool, line: u32, depth: u32 },
+    /// A statement boundary (releases transient guards).
+    StmtEnd,
+    /// A `}` closed a block: guards let-bound deeper than `depth` (the
+    /// enclosing depth) are dropped.
+    BlockEnd { depth: u32 },
+}
+
+/// Lock events of one function.
+#[derive(Debug, Clone)]
+pub struct LockFn {
+    pub name: String,
+    pub guard_returning: bool,
+    pub events: Vec<LockEvent>,
+}
+
+/// Lock summary of one serving-path file.
+#[derive(Debug, Clone)]
+pub struct FileLocks {
+    pub file: String,
+    pub fns: Vec<LockFn>,
+}
+
+/// Scanning context handed over from the per-file rules.
+pub(crate) struct LockCtx<'a> {
+    pub file: &'a str,
+    pub tokens: &'a [Token],
+    pub markers: &'a Markers,
+    pub test_ranges: &'a [(usize, usize)],
+}
+
+/// An example acquisition site backing a graph edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Site {
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+}
+
+/// The acquired-while-held graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub classes: BTreeSet<String>,
+    /// `(held, acquired) -> example site` of the acquisition.
+    pub edges: BTreeMap<(String, String), Site>,
+}
+
+/// Extracts the per-function lock events of one file (serving-path files
+/// only; the caller gates on the marker). Unclassifiable acquisitions
+/// are reported as findings.
+pub(crate) fn extract_file_locks(
+    ctx: &LockCtx,
+    fns: &[FnSpan],
+    findings: &mut Vec<Finding>,
+) -> FileLocks {
+    let toks = ctx.tokens;
+    let mut out = FileLocks { file: ctx.file.to_owned(), fns: Vec::new() };
+    for f in fns {
+        let Some((body_start, body_end)) = f.body else { continue };
+        if syntax::in_ranges(ctx.test_ranges, f.fn_idx) {
+            continue;
+        }
+        let mut events = Vec::new();
+        let mut depth = 0u32;
+        let mut i = body_start + 1;
+        while i < body_end {
+            let t = &toks[i];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                if t.is_punct('{') {
+                    depth += 1;
+                }
+                if t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    events.push(LockEvent::BlockEnd { depth });
+                }
+                events.push(LockEvent::StmtEnd);
+                i += 1;
+                continue;
+            }
+            // Direct acquisition: `. lock ( )` with zero arguments.
+            if t.is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|m| LOCK_METHODS.contains(&m))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                let line = toks[i + 1].line;
+                let class = ctx
+                    .markers
+                    .lock_class_on_line(line)
+                    .map(str::to_owned)
+                    .or_else(|| classify_receiver(toks, i));
+                match class {
+                    Some(class) => {
+                        let held = chain_ends_statement(toks, i + 3, body_end)
+                            && statement_is_let(toks, i, body_start);
+                        events.push(LockEvent::Acquire { class, held, line, depth });
+                    }
+                    None => findings.push(Finding {
+                        file: ctx.file.to_owned(),
+                        line,
+                        rule: "lock-order",
+                        message: format!(
+                            ".{}() acquisition with unrecognized receiver; name the field after its lock class or add a lock(<class>) marker",
+                            toks[i + 1].ident().unwrap_or("lock")
+                        ),
+                    }),
+                }
+                i += 4;
+                continue;
+            }
+            // Call: `name (` — resolution against scanned functions
+            // happens in the graph builder.
+            if let Some(name) = t.ident() {
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && !LOCK_METHODS.contains(&name)
+                    && !(i > 0 && toks[i - 1].ident() == Some("fn"))
+                {
+                    let close = syntax::match_delim(toks, i + 1);
+                    let let_bound = chain_ends_statement(toks, close, body_end)
+                        && statement_is_let(toks, i, body_start);
+                    events.push(LockEvent::Call {
+                        name: name.to_owned(),
+                        let_bound,
+                        line: t.line,
+                        depth,
+                    });
+                }
+            }
+            i += 1;
+        }
+        out.fns.push(LockFn { name: f.name.clone(), guard_returning: f.guard_returning, events });
+    }
+    out
+}
+
+/// Walks backwards from the `.` of an acquisition to classify its
+/// receiver: skips `?` and balanced `(…)` / `[…]` groups, follows method
+/// chains, and stops at the first identifier with a known class.
+fn classify_receiver(toks: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    loop {
+        let t = &toks[j];
+        if t.is_punct('?') || t.is_punct('.') {
+            j = j.checked_sub(1)?;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            let open = syntax::match_delim_back(toks, j);
+            j = open.checked_sub(1)?;
+        } else if let Some(name) = t.ident() {
+            if let Some((_, class)) = RECEIVER_CLASSES.iter().find(|(r, _)| *r == name) {
+                return Some((*class).to_owned());
+            }
+            // Part of a method chain (`x.get(i).lock()`)? Keep walking.
+            if j >= 1 && toks[j - 1].is_punct('.') {
+                j = j.checked_sub(2)?;
+            } else {
+                return None;
+            }
+        } else {
+            return None;
+        }
+    }
+}
+
+/// From the closing delimiter of an acquisition/call at `close`, skips
+/// guard-passing adapters (`.map_err(…)?` etc.) and reports whether the
+/// chain ends its statement there (`;`).
+fn chain_ends_statement(toks: &[Token], close: usize, body_end: usize) -> bool {
+    let mut j = close + 1;
+    while j < body_end {
+        if toks[j].is_punct('?') {
+            j += 1;
+        } else if toks[j].is_punct('.')
+            && toks.get(j + 1).and_then(|t| t.ident()).is_some_and(|m| GUARD_ADAPTERS.contains(&m))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            j = syntax::match_delim(toks, j + 2) + 1;
+        } else {
+            return toks[j].is_punct(';');
+        }
+    }
+    false
+}
+
+/// True when the statement containing token `at` starts with `let`
+/// (scanning back to the previous statement/block boundary).
+fn statement_is_let(toks: &[Token], at: usize, body_start: usize) -> bool {
+    let mut j = at;
+    while j > body_start {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.ident() == Some("let") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Call-resolution table: may-acquire sets keyed by `(file, name)`, with
+/// same-file-first lookup. Resolving a call by bare name across the
+/// whole workspace lets hub names (`new`, `get`, `insert`) smear one
+/// type's lock footprint over every other type's constructor; resolving
+/// within the calling file first keeps the blast radius to genuine
+/// same-name collisions inside one file, and only falls back to the
+/// global union for names the file does not define.
+struct MaySets {
+    per_file: BTreeMap<(usize, String), BTreeSet<String>>,
+    global: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl MaySets {
+    fn resolve(&self, fi: usize, name: &str) -> Option<&BTreeSet<String>> {
+        self.per_file.get(&(fi, name.to_owned())).or_else(|| self.global.get(name))
+    }
+}
+
+/// Builds the acquired-while-held graph from every serving-path file and
+/// reports ordering violations (cycles, including self-edges).
+pub fn check(files: &[FileLocks]) -> (LockGraph, Vec<Finding>) {
+    // May-acquire sets, to a fixpoint over the name-resolved call graph.
+    let mut may = MaySets { per_file: BTreeMap::new(), global: BTreeMap::new() };
+    let mut guard_fns: BTreeSet<String> = BTreeSet::new();
+    for (fi, file) in files.iter().enumerate() {
+        for f in &file.fns {
+            let entry = may.per_file.entry((fi, f.name.clone())).or_default();
+            for e in &f.events {
+                if let LockEvent::Acquire { class, .. } = e {
+                    entry.insert(class.clone());
+                }
+            }
+            if f.guard_returning {
+                guard_fns.insert(f.name.clone());
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, file) in files.iter().enumerate() {
+            for f in &file.fns {
+                let mut add = BTreeSet::new();
+                for e in &f.events {
+                    if let LockEvent::Call { name, .. } = e {
+                        if let Some(s) = may.resolve(fi, name) {
+                            add.extend(s.iter().cloned());
+                        }
+                    }
+                }
+                let entry = may.per_file.entry((fi, f.name.clone())).or_default();
+                let before = entry.len();
+                entry.extend(add);
+                changed |= entry.len() != before;
+            }
+        }
+        // Re-derive the global fallback unions from the per-file sets.
+        let mut global: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for ((_, name), set) in &may.per_file {
+            global.entry(name.clone()).or_default().extend(set.iter().cloned());
+        }
+        changed |= global != may.global;
+        may.global = global;
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge emission by linear simulation of each function body.
+    let mut graph = LockGraph::default();
+    for (fi, file) in files.iter().enumerate() {
+        for f in &file.fns {
+            let mut held: Vec<(String, u32)> = Vec::new();
+            let mut transients: Vec<String> = Vec::new();
+            for e in &f.events {
+                match e {
+                    LockEvent::StmtEnd => transients.clear(),
+                    LockEvent::BlockEnd { depth } => {
+                        held.retain(|(_, d)| *d <= *depth);
+                    }
+                    LockEvent::Acquire { class, held: h, line, depth } => {
+                        graph.classes.insert(class.clone());
+                        let site =
+                            Site { file: file.file.clone(), line: *line, function: f.name.clone() };
+                        for from in held.iter().map(|(c, _)| c).chain(transients.iter()) {
+                            graph
+                                .edges
+                                .entry((from.clone(), class.clone()))
+                                .or_insert_with(|| site.clone());
+                        }
+                        if *h {
+                            held.push((class.clone(), *depth));
+                        } else {
+                            transients.push(class.clone());
+                        }
+                    }
+                    LockEvent::Call { name, let_bound, line, depth } => {
+                        let Some(acquired) = may.resolve(fi, name) else { continue };
+                        if acquired.is_empty() {
+                            continue;
+                        }
+                        graph.classes.extend(acquired.iter().cloned());
+                        let site =
+                            Site { file: file.file.clone(), line: *line, function: f.name.clone() };
+                        for (from, _) in &held {
+                            for to in acquired {
+                                // Call-derived self-edges are dropped:
+                                // name-level resolution is too coarse to
+                                // prove a genuine re-acquisition.
+                                if from != to {
+                                    graph
+                                        .edges
+                                        .entry((from.clone(), to.clone()))
+                                        .or_insert_with(|| site.clone());
+                                }
+                            }
+                        }
+                        if *let_bound && guard_fns.contains(name) {
+                            held.extend(acquired.iter().map(|c| (c.clone(), *depth)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection (self-edges are cycles of length one).
+    let mut findings = Vec::new();
+    if let Some(cycle) = find_cycle(&graph) {
+        let mut msg = String::from("lock-order cycle: ");
+        for (k, (a, b)) in cycle.iter().enumerate() {
+            let site = &graph.edges[&(a.clone(), b.clone())];
+            if k > 0 {
+                msg.push_str(", ");
+            }
+            msg.push_str(&format!(
+                "{a} -> {b} (at {}:{} in {})",
+                site.file, site.line, site.function
+            ));
+        }
+        let (first_a, first_b) = &cycle[0];
+        let site = graph.edges[&(first_a.clone(), first_b.clone())].clone();
+        findings.push(Finding {
+            file: site.file,
+            line: site.line,
+            rule: "lock-order",
+            message: msg,
+        });
+    }
+    (graph, findings)
+}
+
+/// Finds one cycle in the edge set, returned as its list of edges.
+fn find_cycle(g: &LockGraph) -> Option<Vec<(String, String)>> {
+    // Self-edges first: the clearest violation.
+    for (a, b) in g.edges.keys() {
+        if a == b {
+            return Some(vec![(a.clone(), b.clone())]);
+        }
+    }
+    let succ = |n: &String| -> Vec<String> {
+        g.edges.keys().filter(|(a, _)| a == n).map(|(_, b)| b.clone()).collect()
+    };
+    // Iterative DFS with an explicit on-path stack.
+    for start in &g.classes {
+        let mut path: Vec<String> = vec![start.clone()];
+        let mut iters: Vec<Vec<String>> = vec![succ(start)];
+        let mut visited_from_start: BTreeSet<String> = BTreeSet::new();
+        while let Some(frame) = iters.last_mut() {
+            let Some(next) = frame.pop() else {
+                path.pop();
+                iters.pop();
+                continue;
+            };
+            if let Some(pos) = path.iter().position(|n| n == &next) {
+                // Cycle: path[pos..] + next closes it.
+                let mut cycle = Vec::new();
+                for w in path[pos..].windows(2) {
+                    cycle.push((w[0].clone(), w[1].clone()));
+                }
+                cycle.push((path[path.len() - 1].clone(), next));
+                return Some(cycle);
+            }
+            if visited_from_start.insert(next.clone()) {
+                iters.push(succ(&next));
+                path.push(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::check_file;
+
+    fn locks(src: &str) -> FileLocks {
+        check_file("t.rs", src).locks.expect("serving-path file")
+    }
+
+    #[test]
+    fn held_vs_transient_classification() {
+        let f = locks(
+            "// roadlint: serving-path
+            impl P {
+                fn a(&self) {
+                    let id = self.store.write().map_err(E)?.alloc();
+                    let mut stripe = self.stripes[0].lock().map_err(E)?;
+                    stripe.put(id);
+                }
+            }",
+        );
+        let ev = &f.fns[0].events;
+        assert!(ev.contains(&LockEvent::Acquire {
+            class: "store".into(),
+            held: false,
+            line: 4,
+            depth: 0
+        }));
+        assert!(ev.contains(&LockEvent::Acquire {
+            class: "stripe".into(),
+            held: true,
+            line: 5,
+            depth: 0
+        }));
+    }
+
+    #[test]
+    fn block_scoped_guard_expires_at_block_end() {
+        // Two sequential `{ let g = lock(); … }` blocks of the same class
+        // must NOT look like a re-acquisition (paged.rs::append_record).
+        let f = locks(
+            "// roadlint: serving-path
+            fn seq(&self) {
+                let a = {
+                    let cursor = self.append.lock();
+                    cursor.page()
+                };
+                let b = {
+                    let cursor = self.append.lock();
+                    cursor.page()
+                };
+            }",
+        );
+        let (_, findings) = check(&[f]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn chained_receiver_resolves_through_adapters() {
+        let f = locks(
+            "// roadlint: serving-path
+            fn a(&self) {
+                let g = self.rnet_locks.get(idx).ok_or(Bad)?.lock().map_err(E)?;
+                g.touch();
+            }",
+        );
+        assert!(f.fns[0].events.iter().any(|e| matches!(
+            e,
+            LockEvent::Acquire { class, held: true, .. } if class == "rnet-decode"
+        )));
+    }
+
+    #[test]
+    fn opposite_orders_cycle() {
+        let f = locks(
+            "// roadlint: serving-path
+            impl P {
+                fn ab(&self) {
+                    let a = self.append.lock();
+                    let b = self.store.write();
+                }
+                fn ba(&self) {
+                    let b = self.store.write();
+                    let a = self.append.lock();
+                }
+            }",
+        );
+        let (graph, findings) = check(&[f]);
+        assert!(graph.edges.contains_key(&("append".into(), "store".into())));
+        assert!(graph.edges.contains_key(&("store".into(), "append".into())));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("lock-order cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_call_edges_propagate() {
+        let f = locks(
+            "// roadlint: serving-path
+            impl P {
+                fn low(&self) {
+                    let s = self.store.write();
+                }
+                fn high(&self) {
+                    let g = self.stripes[0].lock();
+                    self.low();
+                }
+            }",
+        );
+        let (graph, findings) = check(&[f]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(graph.edges.contains_key(&("stripe".into(), "store".into())));
+    }
+
+    #[test]
+    fn reacquiring_a_held_class_is_a_self_cycle() {
+        let f = locks(
+            "// roadlint: serving-path
+            fn double(&self) {
+                let a = self.stripes[0].lock();
+                let b = self.stripes[1].lock();
+            }",
+        );
+        let (_, findings) = check(&[f]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("stripe -> stripe"));
+    }
+
+    #[test]
+    fn unclassified_receiver_is_a_finding_unless_marked() {
+        let bad = check_file(
+            "t.rs",
+            "// roadlint: serving-path
+            fn f(&self) { let g = self.mystery.lock(); }",
+        );
+        assert!(bad.findings.iter().any(|f| f.rule == "lock-order"));
+        let ok = check_file(
+            "t.rs",
+            "// roadlint: serving-path
+            fn f(&self) {
+                let g = self.mystery.lock(); // roadlint: lock(mystery)
+            }",
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    }
+}

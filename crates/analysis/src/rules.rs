@@ -1,0 +1,369 @@
+//! The per-file roadlint rules.
+//!
+//! * **panic** — in `serving-path` files, no `.unwrap()` / `.expect()`,
+//!   no panicking macros, no slice indexing. Escapes: `allow(panic)`
+//!   (line) and `allow(panic-fn)` (whole function), reasons mandatory.
+//! * **hot-alloc** — inside `hot-path` fences, no fresh heap
+//!   allocations (`Vec::new`, `vec![]`, `Box::new`, `format!`,
+//!   `.to_vec()`, `.clone()`, `.collect()`, …). Escape: `allow(alloc)`.
+//! * **atomic-ordering** — every `Ordering::Relaxed` needs an adjacent
+//!   `relaxed-ok reason="…"`; `Ordering::SeqCst` is flagged outright
+//!   (pick the weakest sufficient ordering, or justify via `seqcst-ok`).
+//! * **decode-bound** — in `decode-fn` functions, `with_capacity`
+//!   must be dominated by a bound/error check (heuristic: an `Err`,
+//!   `min`, `clamp`, `assert*` token or `?` earlier in the function, up
+//!   to the end of the allocating statement).
+//!
+//! Unit-test modules (`#[cfg(test)] mod`) are exempt from all of these.
+
+use crate::lexer::{lex, Token};
+use crate::lockgraph::FileLocks;
+use crate::markers::{self, Marker, Markers};
+use crate::syntax::{self, FnSpan};
+use crate::Finding;
+
+/// Everything roadlint extracts from one file: rule findings plus the
+/// lock-acquisition summary consumed by the cross-file lock-order rule.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub locks: Option<FileLocks>,
+}
+
+/// Macros that abort the current thread when reached / failing.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Types whose constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Rc",
+];
+
+/// Constructor names that allocate on the types above.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Method calls that allocate a fresh container.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "clone", "collect"];
+
+/// Tokens accepted as evidence of a bound/error check before a
+/// `with_capacity` in a decode function.
+const BOUND_EVIDENCE: &[&str] =
+    &["Err", "min", "clamp", "assert", "assert_eq", "debug_assert", "take"];
+
+/// Runs every per-file rule over `src`.
+pub fn check_file(file: &str, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let markers = markers::parse(file, &lexed.comments);
+    let fns = syntax::functions(&lexed.tokens);
+    let test_ranges = syntax::test_mod_ranges(&lexed.tokens);
+
+    let mut findings = markers.hygiene.clone();
+    let panic_fn_ranges =
+        marked_fn_bodies(file, &markers, Marker::AllowPanicFn, &fns, &mut findings);
+    let decode_fns = marked_fns(file, &markers, Marker::DecodeFn, &fns, &mut findings);
+
+    let ctx = Ctx { file, tokens: &lexed.tokens, markers: &markers, test_ranges: &test_ranges };
+
+    if markers.serving_path() {
+        panic_rule(&ctx, &panic_fn_ranges, &mut findings);
+    }
+    hot_alloc_rule(&ctx, &mut findings);
+    atomic_ordering_rule(&ctx, &mut findings);
+    decode_bound_rule(&ctx, &decode_fns, &mut findings);
+
+    let locks = markers
+        .serving_path()
+        .then(|| crate::lockgraph::extract_file_locks(&ctx.into_lock_ctx(), &fns, &mut findings));
+
+    FileReport { findings, locks }
+}
+
+/// Shared per-file scanning context.
+pub(crate) struct Ctx<'a> {
+    pub file: &'a str,
+    pub tokens: &'a [Token],
+    pub markers: &'a Markers,
+    pub test_ranges: &'a [(usize, usize)],
+}
+
+impl<'a> Ctx<'a> {
+    fn excluded(&self, i: usize) -> bool {
+        syntax::in_ranges(self.test_ranges, i)
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding { file: self.file.to_owned(), line, rule, message }
+    }
+
+    /// True when an escape marker (with a reason) sits on the finding's
+    /// line or the line directly above it.
+    fn line_escaped(&self, marker: &Marker, line: u32) -> bool {
+        self.markers.has_on_line(marker, line)
+            || (line > 0 && self.markers.has_on_line(marker, line - 1))
+    }
+
+    pub(crate) fn into_lock_ctx(self) -> crate::lockgraph::LockCtx<'a> {
+        crate::lockgraph::LockCtx {
+            file: self.file,
+            tokens: self.tokens,
+            markers: self.markers,
+            test_ranges: self.test_ranges,
+        }
+    }
+}
+
+/// Resolves `marker` occurrences to the body ranges of the functions they
+/// precede; a marker with no function within 5 lines is a hygiene finding.
+fn marked_fn_bodies(
+    file: &str,
+    markers: &Markers,
+    marker: Marker,
+    fns: &[FnSpan],
+    findings: &mut Vec<Finding>,
+) -> Vec<(usize, usize)> {
+    marked_fns(file, markers, marker, fns, findings).iter().filter_map(|f| f.body).collect()
+}
+
+/// The functions directly following each occurrence of `marker`.
+fn marked_fns<'f>(
+    file: &str,
+    markers: &Markers,
+    marker: Marker,
+    fns: &'f [FnSpan],
+    findings: &mut Vec<Finding>,
+) -> Vec<&'f FnSpan> {
+    let mut out = Vec::new();
+    for m in markers.markers.iter().filter(|m| m.marker == marker) {
+        let next = fns.iter().filter(|f| f.line > m.line).min_by_key(|f| f.line);
+        match next {
+            Some(f) if f.line - m.line <= 5 => out.push(f),
+            _ => findings.push(Finding {
+                file: file.to_owned(),
+                line: m.line,
+                rule: "marker",
+                message: format!(
+                    "{:?} marker is not directly above a function (nearest `fn` is too far)",
+                    marker
+                ),
+            }),
+        }
+    }
+    out
+}
+
+/// Rule 1: panic-freedom of `serving-path` files.
+fn panic_rule(ctx: &Ctx, allow_fn_ranges: &[(usize, usize)], findings: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    let mut report = |i: usize, line: u32, msg: String| {
+        if ctx.excluded(i)
+            || syntax::in_ranges(allow_fn_ranges, i)
+            || ctx.line_escaped(&Marker::AllowPanic, line)
+        {
+            return;
+        }
+        findings.push(ctx.finding("panic", line, msg));
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(`
+        if t.is_punct('.') {
+            if let (Some(m), true) = (
+                toks.get(i + 1).and_then(|t| t.ident()),
+                toks.get(i + 2).is_some_and(|t| t.is_punct('(')),
+            ) {
+                if m == "unwrap" || m == "expect" {
+                    report(
+                        i + 1,
+                        toks[i + 1].line,
+                        format!(
+                            ".{m}() can panic on the serving path; propagate the error instead"
+                        ),
+                    );
+                }
+            }
+        }
+        // panicking macros
+        if let Some(name) = t.ident() {
+            if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                report(i, t.line, format!("{name}! can panic on the serving path"));
+            }
+        }
+        // slice indexing: `[` directly after an expression tail
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes = prev.ident().is_some() || prev.is_punct(')') || prev.is_punct(']');
+            // `ident![…]` is a macro invocation, not an index.
+            let is_macro = prev.ident().is_some() && i >= 2 && toks[i - 2].is_punct('!');
+            // Exempt attribute-shaped `ident [` after `#` (not expressible
+            // here, `#[…]` already has `#` as prev) — nothing to do.
+            if indexes && !is_macro {
+                report(
+                    i,
+                    t.line,
+                    "slice/array indexing can panic on the serving path; use .get()".to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3: no fresh heap allocations inside hot-path fences.
+fn hot_alloc_rule(ctx: &Ctx, findings: &mut Vec<Finding>) {
+    let ranges = ctx.markers.hot_ranges();
+    if ranges.is_empty() {
+        return;
+    }
+    let in_fence = |line: u32| ranges.iter().any(|&(a, b)| line > a && line < b);
+    let toks = ctx.tokens;
+    let mut report = |i: usize, line: u32, msg: String| {
+        if ctx.excluded(i) || ctx.line_escaped(&Marker::AllowAlloc, line) {
+            return;
+        }
+        findings.push(ctx.finding("hot-alloc", line, msg));
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !in_fence(t.line) {
+            continue;
+        }
+        if let Some(name) = t.ident() {
+            // `Vec::new(…)`-shaped constructor paths.
+            if ALLOC_TYPES.contains(&name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(ctor) = toks.get(i + 3).and_then(|t| t.ident()) {
+                    if ALLOC_CTORS.contains(&ctor) {
+                        report(
+                            i,
+                            t.line,
+                            format!("{name}::{ctor} allocates inside a hot-path fence; reuse workspace buffers"),
+                        );
+                    }
+                }
+            }
+            // Allocating macros.
+            if (name == "vec" || name == "format")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                report(i, t.line, format!("{name}! allocates inside a hot-path fence"));
+            }
+        }
+        // Allocating method calls (`Arc::clone(&x)` is path-form and
+        // intentionally not matched — it only bumps a refcount).
+        if t.is_punct('.') {
+            if let (Some(m), true) = (
+                toks.get(i + 1).and_then(|t| t.ident()),
+                toks.get(i + 2).is_some_and(|t| t.is_punct('(')),
+            ) {
+                if ALLOC_METHODS.contains(&m) {
+                    report(
+                        i + 1,
+                        toks[i + 1].line,
+                        format!(".{m}() allocates inside a hot-path fence"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule 4: atomic-ordering hygiene, workspace-wide.
+fn atomic_ordering_rule(ctx: &Ctx, findings: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("Ordering")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        let Some(ord) = toks.get(i + 3).and_then(|t| t.ident()) else { continue };
+        if ctx.excluded(i) {
+            continue;
+        }
+        let line = toks[i + 3].line;
+        match ord {
+            "Relaxed" => {
+                let ok = ctx.markers.has_on_line(&Marker::RelaxedOk, line)
+                    || (1..=2)
+                        .any(|d| line > d && ctx.markers.has_on_line(&Marker::RelaxedOk, line - d));
+                if !ok {
+                    findings.push(
+                        ctx.finding(
+                            "atomic-ordering",
+                            line,
+                            "Ordering::Relaxed needs an adjacent relaxed-ok reason=\"…\" marker"
+                                .to_owned(),
+                        ),
+                    );
+                }
+            }
+            "SeqCst" => {
+                let ok = ctx.markers.has_on_line(&Marker::SeqCstOk, line)
+                    || (1..=2)
+                        .any(|d| line > d && ctx.markers.has_on_line(&Marker::SeqCstOk, line - d));
+                if !ok {
+                    findings.push(ctx.finding(
+                        "atomic-ordering",
+                        line,
+                        "bare Ordering::SeqCst: pick the weakest sufficient ordering or justify with seqcst-ok reason=\"…\"".to_owned(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule 5: `with_capacity` in decode functions must follow a bound check.
+fn decode_bound_rule(ctx: &Ctx, decode_fns: &[&FnSpan], findings: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for f in decode_fns {
+        let Some((body_start, body_end)) = f.body else { continue };
+        for i in body_start..body_end {
+            if toks[i].ident() != Some("with_capacity")
+                || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                continue;
+            }
+            // Evidence window: function body start up to the end of the
+            // allocating statement (so `n.min(cap)` inside the call
+            // counts).
+            let stmt_end = (i..body_end).find(|&k| toks[k].is_punct(';')).unwrap_or(body_end);
+            let evidence = (body_start..stmt_end).any(|k| {
+                toks[k].ident().is_some_and(|id| BOUND_EVIDENCE.contains(&id))
+                    || toks[k].is_punct('?')
+            });
+            if !evidence {
+                findings.push(ctx.finding(
+                    "decode-bound",
+                    toks[i].line,
+                    format!(
+                        "with_capacity in decode function `{}` is not preceded by a bound/error check on the decoded count",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}

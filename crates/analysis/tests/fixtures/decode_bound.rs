@@ -1,0 +1,19 @@
+// roadlint: serving-path
+pub struct E;
+
+// roadlint: decode-fn
+pub fn decode_unbounded(buf: &[u8], n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(buf);
+    out
+}
+
+// roadlint: decode-fn
+pub fn decode_bounded(buf: &[u8], n: usize) -> Result<Vec<u8>, E> {
+    if n > buf.len() {
+        return Err(E);
+    }
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(buf);
+    Ok(out)
+}

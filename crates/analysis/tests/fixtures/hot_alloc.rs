@@ -1,0 +1,18 @@
+// roadlint: serving-path
+pub fn expand(work: &mut Vec<u32>, out: &mut String) {
+    // roadlint: hot-path
+    while let Some(x) = work.pop() {
+        let fresh = Vec::new();
+        let boxed = Box::new(x);
+        let v = vec![x];
+        let s = format!("{x}");
+        let c = v.clone();
+        // roadlint: allow(alloc) reason="cold error-path formatting, once per failure"
+        let excused = x.to_string();
+        out.push_str(&excused);
+        drop((fresh, boxed, s, c));
+    }
+    // roadlint: end hot-path
+    let outside = Vec::new();
+    drop::<Vec<u32>>(outside);
+}

@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn counters(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed);
+    // roadlint: relaxed-ok reason="diagnostic counter, no ordering required"
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::SeqCst);
+    // roadlint: seqcst-ok reason="startup handshake; cost irrelevant, simplicity wins"
+    c.load(Ordering::SeqCst);
+    c.load(Ordering::Acquire)
+}

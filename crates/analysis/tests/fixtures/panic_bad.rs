@@ -1,0 +1,10 @@
+// roadlint: serving-path
+pub fn serve(xs: &[u32], r: Result<u32, ()>) -> u32 {
+    let a = r.unwrap();
+    let b = Some(a).expect("present");
+    if xs.is_empty() {
+        panic!("empty");
+    }
+    debug_assert!(b > 0);
+    xs[0] + b
+}

@@ -1,0 +1,5 @@
+// roadlint: serving-path
+pub fn serve(r: Result<u32, ()>) -> u32 {
+    // roadlint: allow(panic)
+    r.unwrap()
+}

@@ -1,0 +1,20 @@
+// roadlint: serving-path
+pub fn serve(xs: &[u32]) -> u32 {
+    // roadlint: allow(panic) reason="index bounded by the is_empty check above"
+    let head = xs[0];
+    head
+}
+
+// roadlint: allow(panic-fn) reason="build-time helper; inputs validated by the caller"
+pub fn build_only(r: Result<u32, ()>) -> u32 {
+    r.unwrap() + r.expect("checked")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unit_tests_may_panic() {
+        let v = vec![1u32];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

@@ -1,0 +1,121 @@
+//! Fixture self-tests: every rule must fire on its bad fixture and stay
+//! quiet on the corresponding escape/clean fixture. Each fixture is
+//! analysed in isolation so lock-class call graphs do not bleed between
+//! them.
+
+// Integration tests may unwrap freely; the workspace unwrap/expect denial
+// targets library code (see clippy.toml for the unit-test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use road_analysis::{analyze_sources, Analysis, Finding};
+
+fn analyze_fixture(name: &str) -> Analysis {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    analyze_sources([(name, src.as_str())])
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn panic_rule_fires_on_every_forbidden_shape() {
+    let a = analyze_fixture("panic_bad.rs");
+    let panics: Vec<_> = a.findings.iter().filter(|f| f.rule == "panic").collect();
+    // unwrap, expect, panic!, debug_assert!, xs[0]
+    assert_eq!(panics.len(), 5, "{:?}", a.findings);
+    let msgs: String = panics.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.contains(".unwrap()"));
+    assert!(msgs.contains(".expect()"));
+    assert!(msgs.contains("panic!"));
+    assert!(msgs.contains("debug_assert!"));
+    assert!(msgs.contains("indexing"));
+}
+
+#[test]
+fn panic_escapes_suppress_with_reasons() {
+    let a = analyze_fixture("panic_escapes.rs");
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+}
+
+#[test]
+fn panic_escape_without_reason_suppresses_nothing() {
+    let a = analyze_fixture("panic_escape_no_reason.rs");
+    let r = rules(&a.findings);
+    // The reasonless escape is itself a finding AND the unwrap still fires.
+    assert!(r.contains(&"marker"), "{:?}", a.findings);
+    assert!(r.contains(&"panic"), "{:?}", a.findings);
+}
+
+#[test]
+fn hot_alloc_rule_fires_inside_fences_only() {
+    let a = analyze_fixture("hot_alloc.rs");
+    let allocs: Vec<_> = a.findings.iter().filter(|f| f.rule == "hot-alloc").collect();
+    // Vec::new, Box::new, vec!, format!, .clone() — the escaped
+    // .to_string() and the Vec::new outside the fence stay quiet.
+    assert_eq!(allocs.len(), 5, "{:?}", a.findings);
+    assert!(a.findings.iter().all(|f| f.rule == "hot-alloc"), "{:?}", a.findings);
+}
+
+#[test]
+fn atomic_ordering_rule_requires_justifications() {
+    let a = analyze_fixture("ordering.rs");
+    let atomics: Vec<_> = a.findings.iter().filter(|f| f.rule == "atomic-ordering").collect();
+    assert_eq!(atomics.len(), 2, "{:?}", a.findings);
+    assert!(atomics[0].message.contains("Relaxed"));
+    assert!(atomics[1].message.contains("SeqCst"));
+}
+
+#[test]
+fn decode_bound_rule_requires_a_dominating_check() {
+    let a = analyze_fixture("decode_bound.rs");
+    let bounds: Vec<_> = a.findings.iter().filter(|f| f.rule == "decode-bound").collect();
+    assert_eq!(bounds.len(), 1, "{:?}", a.findings);
+    assert!(bounds[0].message.contains("decode_unbounded"));
+}
+
+#[test]
+fn lock_order_rule_finds_opposite_acquisition_orders() {
+    let a = analyze_fixture("lock_cycle.rs");
+    let order: Vec<_> = a.findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(order.len(), 1, "{:?}", a.findings);
+    assert!(order[0].message.contains("lock-order cycle"));
+    assert!(order[0].message.contains("append"));
+    assert!(order[0].message.contains("store"));
+}
+
+#[test]
+fn consistent_lock_order_is_clean_and_graphed() {
+    let a = analyze_fixture("lock_ok.rs");
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    assert!(a.graph.edges.contains_key(&("append".to_owned(), "store".to_owned())));
+}
+
+#[test]
+fn unclassified_acquisition_is_a_finding() {
+    let a = analyze_fixture("unclassified_lock.rs");
+    let order: Vec<_> = a.findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(order.len(), 1, "{:?}", a.findings);
+    assert!(order[0].message.contains("unrecognized receiver"));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The CI gate in executable form: the real workspace must lint clean.
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let a = road_analysis::analyze_workspace(std::path::Path::new(&root)).expect("walk workspace");
+    assert!(a.files_scanned > 50, "walker found only {} files", a.files_scanned);
+    assert!(a.findings.is_empty(), "workspace findings: {:#?}", a.findings);
+    // The serving path's lock discipline must stay a DAG with the
+    // documented spine: append -> stripe/store, rnet-decode above both,
+    // publish isolated.
+    let edge = |a2: &road_analysis::Analysis, f: &str, t: &str| {
+        a2.graph.edges.contains_key(&(f.to_owned(), t.to_owned()))
+    };
+    assert!(edge(&a, "append", "store"));
+    assert!(edge(&a, "append", "stripe"));
+    assert!(edge(&a, "rnet-decode", "append"));
+    assert!(edge(&a, "stripe", "store"));
+    assert!(!a.graph.edges.keys().any(|(f, t)| f == "publish" || t == "publish"));
+}

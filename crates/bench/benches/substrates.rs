@@ -29,19 +29,19 @@ fn bench_dijkstra(c: &mut Criterion) {
 
 fn bench_bptree(c: &mut Criterion) {
     let mut pool = BufferPool::new(PageStore::new(), 256);
-    let mut tree = BPlusTree::new(&mut pool);
+    let mut tree = BPlusTree::new(&mut pool).unwrap();
     for k in 0..100_000u64 {
-        tree.insert(&mut pool, k * 7 % 100_000, k);
+        tree.insert(&mut pool, k * 7 % 100_000, k).unwrap();
     }
     let mut rng = StdRng::seed_from_u64(5);
     c.bench_function("bptree_get_100k", |b| {
-        b.iter(|| black_box(tree.get(&mut pool, rng.random_range(0..100_000))))
+        b.iter(|| black_box(tree.get(&mut pool, rng.random_range(0..100_000)).unwrap()))
     });
     c.bench_function("bptree_insert_remove", |b| {
         b.iter(|| {
             let k = rng.random_range(100_000..200_000u64);
-            tree.insert(&mut pool, k, k);
-            black_box(tree.remove(&mut pool, k))
+            tree.insert(&mut pool, k, k).unwrap();
+            black_box(tree.remove(&mut pool, k).unwrap())
         })
     });
 }

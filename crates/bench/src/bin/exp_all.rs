@@ -1,5 +1,7 @@
 //! Runs the complete experiment suite in paper order; the output of
-//! `--scale medium` is what EXPERIMENTS.md records.
+//! `--scale medium` is what EXPERIMENTS.md records. Besides the printed
+//! markdown, the run is captured as `BENCH_<scale>.json` in the working
+//! directory (CI archives the `--scale small` one as an artifact).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,5 +23,13 @@ fn main() {
         return;
     }
     let ctx = road_bench::experiments::Ctx::from_args();
+    road_bench::table::start_recording();
     road_bench::experiments::run_all(&ctx);
+    let tables = road_bench::table::take_recorded();
+    let json = road_bench::report::suite_json(&ctx.scale, &tables);
+    let path = format!("BENCH_{}.json", ctx.scale.name);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path} ({} tables)", tables.len()),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }

@@ -109,7 +109,7 @@ pub fn sweep_buffer_sizes(
 fn cold_knn_faults(disk: &PagedEngine, nodes: &[NodeId], k: usize) -> f64 {
     let mut faults = 0u64;
     for &n in nodes {
-        disk.clear_cache();
+        disk.clear_cache().expect("healthy pool");
         let res = disk.knn(&KnnQuery::new(n, k)).expect("valid query");
         faults += res.stats.page_faults as u64;
     }

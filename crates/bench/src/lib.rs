@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod table;
 pub mod workload;

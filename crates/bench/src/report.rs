@@ -1,0 +1,118 @@
+//! Machine-readable experiment reports.
+//!
+//! `exp_all` records every table it prints (see [`crate::table`]) and
+//! serializes the run into `BENCH_<scale>.json` so CI can archive the
+//! numbers as an artifact. The workspace builds offline with no external
+//! dependencies, so the JSON writer is hand-rolled; the document shape is
+//! deliberately flat:
+//!
+//! ```json
+//! {
+//!   "suite": "exp_all",
+//!   "scale": "small",
+//!   "ca_factor": 0.04,
+//!   "big_factor": 0.012,
+//!   "queries": 15,
+//!   "trials": 8,
+//!   "tables": [ { "title": "...", "header": [...], "rows": [[...]] } ]
+//! }
+//! ```
+
+use crate::config::ExpScale;
+use crate::table::RecordedTable;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Serializes a recorded `exp_all` run as a pretty-enough JSON document.
+pub fn suite_json(scale: &ExpScale, tables: &[RecordedTable]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"exp_all\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", escape(scale.name)));
+    out.push_str(&format!("  \"ca_factor\": {},\n", scale.ca));
+    out.push_str(&format!("  \"big_factor\": {},\n", scale.big));
+    out.push_str(&format!("  \"queries\": {},\n", scale.queries));
+    out.push_str(&format!("  \"trials\": {},\n", scale.trials));
+    out.push_str("  \"tables\": [\n");
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"title\": \"{}\",\n", escape(&t.title)));
+        out.push_str(&format!("      \"header\": {},\n", string_array(&t.header)));
+        out.push_str("      \"rows\": [\n");
+        for (j, row) in t.rows.iter().enumerate() {
+            let comma = if j + 1 < t.rows.len() { "," } else { "" };
+            out.push_str(&format!("        {}{comma}\n", string_array(row)));
+        }
+        out.push_str("      ]\n");
+        let comma = if i + 1 < tables.len() { "," } else { "" };
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn suite_json_is_structurally_sound() {
+        let tables = vec![
+            RecordedTable {
+                title: "kNN vs \"k\"".to_owned(),
+                header: vec!["k".to_owned(), "ms".to_owned()],
+                rows: vec![
+                    vec!["1".to_owned(), "0.5".to_owned()],
+                    vec!["10".to_owned(), "1.2".to_owned()],
+                ],
+            },
+            RecordedTable { title: "empty".to_owned(), header: vec![], rows: vec![] },
+        ];
+        let json = suite_json(&config::SMALL, &tables);
+        assert!(json.contains("\"suite\": \"exp_all\""));
+        assert!(json.contains("\"scale\": \"small\""));
+        assert!(json.contains("kNN vs \\\"k\\\""));
+        // Balanced delimiters — a cheap well-formedness check without a
+        // JSON parser in the tree.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+        // No trailing comma before any closing bracket.
+        assert!(!json.contains(",\n  ]") && !json.contains(",\n    ]"));
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+}

@@ -1,4 +1,29 @@
-//! Markdown table output for experiment results.
+//! Markdown table output for experiment results, with an optional
+//! recorder so a harness run can also be captured as a machine-readable
+//! artifact (`exp_all` writes `BENCH_<scale>.json` from it).
+
+use std::sync::Mutex;
+
+/// One table as printed by [`print_table`].
+#[derive(Clone, Debug)]
+pub struct RecordedTable {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+static RECORDER: Mutex<Option<Vec<RecordedTable>>> = Mutex::new(None);
+
+/// Starts capturing every subsequently printed table (process-wide).
+pub fn start_recording() {
+    *RECORDER.lock().unwrap_or_else(|p| p.into_inner()) = Some(Vec::new());
+}
+
+/// Stops capturing and returns everything recorded since
+/// [`start_recording`].
+pub fn take_recorded() -> Vec<RecordedTable> {
+    RECORDER.lock().unwrap_or_else(|p| p.into_inner()).take().unwrap_or_default()
+}
 
 /// Prints a titled GitHub-flavoured markdown table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -7,6 +32,13 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
     for row in rows {
         println!("| {} |", row.join(" | "));
+    }
+    if let Some(rec) = RECORDER.lock().unwrap_or_else(|p| p.into_inner()).as_mut() {
+        rec.push(RecordedTable {
+            title: title.to_owned(),
+            header: header.iter().map(|h| (*h).to_owned()).collect(),
+            rows: rows.to_vec(),
+        });
     }
 }
 

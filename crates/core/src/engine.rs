@@ -28,6 +28,8 @@
 //! assert_eq!(answers.len(), 16);
 //! ```
 
+// roadlint: serving-path
+
 use crate::association::AssociationDirectory;
 use crate::framework::RoadFramework;
 use crate::search::{
@@ -185,8 +187,13 @@ pub(crate) fn run_batch<Q: Sync>(
             queries.chunks(chunk_len).map(|chunk| scope.spawn(move || run_chunk(chunk))).collect();
         // Join everything first, then scan chunk results in query order:
         // the reported error must not depend on worker completion order.
-        let results: Vec<Result<Vec<Vec<SearchHit>>, RoadError>> =
-            workers.into_iter().map(|w| w.join().expect("batch worker panicked")).collect();
+        let results: Vec<Result<Vec<Vec<SearchHit>>, RoadError>> = workers
+            .into_iter()
+            .map(|w| {
+                w.join()
+                    .unwrap_or_else(|_| Err(RoadError::Internal("batch worker panicked".into())))
+            })
+            .collect();
         let mut out = Vec::with_capacity(queries.len());
         for chunk in results {
             out.extend(chunk?);

@@ -2,6 +2,7 @@
 
 use crate::model::ObjectId;
 use road_network::{EdgeId, NetworkError, NodeId};
+use road_storage::StorageError;
 use std::fmt;
 
 /// Errors produced by framework construction, queries and maintenance.
@@ -24,6 +25,13 @@ pub enum RoadError {
     /// The edge still carries objects in the given directory, so it cannot
     /// be removed without orphaning them.
     EdgeHasObjects(EdgeId, usize),
+    /// The paged-storage layer failed (poisoned lock, corrupt page). The
+    /// serving invariant: storage failures reach the caller as this
+    /// variant, never as a panic unwinding a query thread.
+    Storage(StorageError),
+    /// An internal invariant did not hold (e.g. a worker thread panicked
+    /// mid-batch); reported instead of propagating the panic.
+    Internal(String),
 }
 
 impl fmt::Display for RoadError {
@@ -39,6 +47,8 @@ impl fmt::Display for RoadError {
             RoadError::EdgeHasObjects(e, k) => {
                 write!(f, "edge {e} still carries {k} object(s); relocate them first")
             }
+            RoadError::Storage(e) => write!(f, "storage error: {e}"),
+            RoadError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -47,6 +57,7 @@ impl std::error::Error for RoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RoadError::Network(e) => Some(e),
+            RoadError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +66,12 @@ impl std::error::Error for RoadError {
 impl From<NetworkError> for RoadError {
     fn from(e: NetworkError) -> Self {
         RoadError::Network(e)
+    }
+}
+
+impl From<StorageError> for RoadError {
+    fn from(e: StorageError) -> Self {
+        RoadError::Storage(e)
     }
 }
 
@@ -69,5 +86,8 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = RoadError::EdgeHasObjects(EdgeId(1), 2);
         assert!(e.to_string().contains("2 object"));
+        let e = RoadError::Storage(StorageError::LockPoisoned("buffer-pool stripe"));
+        assert!(e.to_string().contains("stripe"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

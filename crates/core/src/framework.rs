@@ -541,8 +541,10 @@ impl RoadFramework {
     fn nearest_leaf_rnet(&self, a: NodeId, b: NodeId) -> RnetId {
         let (pa, pb) = (self.g.coord(a), self.g.coord(b));
         let mid = Point::new((pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0);
-        let first =
-            self.hier.rnets_at_level(self.hier.levels()).next().expect("hierarchy has leaves");
+        let Some(first) = self.hier.rnets_at_level(self.hier.levels()).next() else {
+            // A hierarchy with no leaves is degenerate; nothing to pick.
+            return RnetId(0);
+        };
         let mut best: (f64, RnetId) = (f64::INFINITY, first);
         for r in self.hier.rnets_at_level(self.hier.levels()) {
             for &e in self.hier.leaf_edge_list(r) {

@@ -249,7 +249,7 @@ impl RnetHierarchy {
 
     /// Total number of Rnets across all levels.
     pub fn num_rnets(&self) -> usize {
-        *self.level_offsets.last().unwrap() as usize
+        self.level_offsets.last().copied().unwrap_or(0) as usize
     }
 
     /// All Rnet ids at `level` (1-based).

@@ -61,6 +61,8 @@
 //! assert_eq!(after.framework().network().weight(edge, WeightKind::Distance), Weight::new(40.0));
 //! ```
 
+// roadlint: serving-path
+
 use crate::association::AssociationDirectory;
 use crate::engine::QueryEngine;
 use crate::framework::{RoadFramework, UpdateOutcome};
@@ -349,8 +351,13 @@ impl UpdateHandle {
         moved.edge = edge;
         moved.fraction = fraction;
         if let Err(err) = ad.insert(fw.network(), fw.hierarchy(), moved) {
-            ad.insert(fw.network(), fw.hierarchy(), old)
-                .expect("re-inserting a just-removed object cannot fail");
+            if ad.insert(fw.network(), fw.hierarchy(), old).is_err() {
+                // Rollback of a just-removed object cannot fail unless the
+                // directory itself is inconsistent; report, don't panic.
+                return Err(RoadError::Internal(
+                    "move_object rollback failed; directory lost the object".into(),
+                ));
+            }
             return Err(err);
         }
         self.bump();

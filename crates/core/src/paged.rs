@@ -93,6 +93,7 @@
 //! assert_eq!(res.hits.len(), 1);
 //! assert!(res.stats.pages_read > 0, "served from pages");
 //! ```
+// roadlint: serving-path
 
 use crate::association::AssociationDirectory;
 use crate::framework::RoadFramework;
@@ -109,8 +110,8 @@ use road_network::graph::{RoadNetwork, WeightKind};
 use road_network::hash::FastMap;
 use road_network::{EdgeId, NodeId, Weight};
 use road_storage::{
-    BPlusTree, BufferStats, IoTally, NodeClustering, PageId, PageStore, StripedBufferPool,
-    TalliedPool, DEFAULT_BUFFER_PAGES, DEFAULT_BUFFER_STRIPES, PAGE_SIZE,
+    BPlusTree, BufferStats, IoTally, NodeClustering, PageId, PageStore, StorageError,
+    StripedBufferPool, TalliedPool, DEFAULT_BUFFER_PAGES, DEFAULT_BUFFER_STRIPES, PAGE_SIZE,
 };
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -182,7 +183,9 @@ fn encode_node_record(
         out.extend_from_slice(&w.get().to_le_bytes());
         count += 1;
     }
-    out[0..4].copy_from_slice(&count.to_le_bytes());
+    if let Some(header) = out.first_chunk_mut::<4>() {
+        *header = count.to_le_bytes();
+    }
 }
 
 fn encode_shortcut_record(list: &[crate::shortcut::ShortcutEdge], out: &mut Vec<u8>) {
@@ -210,7 +213,9 @@ fn encode_assoc_record<'a>(
         out.extend_from_slice(&o.offset_from(g, kind, n).get().to_le_bytes());
         count += 1;
     }
-    out[0..4].copy_from_slice(&count.to_le_bytes());
+    if let Some(header) = out.first_chunk_mut::<4>() {
+        *header = count.to_le_bytes();
+    }
 }
 
 fn encode_abstract_record(total: u32, counts: &[(u16, u32)], out: &mut Vec<u8>) {
@@ -223,19 +228,56 @@ fn encode_abstract_record(total: u32, counts: &[(u16, u32)], out: &mut Vec<u8>) 
     }
 }
 
+// The fixed-width readers index the record buffer directly; every caller
+// first validates the record's entry count against its byte length (see
+// `record_count`), which bounds all the offsets derived from it.
+
 #[inline]
+// roadlint: allow(panic-fn) reason="offset bounded by the caller's record_count validation"
 fn read_u32_at(buf: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
 }
 
 #[inline]
+// roadlint: allow(panic-fn) reason="offset bounded by the caller's record_count validation"
 fn read_u16_at(buf: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes(buf[at..at + 2].try_into().unwrap())
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[at..at + 2]);
+    u16::from_le_bytes(b)
 }
 
 #[inline]
+// roadlint: allow(panic-fn) reason="offset bounded by the caller's record_count validation"
+fn read_u64_at(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[inline]
+// roadlint: allow(panic-fn) reason="offset bounded by the caller's record_count validation"
 fn read_f64_at(buf: &[u8], at: usize) -> f64 {
-    f64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    f64::from_le_bytes(b)
+}
+
+/// Reads a record's leading `u32` entry count and validates it against the
+/// record's byte length (`4`-byte header + `count * entry` bytes) before
+/// any offset arithmetic or allocation is sized from it. A record that
+/// fails the check decoded from corrupt pages.
+// roadlint: decode-fn
+fn record_count(buf: &[u8], entry: usize) -> Result<usize, RoadError> {
+    if buf.len() < 4 {
+        return Err(StorageError::CorruptPage("record shorter than its count header").into());
+    }
+    let count = read_u32_at(buf, 0) as usize;
+    if count > (buf.len() - 4) / entry {
+        return Err(StorageError::CorruptPage("record entry count exceeds record length").into());
+    }
+    Ok(count)
 }
 
 // ---------------------------------------------------------------------------
@@ -369,12 +411,11 @@ impl PagedEngine {
             opts,
         )?;
         let per_rnet = eng.lay_node_region(fw.network(), Some(fw.shortcuts()))?;
-        for (r, map) in per_rnet.into_iter().enumerate() {
-            let set = eng.rnet_shortcuts[r].set(map);
-            debug_assert!(set.is_ok(), "fresh OnceLock set twice");
+        for (slot, map) in eng.rnet_shortcuts.iter().zip(per_rnet) {
+            slot.set(map).map_err(|_| StorageError::Internal("fresh OnceLock set twice"))?;
         }
         eng.lay_directory_region(fw.network(), ad)?;
-        eng.finish_build();
+        eng.finish_build()?;
         Ok(eng)
     }
 
@@ -405,7 +446,7 @@ impl PagedEngine {
             rnet_locks: (0..num_rnets).map(|_| Mutex::new(())).collect(),
             rnets_loaded: AtomicUsize::new(0),
         });
-        eng.finish_build();
+        eng.finish_build()?;
         Ok(eng)
     }
 
@@ -427,8 +468,8 @@ impl PagedEngine {
         let stripes = opts.buffer_stripes.min(opts.buffer_pages);
         let pool = StripedBufferPool::new(PageStore::new(), opts.buffer_pages, stripes);
         let mut tally = IoTally::default();
-        let assoc_index = BPlusTree::new(&mut TalliedPool { pool: &pool, tally: &mut tally });
-        let abstract_index = BPlusTree::new(&mut TalliedPool { pool: &pool, tally: &mut tally });
+        let assoc_index = BPlusTree::new(&mut TalliedPool { pool: &pool, tally: &mut tally })?;
+        let abstract_index = BPlusTree::new(&mut TalliedPool { pool: &pool, tally: &mut tally })?;
         let num_rnets = hier.num_rnets();
         Ok(PagedEngine {
             hier,
@@ -476,7 +517,7 @@ impl PagedEngine {
         let clustering = NodeClustering::build(g, blob_size);
         let base = self.pool.num_pages() as u32;
         for _ in 0..clustering.num_pages() {
-            self.pool.alloc();
+            self.pool.alloc()?;
         }
         self.node_region_pages = clustering.num_pages();
         self.node_loc = vec![LOC_NONE; g.num_nodes()];
@@ -484,8 +525,10 @@ impl PagedEngine {
             let loc = clustering.locate(n);
             let (page, mut offset) = (base + loc.page, loc.offset);
             encode_node_record(g, &hier, kind, n, &mut rec);
-            self.write_bytes(page, offset as usize, &rec, &mut tally);
-            self.node_loc[n.index()] = pack_loc(page, offset, rec.len())?;
+            self.write_bytes(page, offset as usize, &rec, &mut tally)?;
+            if let Some(slot) = self.node_loc.get_mut(n.index()) {
+                *slot = pack_loc(page, offset, rec.len())?;
+            }
             offset += rec.len() as u32;
             if let Some(sc) = shortcuts {
                 for &r in hier.bordered_rnets(n) {
@@ -497,8 +540,10 @@ impl PagedEngine {
                     // A multi-page blob crosses page boundaries; recompute
                     // the page/offset split for this record's start.
                     let (p, o) = (page + offset / PAGE_SIZE as u32, offset % PAGE_SIZE as u32);
-                    self.write_bytes(p, o as usize, &rec, &mut tally);
-                    per_rnet[r.0 as usize].insert(n.0, pack_loc(p, o, rec.len())?);
+                    self.write_bytes(p, o as usize, &rec, &mut tally)?;
+                    if let Some(map) = per_rnet.get_mut(r.0 as usize) {
+                        map.insert(n.0, pack_loc(p, o, rec.len())?);
+                    }
                     offset += rec.len() as u32;
                 }
             }
@@ -541,7 +586,9 @@ impl PagedEngine {
             if a.is_empty() {
                 continue;
             }
-            let counts = a.sorted_counts().expect("Counts kind checked above");
+            let counts = a.sorted_counts().ok_or_else(|| {
+                RoadError::Internal("abstract kind changed between check and layout".into())
+            })?;
             encode_abstract_record(a.total(), &counts, &mut rec);
             let loc = self.append_record(&rec, &mut tally)?;
             abstract_entries.push((r as u64, loc));
@@ -549,23 +596,28 @@ impl PagedEngine {
         // Index both regions (keys inserted in ascending order for a
         // deterministic tree shape).
         for (k, v) in assoc_entries {
-            self.assoc_index.insert(&mut TalliedPool { pool: &self.pool, tally: &mut tally }, k, v);
+            self.assoc_index.insert(
+                &mut TalliedPool { pool: &self.pool, tally: &mut tally },
+                k,
+                v,
+            )?;
         }
         for (k, v) in abstract_entries {
             self.abstract_index.insert(
                 &mut TalliedPool { pool: &self.pool, tally: &mut tally },
                 k,
                 v,
-            );
+            )?;
         }
         Ok(())
     }
 
     /// Build epilogue: flush everything to the store and start cold, the
     /// paper's measurement discipline.
-    fn finish_build(&mut self) {
-        self.pool.clear_cache();
+    fn finish_build(&mut self) -> Result<(), RoadError> {
+        self.pool.clear_cache()?;
         self.pool.reset_stats();
+        Ok(())
     }
 
     /// Appends a record into the sequential region (directory records and
@@ -581,33 +633,42 @@ impl PagedEngine {
             // allocation run stays under the cursor lock (every
             // query-time allocation goes through this method).
             let first = {
-                let mut cursor = self.append.lock().expect("append cursor poisoned");
-                let first = self.pool.alloc();
+                let mut cursor =
+                    self.append.lock().map_err(|_| StorageError::LockPoisoned("append cursor"))?;
+                let first = self.pool.alloc()?;
                 for _ in 1..len.div_ceil(PAGE_SIZE) {
-                    self.pool.alloc();
+                    self.pool.alloc()?;
                 }
                 *cursor = None;
                 first
             };
-            self.write_bytes(first.0, 0, bytes, tally);
+            self.write_bytes(first.0, 0, bytes, tally)?;
             return pack_loc(first.0, 0, len);
         }
         let (page, fill) = {
-            let mut cursor = self.append.lock().expect("append cursor poisoned");
+            let mut cursor =
+                self.append.lock().map_err(|_| StorageError::LockPoisoned("append cursor"))?;
             let (page, fill) = match *cursor {
                 Some((page, fill)) if fill + len <= PAGE_SIZE => (page, fill),
-                _ => (self.pool.alloc().0, 0),
+                _ => (self.pool.alloc()?.0, 0),
             };
             *cursor = Some((page, fill + len));
             (page, fill)
         };
-        self.write_bytes(page, fill, bytes, tally);
+        self.write_bytes(page, fill, bytes, tally)?;
         pack_loc(page, fill as u32, len)
     }
 
     /// Writes `bytes` starting at (`page`, `offset`), walking page
     /// boundaries for multi-page records.
-    fn write_bytes(&self, page: u32, offset: usize, bytes: &[u8], tally: &mut IoTally) {
+    // roadlint: allow(panic-fn) reason="slice arithmetic clamped by take = min(rest, page remainder)"
+    fn write_bytes(
+        &self,
+        page: u32,
+        offset: usize,
+        bytes: &[u8],
+        tally: &mut IoTally,
+    ) -> Result<(), RoadError> {
         let mut p = page;
         let mut off = offset;
         let mut rest = bytes;
@@ -615,11 +676,12 @@ impl PagedEngine {
             let take = rest.len().min(PAGE_SIZE - off);
             self.pool.with_page_mut(PageId(p), tally, |pg| {
                 pg.bytes_mut()[off..off + take].copy_from_slice(&rest[..take]);
-            });
+            })?;
             rest = &rest[take..];
             off = 0;
             p += 1;
         }
+        Ok(())
     }
 
     /// Pages Rnet `r`'s shortcut records in from the retained image if
@@ -638,16 +700,25 @@ impl PagedEngine {
             return Ok(()); // eager: everything resident since build
         };
         let idx = r.0 as usize;
+        let slot = self
+            .rnet_shortcuts
+            .get(idx)
+            .ok_or(StorageError::Internal("Rnet id outside the hierarchy"))?;
         // Fast path: lock-free, and the common case after warm-up.
-        if self.rnet_shortcuts[idx].get().is_some() {
+        if slot.get().is_some() {
             return Ok(());
         }
-        let _guard = lazy.rnet_locks[idx].lock().expect("rnet load lock poisoned");
+        let _guard = lazy
+            .rnet_locks
+            .get(idx)
+            .ok_or(StorageError::Internal("Rnet id outside the lazy lock table"))?
+            .lock()
+            .map_err(|_| StorageError::LockPoisoned("per-Rnet decode"))?;
         // Double-check under the lock: another thread may have just won.
-        if self.rnet_shortcuts[idx].get().is_some() {
+        if slot.get().is_some() {
             return Ok(());
         }
-        let image = lazy.image.lock().expect("image lock poisoned").clone().ok_or_else(|| {
+        let image = self.lock_image(lazy)?.clone().ok_or_else(|| {
             RoadError::InvalidConfig("lazy image dropped while Rnets were still unloaded".into())
         })?;
         // Decode outside the image lock so other Rnets can load in
@@ -658,21 +729,31 @@ impl PagedEngine {
         let mut rec = Vec::new();
         let mut locs = FastMap::default();
         for from in sources {
-            encode_shortcut_record(&map[&from], &mut rec);
-            let loc = self
-                .append_record(&rec, tally)
-                .expect("shortcut records are far below the record size cap");
+            let Some(list) = map.get(&from) else { continue };
+            encode_shortcut_record(list, &mut rec);
+            let loc = self.append_record(&rec, tally)?;
             locs.insert(from, loc);
         }
         // Publish only after every record is on its page: readers that
-        // win the `get` race see a complete map or none at all.
-        let set = self.rnet_shortcuts[idx].set(locs);
-        debug_assert!(set.is_ok(), "per-Rnet lock excludes concurrent set");
+        // win the `get` race see a complete map or none at all. The
+        // per-Rnet guard excludes a concurrent set; a lost race would
+        // mean the guard is broken, so it surfaces as an error.
+        slot.set(locs)
+            .map_err(|_| StorageError::Internal("per-Rnet decode raced despite the lock"))?;
         let loaded = lazy.rnets_loaded.fetch_add(1, Ordering::AcqRel) + 1;
         if loaded == self.rnet_shortcuts.len() {
-            *lazy.image.lock().expect("image lock poisoned") = None;
+            *self.lock_image(lazy)? = None;
         }
         Ok(())
+    }
+
+    /// Locks the lazy image slot; `Err` if a decode thread panicked while
+    /// holding it.
+    fn lock_image<'a>(
+        &self,
+        lazy: &'a LazyBacking,
+    ) -> Result<std::sync::MutexGuard<'a, Option<Arc<PagedImage>>>, RoadError> {
+        Ok(lazy.image.lock().map_err(|_| StorageError::LockPoisoned("lazy image"))?)
     }
 
     // ------------------------------------------------------------------
@@ -833,9 +914,10 @@ impl PagedEngine {
     }
 
     /// Flushes and empties the buffer pool — the paper initialises every
-    /// measured query with an empty cache.
-    pub fn clear_cache(&self) {
-        self.pool.clear_cache();
+    /// measured query with an empty cache. `Err` when a pool lock was
+    /// poisoned by a panicked serving thread.
+    pub fn clear_cache(&self) -> Result<(), RoadError> {
+        Ok(self.pool.clear_cache()?)
     }
 
     /// Buffer-pool capacity in pages (requested size rounded up to one
@@ -868,7 +950,11 @@ impl PagedEngine {
     /// a retained image; becomes `false` once every Rnet is resident (the
     /// image is dropped at that point).
     pub fn is_lazy(&self) -> bool {
-        self.lazy.as_ref().is_some_and(|l| l.image.lock().expect("image lock poisoned").is_some())
+        // Introspection: recover a poisoned image lock (the Option inside
+        // stays coherent) so diagnostics work after a thread died.
+        self.lazy
+            .as_ref()
+            .is_some_and(|l| l.image.lock().unwrap_or_else(|p| p.into_inner()).is_some())
     }
 
     /// How many Rnets' shortcut sections have been paged in so far
@@ -932,8 +1018,10 @@ impl<'a> PagedSource<'a> {
 
     /// Reads the record at `loc` through the buffer pool into the scratch
     /// buffer. Every page the record touches costs one logical pool read
-    /// (and a fault when cold), charged to this query's tally.
-    fn read_record(&mut self, loc: u64) {
+    /// (and a fault when cold), charged to this query's tally. `Err` when
+    /// a pool lock is poisoned.
+    // roadlint: allow(panic-fn) reason="page slice bounded by take = min(left, page remainder); offset < PAGE_SIZE by unpack_loc's 12-bit field"
+    fn read_record(&mut self, loc: u64) -> Result<(), RoadError> {
         let (page, offset, len) = unpack_loc(loc);
         let eng = self.eng;
         let buf = &mut self.scratch;
@@ -946,11 +1034,12 @@ impl<'a> PagedSource<'a> {
             let take = left.min(PAGE_SIZE - off);
             eng.pool.with_page(PageId(p), &mut self.tally, |pg| {
                 buf.extend_from_slice(&pg.bytes()[off..off + take]);
-            });
+            })?;
             left -= take;
             off = 0;
             p += 1;
         }
+        Ok(())
     }
 }
 
@@ -960,6 +1049,10 @@ impl Drop for PagedSource<'_> {
     }
 }
 
+// Per-query record accessors: called once per settled node / consulted
+// Rnet, so fresh heap allocations are banned here — every buffer is the
+// pooled scratch and every map lookup is lock-free.
+// roadlint: hot-path
 impl SearchSource for PagedSource<'_> {
     fn num_nodes(&self) -> usize {
         self.eng.num_nodes
@@ -973,47 +1066,58 @@ impl SearchSource for PagedSource<'_> {
         self.use_directory
     }
 
-    fn objects_at(&mut self, n: NodeId, visit: &mut dyn FnMut(u64, CategoryId, Weight)) {
+    fn objects_at(
+        &mut self,
+        n: NodeId,
+        visit: &mut dyn FnMut(u64, CategoryId, Weight),
+    ) -> Result<(), RoadError> {
         let eng = self.eng;
         let Some(loc) = eng
             .assoc_index
-            .get(&mut TalliedPool { pool: &eng.pool, tally: &mut self.tally }, n.0 as u64)
+            .get(&mut TalliedPool { pool: &eng.pool, tally: &mut self.tally }, n.0 as u64)?
         else {
-            return;
+            return Ok(());
         };
-        self.read_record(loc);
+        self.read_record(loc)?;
         let buf = &self.scratch;
-        let count = read_u32_at(buf, 0) as usize;
+        let count = record_count(buf, OBJ_ENTRY)?;
         for i in 0..count {
             let at = 4 + i * OBJ_ENTRY;
-            let id = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+            let id = read_u64_at(buf, at);
             let category = CategoryId(read_u16_at(buf, at + 8));
             let offset = Weight::new(read_f64_at(buf, at + 10));
             visit(id, category, offset);
         }
+        Ok(())
     }
 
-    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> bool {
+    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> Result<bool, RoadError> {
         let eng = self.eng;
         let Some(loc) = eng
             .abstract_index
-            .get(&mut TalliedPool { pool: &eng.pool, tally: &mut self.tally }, r.0 as u64)
+            .get(&mut TalliedPool { pool: &eng.pool, tally: &mut self.tally }, r.0 as u64)?
         else {
-            return false; // no record = empty abstract = cannot match
+            return Ok(false); // no record = empty abstract = cannot match
         };
-        self.read_record(loc);
+        self.read_record(loc)?;
         let buf = &self.scratch;
+        if buf.len() < 8 {
+            return Err(StorageError::CorruptPage("abstract record shorter than header").into());
+        }
         let total = read_u32_at(buf, 0);
         let ncats = read_u32_at(buf, 4) as usize;
+        if ncats > (buf.len() - 8) / CAT_ENTRY {
+            return Err(StorageError::CorruptPage("abstract category count exceeds record").into());
+        }
         let has_cat = |c: CategoryId| -> bool {
             (0..ncats).any(|i| read_u16_at(buf, 8 + i * CAT_ENTRY) == c.0)
         };
-        total > 0
+        Ok(total > 0
             && match filter {
                 ObjectFilter::Any => true,
                 ObjectFilter::Category(c) => has_cat(*c),
                 ObjectFilter::AnyOf(cs) => cs.iter().any(|&c| has_cat(c)),
-            }
+            })
     }
 
     fn edges_at(
@@ -1021,11 +1125,16 @@ impl SearchSource for PagedSource<'_> {
         n: NodeId,
         leaf: Option<RnetId>,
         visit: &mut dyn FnMut(EdgeId, u32, Weight),
-    ) {
-        let loc = self.eng.node_loc[n.index()];
-        self.read_record(loc);
+    ) -> Result<(), RoadError> {
+        let loc = self
+            .eng
+            .node_loc
+            .get(n.index())
+            .copied()
+            .ok_or(StorageError::Internal("node id outside the node-record table"))?;
+        self.read_record(loc)?;
         let buf = &self.scratch;
-        let count = read_u32_at(buf, 0) as usize;
+        let count = record_count(buf, ADJ_ENTRY)?;
         for i in 0..count {
             let at = 4 + i * ADJ_ENTRY;
             if let Some(r) = leaf {
@@ -1041,6 +1150,7 @@ impl SearchSource for PagedSource<'_> {
             let v = read_u32_at(buf, at + 4);
             visit(e, v, w);
         }
+        Ok(())
     }
 
     fn shortcuts_at(
@@ -1051,13 +1161,17 @@ impl SearchSource for PagedSource<'_> {
     ) -> Result<(), RoadError> {
         let eng = self.eng;
         eng.ensure_rnet_loaded(r, &mut self.tally)?;
-        let Some(&loc) = eng.rnet_shortcuts[r.0 as usize].get().and_then(|locs| locs.get(&n.0))
+        let Some(&loc) = eng
+            .rnet_shortcuts
+            .get(r.0 as usize)
+            .and_then(|slot| slot.get())
+            .and_then(|locs| locs.get(&n.0))
         else {
             return Ok(());
         };
-        self.read_record(loc);
+        self.read_record(loc)?;
         let buf = &self.scratch;
-        let count = read_u32_at(buf, 0) as usize;
+        let count = record_count(buf, SC_ENTRY)?;
         for i in 0..count {
             let at = 4 + i * SC_ENTRY;
             visit(read_u32_at(buf, at), Weight::new(read_f64_at(buf, at + 4)));
@@ -1065,30 +1179,36 @@ impl SearchSource for PagedSource<'_> {
         Ok(())
     }
 
-    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool {
+    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> Result<bool, RoadError> {
         let hier = &self.eng.hier;
         if hier.is_border_of(t, r) {
-            return true;
+            return Ok(true);
         }
         let lv = hier.level_of(r);
-        let loc = self.eng.node_loc[t.index()];
-        self.read_record(loc);
+        let loc = self
+            .eng
+            .node_loc
+            .get(t.index())
+            .copied()
+            .ok_or(StorageError::Internal("node id outside the node-record table"))?;
+        self.read_record(loc)?;
         let hier = &self.eng.hier;
         let buf = &self.scratch;
-        let count = read_u32_at(buf, 0) as usize;
+        let count = record_count(buf, ADJ_ENTRY)?;
         for i in 0..count {
             let leaf = RnetId(read_u32_at(buf, 4 + i * ADJ_ENTRY + 8));
             if leaf.is_valid() && hier.level_of(leaf) >= lv && hier.ancestor_at(leaf, lv) == r {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     fn io_counters(&self) -> (u64, u64) {
         (self.tally.logical_reads, self.tally.page_faults)
     }
 }
+// roadlint: end hot-path
 
 #[cfg(test)]
 mod tests {
@@ -1320,5 +1440,29 @@ mod tests {
         assert!(
             PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(4).with_stripes(0)).is_err()
         );
+    }
+
+    /// Satellite regression: a stripe mutex poisoned by a panicking reader
+    /// must surface to later queries as `Err(Storage(LockPoisoned))` —
+    /// the serving thread itself must not panic.
+    #[test]
+    fn poisoned_stripe_surfaces_as_query_error() {
+        use road_storage::{IoTally, PageId};
+        let (fw, ad) = setup(8);
+        // One stripe so every page shares the mutex we are about to poison.
+        let disk =
+            PagedEngine::new(&fw, &ad, PagedOptions::with_buffer_pages(8).with_stripes(1)).unwrap();
+        disk.knn(&KnnQuery::new(NodeId(0), 2)).unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut tally = IoTally::default();
+            let _ = disk.pool.with_page(PageId(0), &mut tally, |_| panic!("poison the stripe"));
+        }));
+        let Err(err) = disk.knn(&KnnQuery::new(NodeId(0), 2)) else {
+            panic!("query on a poisoned pool must fail");
+        };
+        assert_eq!(err, RoadError::Storage(StorageError::LockPoisoned("buffer-pool stripe")));
+        // Batch serving reports the same error instead of tearing down.
+        let queries = [KnnQuery::new(NodeId(1), 1), KnnQuery::new(NodeId(2), 1)];
+        assert!(disk.batch_knn(&queries, 2).is_err());
     }
 }

@@ -116,15 +116,18 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, RoadError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?.first_chunk::<4>().copied();
+        Ok(u32::from_le_bytes(b.ok_or_else(|| corrupt("truncated u32"))?))
     }
     fn f64(&mut self) -> Result<f64, RoadError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?.first_chunk::<8>().copied();
+        Ok(f64::from_le_bytes(b.ok_or_else(|| corrupt("truncated f64"))?))
     }
 }
 
 /// Everything before the shortcut-store section: configuration, network and
 /// hierarchy. Shared by the monolithic and the page-granular open paths.
+// roadlint: decode-fn
 fn parse_prelude(r: &mut Reader) -> Result<(RoadConfig, RoadNetwork, RnetHierarchy), RoadError> {
     if r.take(8)? != MAGIC {
         return Err(corrupt("bad magic (not a ROAD framework file?)"));
@@ -222,6 +225,7 @@ pub struct PagedImage {
 impl PagedImage {
     /// Opens an image, validating it end to end without materializing the
     /// shortcut store.
+    // roadlint: decode-fn
     pub fn open(bytes: Vec<u8>) -> Result<Self, RoadError> {
         let mut r = Reader { buf: &bytes, pos: 0 };
         let (cfg, g, hier) = parse_prelude(&mut r)?;
@@ -229,9 +233,10 @@ impl PagedImage {
         let mut pos = r.pos;
         let num_rnets = {
             let end = pos + 4;
-            let b = bytes.get(pos..end).ok_or_else(|| corrupt("truncated shortcut store"))?;
+            let b = bytes.get(pos..end).and_then(|b| b.first_chunk::<4>());
+            let b = *b.ok_or_else(|| corrupt("truncated shortcut store"))?;
             pos = end;
-            u32::from_le_bytes(b.try_into().unwrap()) as usize
+            u32::from_le_bytes(b) as usize
         };
         if num_rnets != hier.num_rnets() {
             return Err(corrupt(format!(

@@ -11,6 +11,7 @@
 //! contain matches are *descended* level by level until physical edges are
 //! relaxed. The first `k` objects popped are the kNNs; a range search
 //! terminates when the expansion front passes the radius.
+// roadlint: serving-path
 
 use crate::association::AssociationDirectory;
 use crate::framework::RoadFramework;
@@ -345,14 +346,18 @@ pub(crate) trait SearchSource {
     /// `true` when an object directory is attached.
     fn has_directory(&self) -> bool;
     /// Visits every object associated with node `n`, in directory order:
-    /// `(object id, category, offset of the object from n)`.
+    /// `(object id, category, offset of the object from n)`. Fallible like
+    /// every accessor here: a paged source reads records through a shared
+    /// buffer pool whose locks can be poisoned and whose pages can decode
+    /// corrupt, and either failure must reach the query as an `Err`
+    /// instead of panicking the serving thread.
     fn objects_at(
         &mut self,
         n: NodeId,
         visit: &mut dyn FnMut(u64, crate::model::CategoryId, Weight),
-    );
+    ) -> Result<(), RoadError>;
     /// May Rnet `r` contain objects matching `filter`? (Abstract lookup.)
-    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> bool;
+    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> Result<bool, RoadError>;
     /// Visits the usable physical edges at `n` as `(edge, neighbour,
     /// weight)`, skipping infinite-weight edges; with `leaf` set, only the
     /// edges belonging to that leaf Rnet.
@@ -361,7 +366,7 @@ pub(crate) trait SearchSource {
         n: NodeId,
         leaf: Option<RnetId>,
         visit: &mut dyn FnMut(EdgeId, u32, Weight),
-    );
+    ) -> Result<(), RoadError>;
     /// Visits the outgoing shortcuts of `n` within Rnet `r` as
     /// `(target border node, shortcut distance)`. Fallible: a paged source
     /// may have to decode the Rnet's shortcut section from a retained
@@ -377,7 +382,7 @@ pub(crate) trait SearchSource {
     ) -> Result<(), RoadError>;
     /// Does Rnet `r` contain node `t` (as member or border)? Drives
     /// [`Mode::ToNode`] routing.
-    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool;
+    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> Result<bool, RoadError>;
     /// Cumulative `(logical page reads, page faults)` so far; the loop
     /// diffs this around the query to fill [`SearchStats::pages_read`] /
     /// [`SearchStats::page_faults`]. In-memory sources report `(0, 0)`.
@@ -409,17 +414,18 @@ impl SearchSource for MemorySource<'_> {
         &mut self,
         n: NodeId,
         visit: &mut dyn FnMut(u64, crate::model::CategoryId, Weight),
-    ) {
-        let Some(ad) = self.ad else { return };
+    ) -> Result<(), RoadError> {
+        let Some(ad) = self.ad else { return Ok(()) };
         let g = self.fw.network();
         let kind = self.fw.metric();
         for object in ad.objects_at_node(n) {
             visit(object.id.0, object.category, object.offset_from(g, kind, n));
         }
+        Ok(())
     }
 
-    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> bool {
-        self.ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false)
+    fn rnet_may_match(&mut self, r: RnetId, filter: &ObjectFilter) -> Result<bool, RoadError> {
+        Ok(self.ad.map(|ad| ad.rnet_may_match(r, filter)).unwrap_or(false))
     }
 
     fn edges_at(
@@ -427,7 +433,7 @@ impl SearchSource for MemorySource<'_> {
         n: NodeId,
         leaf: Option<RnetId>,
         visit: &mut dyn FnMut(EdgeId, u32, Weight),
-    ) {
+    ) -> Result<(), RoadError> {
         let g = self.fw.network();
         let hier = self.fw.hierarchy();
         let kind = self.fw.metric();
@@ -443,6 +449,7 @@ impl SearchSource for MemorySource<'_> {
             }
             visit(e, v.0, w);
         }
+        Ok(())
     }
 
     fn shortcuts_at(
@@ -457,13 +464,13 @@ impl SearchSource for MemorySource<'_> {
         Ok(())
     }
 
-    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> bool {
+    fn rnet_contains_node(&mut self, r: RnetId, t: NodeId) -> Result<bool, RoadError> {
         let hier = self.fw.hierarchy();
         if hier.is_border_of(t, r) {
-            return true;
+            return Ok(true);
         }
         let lv = hier.level_of(r);
-        self.fw.network().neighbors(t).any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r)
+        Ok(self.fw.network().neighbors(t).any(|(e, _)| hier.rnet_of_edge_at(e, lv) == r))
     }
 }
 
@@ -559,6 +566,9 @@ pub(crate) fn execute_source_into(
     ws.push(Weight::ZERO, QueueKey::Node(source.0));
     stats.heap_pushes += 1;
 
+    // The LDSQ expansion loop: every scratch container below is recycled
+    // workspace state. roadlint rejects fresh heap allocations in here.
+    // roadlint: hot-path
     while let Some((d, key)) = ws.pop() {
         match key {
             QueueKey::Object(oid) => {
@@ -607,11 +617,15 @@ pub(crate) fn execute_source_into(
                         }
                         ws_ref.push(total, QueueKey::Object(oid));
                         stats_ref.heap_pushes += 1;
-                    });
+                    })?;
                 }
                 // --- ChoosePath: pick edges and shortcuts to relax -----
+                // `bordered_rnets` lists Rnets by level ascending (an
+                // invariant it debug_asserts and `validate()` checks), so
+                // the first entry carries the coarsest (topmost) level and
+                // seeding the descent from it covers every subtree.
                 let bordered = hier.bordered_rnets(NodeId(n));
-                if bordered.is_empty() {
+                let Some(&top) = bordered.first() else {
                     // Interior node: the shortcut tree is a single leaf
                     // holding the physical edges.
                     let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
@@ -620,25 +634,38 @@ pub(crate) fn execute_source_into(
                         if ws_ref.relax(n, v, d + w, Hop::Edge(e)) {
                             stats_ref.heap_pushes += 1;
                         }
-                    });
+                    })?;
                     continue;
-                }
-                // `bordered_rnets` lists Rnets by level ascending (an
-                // invariant it debug_asserts and `validate()` checks), so
-                // the first entry carries the coarsest (topmost) level and
-                // seeding the descent from it covers every subtree.
-                let top_level = hier.level_of(bordered[0]);
+                };
+                let top_level = hier.level_of(top);
                 let mut stack = ws.take_stack();
                 stack.extend(bordered.iter().copied().filter(|&r| hier.level_of(r) == top_level));
-                // Lazy shortcut decodes can fail; remember the error and
+                // Paged accessors can fail mid-descent (lazy shortcut
+                // decode, poisoned pool lock); remember the error and
                 // break so the stack still returns to the workspace.
                 let mut failed: Option<RoadError> = None;
                 while let Some(r) = stack.pop() {
                     stats.abstract_checks += 1;
                     observer.abstract_checked(r);
-                    let may_match = has_directory && src.rnet_may_match(r, filter);
+                    let may_match = if has_directory {
+                        match src.rnet_may_match(r, filter) {
+                            Ok(m) => m,
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        }
+                    } else {
+                        false
+                    };
                     let must_enter = match mode {
-                        Mode::ToNode(t) => src.rnet_contains_node(r, t),
+                        Mode::ToNode(t) => match src.rnet_contains_node(r, t) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        },
                         _ => false,
                     };
                     if !may_match && !must_enter {
@@ -658,12 +685,16 @@ pub(crate) fn execute_source_into(
                     } else if hier.is_leaf(r) {
                         stats.rnets_descended += 1;
                         let (stats_ref, ws_ref) = (&mut stats, &mut *ws);
-                        src.edges_at(NodeId(n), Some(r), &mut |e, v, w| {
+                        let visited = src.edges_at(NodeId(n), Some(r), &mut |e, v, w| {
                             stats_ref.edges_relaxed += 1;
                             if ws_ref.relax(n, v, d + w, Hop::Edge(e)) {
                                 stats_ref.heap_pushes += 1;
                             }
                         });
+                        if let Err(e) = visited {
+                            failed = Some(e);
+                            break;
+                        }
                     } else {
                         stats.rnets_descended += 1;
                         let lv = hier.level_of(r);
@@ -681,6 +712,7 @@ pub(crate) fn execute_source_into(
             }
         }
     }
+    // roadlint: end hot-path
     let io_after = src.io_counters();
     stats.pages_read = (io_after.0 - io_before.0) as usize;
     stats.page_faults = (io_after.1 - io_before.1) as usize;
@@ -712,9 +744,9 @@ pub(crate) fn aggregate_knn_backend(
     be: &mut dyn AggregateBackend,
     query: &AggregateKnnQuery,
 ) -> Result<(Vec<SearchHit>, SearchStats), RoadError> {
-    if query.nodes.is_empty() {
+    let Some(&first_node) = query.nodes.first() else {
         return Err(RoadError::InvalidConfig("aggregate query needs >= 1 node".into()));
-    }
+    };
     let mut total = SearchStats::default();
     if query.k == 0 {
         return Ok((Vec::new(), total));
@@ -722,13 +754,13 @@ pub(crate) fn aggregate_knn_backend(
     let m = query.nodes.len();
     if m == 1 {
         // A single-member group is a plain kNN.
-        let mut res = be.expand(query.nodes[0], &query.filter, Mode::Knn(query.k, None), true)?;
+        let mut res = be.expand(first_node, &query.filter, Mode::Knn(query.k, None), true)?;
         total.absorb(&res.stats);
         return Ok((std::mem::take(&mut res.hits), total));
     }
 
     // Member 0: unbounded discovery of every candidate.
-    let first = be.expand(query.nodes[0], &query.filter, Mode::Range(Weight::INFINITY), true)?;
+    let first = be.expand(first_node, &query.filter, Mode::Range(Weight::INFINITY), true)?;
     total.absorb(&first.stats);
     if first.hits.is_empty() {
         return Ok((Vec::new(), total));
@@ -737,8 +769,8 @@ pub(crate) fn aggregate_knn_backend(
     // Member-to-member distances from member 0 (the triangle tails).
     let mut member_dist: Vec<Weight> = Vec::with_capacity(m);
     member_dist.push(Weight::ZERO);
-    for &q in &query.nodes[1..] {
-        let res = be.expand(query.nodes[0], &ObjectFilter::Any, Mode::ToNode(q), false)?;
+    for &q in query.nodes.iter().skip(1) {
+        let res = be.expand(first_node, &ObjectFilter::Any, Mode::ToNode(q), false)?;
         total.absorb(&res.stats);
         member_dist.push(res.distance_to_node(q).unwrap_or(Weight::INFINITY));
     }
@@ -750,14 +782,15 @@ pub(crate) fn aggregate_knn_backend(
         .map(|h| (h.object, h.distance, query.aggregate.combine(Weight::ZERO, h.distance)))
         .collect();
     let mut ubs: Vec<Weight> = Vec::with_capacity(cands.len());
-    for i in 1..m {
+    for (i, &member_node) in query.nodes.iter().enumerate().skip(1) {
         // Upper-bound each candidate's final aggregate: exact partials
         // for processed members, triangle tails for the rest. The k-th
         // smallest is a sound expansion bound for member i.
+        let tails = member_dist.get(i..).unwrap_or(&[]);
         ubs.clear();
         ubs.extend(cands.iter().map(|&(_, d0, partial)| {
             let mut ub = partial;
-            for &tail in &member_dist[i..] {
+            for &tail in tails {
                 ub = query.aggregate.combine(ub, d0 + tail);
             }
             ub
@@ -774,7 +807,7 @@ pub(crate) fn aggregate_knn_backend(
             // expansion; under-admitting costs correctness.
             Weight::new(kth.get() * (1.0 + 1e-9) + f64::MIN_POSITIVE)
         };
-        let res = be.expand(query.nodes[i], &query.filter, Mode::Range(bound), true)?;
+        let res = be.expand(member_node, &query.filter, Mode::Range(bound), true)?;
         total.absorb(&res.stats);
         let di: FastMap<u64, Weight> = res.hits.iter().map(|h| (h.object.0, h.distance)).collect();
         cands.retain_mut(|c| match di.get(&c.0 .0) {

@@ -336,6 +336,7 @@ impl ShortcutStore {
     /// node id against `num_nodes`, so a truncated or bit-flipped buffer
     /// fails with an error instead of panicking, over-allocating, or
     /// producing a store that panics at query time.
+    // roadlint: decode-fn
     pub(crate) fn deserialize(
         buf: &[u8],
         pos: &mut usize,
@@ -379,6 +380,7 @@ impl ShortcutStore {
 
     /// Decodes one Rnet's section of a serialized store, validating counts
     /// against the remaining bytes and node ids against `num_nodes`.
+    // roadlint: decode-fn
     pub(crate) fn decode_rnet_section(
         buf: &[u8],
         pos: &mut usize,
@@ -495,16 +497,18 @@ impl ShortcutStore {
 
 fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, String> {
     let end = pos.checked_add(4).ok_or("truncated shortcut store")?;
-    let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
+    let b = buf.get(*pos..end).and_then(|b| b.first_chunk::<4>());
+    let b = *b.ok_or("truncated shortcut store")?;
     *pos = end;
-    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    Ok(u32::from_le_bytes(b))
 }
 
 fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, String> {
     let end = pos.checked_add(8).ok_or("truncated shortcut store")?;
-    let b = buf.get(*pos..end).ok_or("truncated shortcut store")?;
+    let b = buf.get(*pos..end).and_then(|b| b.first_chunk::<8>());
+    let b = *b.ok_or("truncated shortcut store")?;
     *pos = end;
-    Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    Ok(f64::from_le_bytes(b))
 }
 
 /// Reusable allocations for shortcut computation.

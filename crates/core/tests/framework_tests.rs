@@ -1,6 +1,10 @@
 //! Crate-level tests: search correctness against a brute-force oracle and
 //! maintenance consistency on randomized workloads.
 
+// Integration tests may unwrap freely; the workspace unwrap/expect denial
+// targets library code (see clippy.toml for the unit-test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use road_core::prelude::*;

@@ -5,6 +5,10 @@
 //! only affected Rnets and structurally sharing the rest — never falling
 //! back to a full rebuild.
 
+// Integration tests may unwrap freely; the workspace unwrap/expect denial
+// targets library code (see clippy.toml for the unit-test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use road_core::live::LiveEngine;

@@ -10,6 +10,10 @@
 //! I/O on top — and under concurrency every query's page deltas stay
 //! exact (they sum to the pool's cumulative counters).
 
+// Integration tests may unwrap freely; the workspace unwrap/expect denial
+// targets library code (see clippy.toml for the unit-test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

@@ -2,6 +2,10 @@
 //! indistinguishable from the original — same answers, same shortcut
 //! distances, and fully maintainable afterwards.
 
+// Integration tests may unwrap freely; the workspace unwrap/expect denial
+// targets library code (see clippy.toml for the unit-test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use road_core::prelude::*;

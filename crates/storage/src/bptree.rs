@@ -16,8 +16,16 @@
 //! Deletion does full textbook rebalancing (borrow from siblings, merge on
 //! double-underflow, shrink the root), and freed pages are recycled through
 //! an internal free list.
+//!
+//! Every operation is fallible: the pool can report a poisoned lock, and a
+//! node decoded from a page whose header contradicts the page format (an
+//! entry count larger than the page holds, an unknown tag) surfaces as
+//! [`StorageError::CorruptPage`] instead of sizing an allocation from
+//! hostile bytes or indexing out of range.
+// roadlint: serving-path
 
 use crate::buffer::PagePool;
+use crate::error::StorageError;
 use crate::page::{Page, PageId, PAGE_SIZE};
 
 /// Default maximum entries per leaf: `(4096 - 8) / 16`.
@@ -50,6 +58,23 @@ struct BNode {
     next: u32,          // leaf only: right-sibling page
 }
 
+/// Reads a little-endian `u64` at `off`. Callers validate `off` against
+/// the page size first (the count checks in [`BNode::decode`]).
+// roadlint: allow(panic-fn) reason="offset bounded by the caller's count validation"
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(buf)
+}
+
+/// Reads a little-endian `u32` at `off`; same contract as [`le_u64`].
+// roadlint: allow(panic-fn) reason="offset bounded by the caller's count validation"
+fn le_u32(b: &[u8], off: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&b[off..off + 4]);
+    u32::from_le_bytes(buf)
+}
+
 impl BNode {
     fn new_leaf() -> Self {
         BNode {
@@ -71,36 +96,50 @@ impl BNode {
         }
     }
 
-    fn decode(page: &Page, int_cap: usize) -> Self {
+    /// Decodes one tree node from its page. The entry count comes off raw
+    /// page bytes, so it is validated against what the page can physically
+    /// hold *before* it sizes any allocation or offset arithmetic.
+    // roadlint: decode-fn
+    // roadlint: allow(panic-fn) reason="every offset below is bounded by the count validation at the top"
+    fn decode(page: &Page, int_cap: usize) -> Result<Self, StorageError> {
         let b = page.bytes();
         let tag = b[0];
         let count = u16::from_le_bytes([b[2], b[3]]) as usize;
         if tag == TAG_LEAF {
-            let next = u32::from_le_bytes(b[4..8].try_into().unwrap());
+            if 8 + count * 16 > PAGE_SIZE {
+                return Err(StorageError::CorruptPage("leaf entry count exceeds page capacity"));
+            }
+            let next = le_u32(b, 4);
             let mut keys = Vec::with_capacity(count);
             let mut vals = Vec::with_capacity(count);
             for i in 0..count {
                 let off = 8 + i * 16;
-                keys.push(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()));
-                vals.push(u64::from_le_bytes(b[off + 8..off + 16].try_into().unwrap()));
+                keys.push(le_u64(b, off));
+                vals.push(le_u64(b, off + 8));
             }
-            BNode { leaf: true, keys, vals, children: Vec::new(), next }
-        } else {
+            Ok(BNode { leaf: true, keys, vals, children: Vec::new(), next })
+        } else if tag == TAG_INTERNAL {
+            if count > int_cap {
+                return Err(StorageError::CorruptPage("internal key count exceeds fanout"));
+            }
             let mut keys = Vec::with_capacity(count);
             for i in 0..count {
                 let off = 8 + i * 8;
-                keys.push(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()));
+                keys.push(le_u64(b, off));
             }
             let child_base = 8 + int_cap * 8;
             let mut children = Vec::with_capacity(count + 1);
             for i in 0..=count {
                 let off = child_base + i * 4;
-                children.push(u32::from_le_bytes(b[off..off + 4].try_into().unwrap()));
+                children.push(le_u32(b, off));
             }
-            BNode { leaf: false, keys, vals: Vec::new(), children, next: NO_PAGE }
+            Ok(BNode { leaf: false, keys, vals: Vec::new(), children, next: NO_PAGE })
+        } else {
+            Err(StorageError::CorruptPage("unknown B+-tree node tag"))
         }
     }
 
+    // roadlint: allow(panic-fn) reason="write path encodes nodes the tree built itself; counts are bounded by the fanout invariant"
     fn encode(&self, page: &mut Page, int_cap: usize) {
         let b = page.bytes_mut();
         b[0] = if self.leaf { TAG_LEAF } else { TAG_INTERNAL };
@@ -130,7 +169,7 @@ impl BNode {
 
 impl BPlusTree {
     /// Creates an empty tree with default (page-filling) fanouts.
-    pub fn new(pool: &mut impl PagePool) -> Self {
+    pub fn new(pool: &mut impl PagePool) -> Result<Self, StorageError> {
         Self::with_caps(pool, DEFAULT_LEAF_CAP, DEFAULT_INT_CAP)
     }
 
@@ -139,14 +178,21 @@ impl BPlusTree {
     /// # Panics
     /// Panics on fanouts that are too small to split (< 3) or that would
     /// not fit a page.
-    pub fn with_caps(pool: &mut impl PagePool, leaf_cap: usize, int_cap: usize) -> Self {
+    pub fn with_caps(
+        pool: &mut impl PagePool,
+        leaf_cap: usize,
+        int_cap: usize,
+    ) -> Result<Self, StorageError> {
+        // roadlint: allow(panic) reason="construction-time configuration check, not a serving path"
         assert!(leaf_cap >= 3 && int_cap >= 3, "B+-tree fanout too small");
+        // roadlint: allow(panic) reason="construction-time configuration check, not a serving path"
         assert!(8 + leaf_cap * 16 <= PAGE_SIZE, "leaf fanout does not fit a page");
+        // roadlint: allow(panic) reason="construction-time configuration check, not a serving path"
         assert!(
             8 + int_cap * 8 + (int_cap + 1) * 4 <= PAGE_SIZE,
             "internal fanout does not fit a page"
         );
-        let root = pool.alloc();
+        let root = pool.alloc()?;
         let tree = BPlusTree {
             root,
             height: 0,
@@ -156,23 +202,31 @@ impl BPlusTree {
             live_pages: 1,
             free_list: Vec::new(),
         };
-        tree.write_node(pool, root, &BNode::new_leaf());
-        tree
+        tree.write_node(pool, root, &BNode::new_leaf())?;
+        Ok(tree)
     }
 
-    fn read_node(&self, pool: &mut impl PagePool, id: PageId) -> BNode {
+    fn read_node(&self, pool: &mut impl PagePool, id: PageId) -> Result<BNode, StorageError> {
         let cap = self.int_cap;
-        pool.with_page(id, |p| BNode::decode(p, cap))
+        pool.with_page(id, |p| BNode::decode(p, cap))?
     }
 
-    fn write_node(&self, pool: &mut impl PagePool, id: PageId, node: &BNode) {
+    fn write_node(
+        &self,
+        pool: &mut impl PagePool,
+        id: PageId,
+        node: &BNode,
+    ) -> Result<(), StorageError> {
         let cap = self.int_cap;
-        pool.with_page_mut(id, |p| node.encode(p, cap));
+        pool.with_page_mut(id, |p| node.encode(p, cap))
     }
 
-    fn alloc_node(&mut self, pool: &mut impl PagePool) -> PageId {
+    fn alloc_node(&mut self, pool: &mut impl PagePool) -> Result<PageId, StorageError> {
         self.live_pages += 1;
-        self.free_list.pop().unwrap_or_else(|| pool.alloc())
+        match self.free_list.pop() {
+            Some(id) => Ok(id),
+            None => pool.alloc(),
+        }
     }
 
     fn free_node(&mut self, id: PageId) {
@@ -205,34 +259,44 @@ impl BPlusTree {
         self.height
     }
 
-    /// Looks up `key`.
-    pub fn get(&self, pool: &mut impl PagePool, key: u64) -> Option<u64> {
+    /// Looks up `key`. This is the serving read path: a corrupt node is an
+    /// `Err`, never an out-of-range index.
+    pub fn get(&self, pool: &mut impl PagePool, key: u64) -> Result<Option<u64>, StorageError> {
         let mut page = self.root;
         for _ in 0..self.height {
-            let node = self.read_node(pool, page);
+            let node = self.read_node(pool, page)?;
             let idx = node.keys.partition_point(|&k| k <= key);
-            page = PageId(node.children[idx]);
+            let child = node
+                .children
+                .get(idx)
+                .copied()
+                .ok_or(StorageError::CorruptPage("internal node missing a child slot"))?;
+            page = PageId(child);
         }
-        let leaf = self.read_node(pool, page);
+        let leaf = self.read_node(pool, page)?;
         let idx = leaf.keys.partition_point(|&k| k < key);
-        if idx < leaf.keys.len() && leaf.keys[idx] == key {
-            Some(leaf.vals[idx])
-        } else {
-            None
-        }
+        Ok(match (leaf.keys.get(idx), leaf.vals.get(idx)) {
+            (Some(&k), Some(&v)) if k == key => Some(v),
+            _ => None,
+        })
     }
 
     /// Inserts `key -> val`; returns the previous value if the key existed.
-    pub fn insert(&mut self, pool: &mut impl PagePool, key: u64, val: u64) -> Option<u64> {
+    pub fn insert(
+        &mut self,
+        pool: &mut impl PagePool,
+        key: u64,
+        val: u64,
+    ) -> Result<Option<u64>, StorageError> {
         // Preemptive root split keeps the downward pass single-pass.
-        let root_node = self.read_node(pool, self.root);
+        let root_node = self.read_node(pool, self.root)?;
         if self.is_full(&root_node) {
             let old_root = self.root;
-            let new_root_page = self.alloc_node(pool);
+            let new_root_page = self.alloc_node(pool)?;
             let mut new_root = BNode::new_internal();
             new_root.children.push(old_root.0);
-            self.write_node(pool, new_root_page, &new_root);
-            self.split_child(pool, new_root_page, 0);
+            self.write_node(pool, new_root_page, &new_root)?;
+            self.split_child(pool, new_root_page, 0)?;
             self.root = new_root_page;
             self.height += 1;
         }
@@ -248,11 +312,17 @@ impl BPlusTree {
     }
 
     /// Splits the full child at `child_idx` of the internal node `parent`.
-    fn split_child(&mut self, pool: &mut impl PagePool, parent_page: PageId, child_idx: usize) {
-        let mut parent = self.read_node(pool, parent_page);
+    // roadlint: allow(panic-fn) reason="build/maintenance write path over nodes the tree built; indices bounded by the fanout invariant"
+    fn split_child(
+        &mut self,
+        pool: &mut impl PagePool,
+        parent_page: PageId,
+        child_idx: usize,
+    ) -> Result<(), StorageError> {
+        let mut parent = self.read_node(pool, parent_page)?;
         let child_page = PageId(parent.children[child_idx]);
-        let mut child = self.read_node(pool, child_page);
-        let right_page = self.alloc_node(pool);
+        let mut child = self.read_node(pool, child_page)?;
+        let right_page = self.alloc_node(pool)?;
 
         if child.leaf {
             let mid = child.keys.len() / 2;
@@ -264,21 +334,25 @@ impl BPlusTree {
             let separator = right.keys[0];
             parent.keys.insert(child_idx, separator);
             parent.children.insert(child_idx + 1, right_page.0);
-            self.write_node(pool, right_page, &right);
+            self.write_node(pool, right_page, &right)?;
         } else {
             let mid = child.keys.len() / 2;
             let mut right = BNode::new_internal();
             right.keys = child.keys.split_off(mid + 1);
-            let separator = child.keys.pop().unwrap();
+            let separator = child
+                .keys
+                .pop()
+                .ok_or(StorageError::Internal("split of an internal node without keys"))?;
             right.children = child.children.split_off(mid + 1);
             parent.keys.insert(child_idx, separator);
             parent.children.insert(child_idx + 1, right_page.0);
-            self.write_node(pool, right_page, &right);
+            self.write_node(pool, right_page, &right)?;
         }
-        self.write_node(pool, child_page, &child);
-        self.write_node(pool, parent_page, &parent);
+        self.write_node(pool, child_page, &child)?;
+        self.write_node(pool, parent_page, &parent)
     }
 
+    // roadlint: allow(panic-fn) reason="build/maintenance write path; indices bounded by the preemptive-split invariant"
     fn insert_nonfull(
         &mut self,
         pool: &mut impl PagePool,
@@ -286,30 +360,30 @@ impl BPlusTree {
         level: u32,
         key: u64,
         val: u64,
-    ) -> Option<u64> {
+    ) -> Result<Option<u64>, StorageError> {
         if level == 0 {
-            let mut leaf = self.read_node(pool, page);
+            let mut leaf = self.read_node(pool, page)?;
             let idx = leaf.keys.partition_point(|&k| k < key);
             if idx < leaf.keys.len() && leaf.keys[idx] == key {
                 let old = leaf.vals[idx];
                 leaf.vals[idx] = val;
-                self.write_node(pool, page, &leaf);
-                return Some(old);
+                self.write_node(pool, page, &leaf)?;
+                return Ok(Some(old));
             }
             leaf.keys.insert(idx, key);
             leaf.vals.insert(idx, val);
-            self.write_node(pool, page, &leaf);
+            self.write_node(pool, page, &leaf)?;
             self.len += 1;
-            return None;
+            return Ok(None);
         }
-        let node = self.read_node(pool, page);
+        let node = self.read_node(pool, page)?;
         let mut idx = node.keys.partition_point(|&k| k <= key);
         let child_page = PageId(node.children[idx]);
-        let child = self.read_node(pool, child_page);
+        let child = self.read_node(pool, child_page)?;
         if self.is_full(&child) {
-            self.split_child(pool, page, idx);
+            self.split_child(pool, page, idx)?;
             // Re-read: the separator decides which half we descend into.
-            let node = self.read_node(pool, page);
+            let node = self.read_node(pool, page)?;
             if key >= node.keys[idx] {
                 idx += 1;
             }
@@ -320,13 +394,18 @@ impl BPlusTree {
     }
 
     /// Removes `key`; returns its value if it existed.
-    pub fn remove(&mut self, pool: &mut impl PagePool, key: u64) -> Option<u64> {
-        let removed = self.remove_rec(pool, self.root, self.height, key);
+    // roadlint: allow(panic-fn) reason="build/maintenance write path; root shrink indexes children[0] of a non-empty internal root"
+    pub fn remove(
+        &mut self,
+        pool: &mut impl PagePool,
+        key: u64,
+    ) -> Result<Option<u64>, StorageError> {
+        let removed = self.remove_rec(pool, self.root, self.height, key)?;
         if removed.is_some() {
             self.len -= 1;
             // Shrink the root when an internal root lost all separators.
             if self.height > 0 {
-                let root = self.read_node(pool, self.root);
+                let root = self.read_node(pool, self.root)?;
                 if root.keys.is_empty() {
                     let old_root = self.root;
                     self.root = PageId(root.children[0]);
@@ -335,7 +414,7 @@ impl BPlusTree {
                 }
             }
         }
-        removed
+        Ok(removed)
     }
 
     fn min_keys(&self, leaf: bool) -> usize {
@@ -346,79 +425,94 @@ impl BPlusTree {
         }
     }
 
+    // roadlint: allow(panic-fn) reason="build/maintenance write path; indices bounded by partition_point over the node's own keys"
     fn remove_rec(
         &mut self,
         pool: &mut impl PagePool,
         page: PageId,
         level: u32,
         key: u64,
-    ) -> Option<u64> {
+    ) -> Result<Option<u64>, StorageError> {
         if level == 0 {
-            let mut leaf = self.read_node(pool, page);
+            let mut leaf = self.read_node(pool, page)?;
             let idx = leaf.keys.partition_point(|&k| k < key);
             if idx < leaf.keys.len() && leaf.keys[idx] == key {
                 leaf.keys.remove(idx);
                 let old = leaf.vals.remove(idx);
-                self.write_node(pool, page, &leaf);
-                return Some(old);
+                self.write_node(pool, page, &leaf)?;
+                return Ok(Some(old));
             }
-            return None;
+            return Ok(None);
         }
-        let node = self.read_node(pool, page);
+        let node = self.read_node(pool, page)?;
         let idx = node.keys.partition_point(|&k| k <= key);
         let child_page = PageId(node.children[idx]);
-        let removed = self.remove_rec(pool, child_page, level - 1, key)?;
+        let Some(removed) = self.remove_rec(pool, child_page, level - 1, key)? else {
+            return Ok(None);
+        };
         // Rebalance the child if it underflowed.
-        let child = self.read_node(pool, child_page);
+        let child = self.read_node(pool, child_page)?;
         if child.keys.len() < self.min_keys(child.leaf) {
-            self.fix_underflow(pool, page, idx, level - 1);
+            self.fix_underflow(pool, page, idx, level - 1)?;
         }
-        Some(removed)
+        Ok(Some(removed))
     }
 
     /// Restores the invariant for the child at `child_idx` of `parent_page`
     /// by borrowing from a sibling or merging with one.
+    // roadlint: allow(panic-fn) reason="build/maintenance write path; sibling indices exist whenever the parent has a separator"
     fn fix_underflow(
         &mut self,
         pool: &mut impl PagePool,
         parent_page: PageId,
         child_idx: usize,
         _child_level: u32,
-    ) {
-        let mut parent = self.read_node(pool, parent_page);
+    ) -> Result<(), StorageError> {
+        let mut parent = self.read_node(pool, parent_page)?;
         let child_page = PageId(parent.children[child_idx]);
-        let mut child = self.read_node(pool, child_page);
+        let mut child = self.read_node(pool, child_page)?;
         let min = self.min_keys(child.leaf);
 
         // Try borrowing from the left sibling.
         if child_idx > 0 {
             let left_page = PageId(parent.children[child_idx - 1]);
-            let mut left = self.read_node(pool, left_page);
+            let mut left = self.read_node(pool, left_page)?;
             if left.keys.len() > min {
                 if child.leaf {
-                    let k = left.keys.pop().unwrap();
-                    let v = left.vals.pop().unwrap();
+                    let k = left
+                        .keys
+                        .pop()
+                        .ok_or(StorageError::Internal("borrow from an empty left leaf"))?;
+                    let v = left
+                        .vals
+                        .pop()
+                        .ok_or(StorageError::Internal("leaf keys/vals out of sync"))?;
                     child.keys.insert(0, k);
                     child.vals.insert(0, v);
                     parent.keys[child_idx - 1] = child.keys[0];
                 } else {
                     let sep = parent.keys[child_idx - 1];
-                    let k = left.keys.pop().unwrap();
-                    let c = left.children.pop().unwrap();
+                    let k = left
+                        .keys
+                        .pop()
+                        .ok_or(StorageError::Internal("borrow from an empty left node"))?;
+                    let c = left
+                        .children
+                        .pop()
+                        .ok_or(StorageError::Internal("internal keys/children out of sync"))?;
                     child.keys.insert(0, sep);
                     child.children.insert(0, c);
                     parent.keys[child_idx - 1] = k;
                 }
-                self.write_node(pool, left_page, &left);
-                self.write_node(pool, child_page, &child);
-                self.write_node(pool, parent_page, &parent);
-                return;
+                self.write_node(pool, left_page, &left)?;
+                self.write_node(pool, child_page, &child)?;
+                return self.write_node(pool, parent_page, &parent);
             }
         }
         // Try borrowing from the right sibling.
         if child_idx + 1 < parent.children.len() {
             let right_page = PageId(parent.children[child_idx + 1]);
-            let mut right = self.read_node(pool, right_page);
+            let mut right = self.read_node(pool, right_page)?;
             if right.keys.len() > min {
                 if child.leaf {
                     let k = right.keys.remove(0);
@@ -434,10 +528,9 @@ impl BPlusTree {
                     child.children.push(c);
                     parent.keys[child_idx] = k;
                 }
-                self.write_node(pool, right_page, &right);
-                self.write_node(pool, child_page, &child);
-                self.write_node(pool, parent_page, &parent);
-                return;
+                self.write_node(pool, right_page, &right)?;
+                self.write_node(pool, child_page, &child)?;
+                return self.write_node(pool, parent_page, &parent);
             }
         }
         // Merge with a sibling. Normalise to "merge child_idx with its right
@@ -449,8 +542,8 @@ impl BPlusTree {
         };
         let left_page = PageId(parent.children[li]);
         let right_page = PageId(parent.children[ri]);
-        let mut left = self.read_node(pool, left_page);
-        let right = self.read_node(pool, right_page);
+        let mut left = self.read_node(pool, left_page)?;
+        let right = self.read_node(pool, right_page)?;
         if left.leaf {
             left.keys.extend_from_slice(&right.keys);
             left.vals.extend_from_slice(&right.vals);
@@ -464,42 +557,53 @@ impl BPlusTree {
         parent.keys.remove(li);
         parent.children.remove(ri);
         self.free_node(right_page);
-        self.write_node(pool, left_page, &left);
-        self.write_node(pool, parent_page, &parent);
+        self.write_node(pool, left_page, &left)?;
+        self.write_node(pool, parent_page, &parent)
     }
 
-    /// All entries with `lo <= key <= hi`, in key order.
-    pub fn range(&self, pool: &mut impl PagePool, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    /// All entries with `lo <= key <= hi`, in key order. Serving read path:
+    /// index-free like [`BPlusTree::get`].
+    pub fn range(
+        &self,
+        pool: &mut impl PagePool,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, u64)>, StorageError> {
         if lo > hi {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut out = Vec::new();
         // Descend to the leaf that would contain `lo`.
         let mut page = self.root;
         for _ in 0..self.height {
-            let node = self.read_node(pool, page);
+            let node = self.read_node(pool, page)?;
             let idx = node.keys.partition_point(|&k| k <= lo);
-            page = PageId(node.children[idx]);
+            let child = node
+                .children
+                .get(idx)
+                .copied()
+                .ok_or(StorageError::CorruptPage("internal node missing a child slot"))?;
+            page = PageId(child);
         }
         loop {
-            let leaf = self.read_node(pool, page);
+            let leaf = self.read_node(pool, page)?;
             for (&k, &v) in leaf.keys.iter().zip(&leaf.vals) {
                 if k > hi {
-                    return out;
+                    return Ok(out);
                 }
                 if k >= lo {
                     out.push((k, v));
                 }
             }
             if leaf.next == NO_PAGE {
-                return out;
+                return Ok(out);
             }
             page = PageId(leaf.next);
         }
     }
 
     /// Every entry in key order (diagnostics / verification).
-    pub fn entries(&self, pool: &mut impl PagePool) -> Vec<(u64, u64)> {
+    pub fn entries(&self, pool: &mut impl PagePool) -> Result<Vec<(u64, u64)>, StorageError> {
         self.range(pool, 0, u64::MAX)
     }
 }
@@ -519,40 +623,40 @@ mod tests {
     #[test]
     fn empty_tree() {
         let mut p = pool();
-        let t = BPlusTree::new(&mut p);
+        let t = BPlusTree::new(&mut p).unwrap();
         assert!(t.is_empty());
-        assert_eq!(t.get(&mut p, 7), None);
+        assert_eq!(t.get(&mut p, 7).unwrap(), None);
         assert_eq!(t.num_pages(), 1);
-        assert!(t.entries(&mut p).is_empty());
+        assert!(t.entries(&mut p).unwrap().is_empty());
     }
 
     #[test]
     fn insert_get_update() {
         let mut p = pool();
-        let mut t = BPlusTree::new(&mut p);
-        assert_eq!(t.insert(&mut p, 5, 50), None);
-        assert_eq!(t.insert(&mut p, 3, 30), None);
-        assert_eq!(t.insert(&mut p, 9, 90), None);
+        let mut t = BPlusTree::new(&mut p).unwrap();
+        assert_eq!(t.insert(&mut p, 5, 50).unwrap(), None);
+        assert_eq!(t.insert(&mut p, 3, 30).unwrap(), None);
+        assert_eq!(t.insert(&mut p, 9, 90).unwrap(), None);
         assert_eq!(t.len(), 3);
-        assert_eq!(t.get(&mut p, 3), Some(30));
-        assert_eq!(t.insert(&mut p, 3, 31), Some(30));
+        assert_eq!(t.get(&mut p, 3).unwrap(), Some(30));
+        assert_eq!(t.insert(&mut p, 3, 31).unwrap(), Some(30));
         assert_eq!(t.len(), 3);
-        assert_eq!(t.get(&mut p, 3), Some(31));
-        assert_eq!(t.get(&mut p, 4), None);
+        assert_eq!(t.get(&mut p, 3).unwrap(), Some(31));
+        assert_eq!(t.get(&mut p, 4).unwrap(), None);
     }
 
     #[test]
     fn splits_build_height_with_tiny_fanout() {
         let mut p = pool();
-        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
         for k in 0..200u64 {
-            t.insert(&mut p, k, k * 10);
+            t.insert(&mut p, k, k * 10).unwrap();
         }
         assert!(t.height() >= 3, "height = {}", t.height());
         for k in 0..200u64 {
-            assert_eq!(t.get(&mut p, k), Some(k * 10), "key {k}");
+            assert_eq!(t.get(&mut p, k).unwrap(), Some(k * 10), "key {k}");
         }
-        let all = t.entries(&mut p);
+        let all = t.entries(&mut p).unwrap();
         assert_eq!(all.len(), 200);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "leaf chain out of order");
     }
@@ -560,99 +664,99 @@ mod tests {
     #[test]
     fn reverse_and_shuffled_insertions() {
         let mut p = pool();
-        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
         for k in (0..100u64).rev() {
-            t.insert(&mut p, k, k);
+            t.insert(&mut p, k, k).unwrap();
         }
-        assert_eq!(t.entries(&mut p).len(), 100);
+        assert_eq!(t.entries(&mut p).unwrap().len(), 100);
         let mut p2 = pool();
-        let mut t2 = BPlusTree::with_caps(&mut p2, 4, 4);
+        let mut t2 = BPlusTree::with_caps(&mut p2, 4, 4).unwrap();
         let mut keys: Vec<u64> = (0..100).collect();
         use rand::seq::SliceRandom;
         keys.shuffle(&mut StdRng::seed_from_u64(3));
         for &k in &keys {
-            t2.insert(&mut p2, k, k);
+            t2.insert(&mut p2, k, k).unwrap();
         }
-        assert_eq!(t.entries(&mut p), t2.entries(&mut p2));
+        assert_eq!(t.entries(&mut p).unwrap(), t2.entries(&mut p2).unwrap());
     }
 
     #[test]
     fn range_queries() {
         let mut p = pool();
-        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
         for k in (0..100u64).step_by(2) {
-            t.insert(&mut p, k, k + 1);
+            t.insert(&mut p, k, k + 1).unwrap();
         }
         assert_eq!(
-            t.range(&mut p, 10, 20),
+            t.range(&mut p, 10, 20).unwrap(),
             vec![(10, 11), (12, 13), (14, 15), (16, 17), (18, 19), (20, 21)]
         );
-        assert_eq!(t.range(&mut p, 11, 11), vec![]);
-        assert_eq!(t.range(&mut p, 95, 200), vec![(96, 97), (98, 99)]);
-        assert_eq!(t.range(&mut p, 20, 10), vec![]);
+        assert_eq!(t.range(&mut p, 11, 11).unwrap(), vec![]);
+        assert_eq!(t.range(&mut p, 95, 200).unwrap(), vec![(96, 97), (98, 99)]);
+        assert_eq!(t.range(&mut p, 20, 10).unwrap(), vec![]);
     }
 
     #[test]
     fn remove_with_rebalancing() {
         let mut p = pool();
-        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
         for k in 0..300u64 {
-            t.insert(&mut p, k, k);
+            t.insert(&mut p, k, k).unwrap();
         }
         let pages_full = t.num_pages();
         // Remove everything in an order that exercises borrows and merges.
         for k in (0..300u64).step_by(3) {
-            assert_eq!(t.remove(&mut p, k), Some(k));
+            assert_eq!(t.remove(&mut p, k).unwrap(), Some(k));
         }
         for k in (1..300u64).step_by(3) {
-            assert_eq!(t.remove(&mut p, k), Some(k));
+            assert_eq!(t.remove(&mut p, k).unwrap(), Some(k));
         }
         for k in (2..300u64).step_by(3) {
-            assert_eq!(t.remove(&mut p, k), Some(k));
+            assert_eq!(t.remove(&mut p, k).unwrap(), Some(k));
         }
         assert!(t.is_empty());
         assert_eq!(t.height(), 0, "tree should shrink back to a single leaf");
         assert_eq!(t.num_pages(), 1);
         assert!(t.num_pages() < pages_full);
-        assert_eq!(t.remove(&mut p, 5), None);
+        assert_eq!(t.remove(&mut p, 5).unwrap(), None);
     }
 
     #[test]
     fn model_test_against_btreemap() {
         let mut rng = StdRng::seed_from_u64(1234);
         let mut p = pool();
-        let mut t = BPlusTree::with_caps(&mut p, 4, 5);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 5).unwrap();
         let mut model = std::collections::BTreeMap::new();
         for _ in 0..4000 {
             let key = rng.random_range(0..500u64);
             match rng.random_range(0..4) {
                 0 | 1 => {
                     let val = rng.random_range(0..1_000_000u64);
-                    assert_eq!(t.insert(&mut p, key, val), model.insert(key, val));
+                    assert_eq!(t.insert(&mut p, key, val).unwrap(), model.insert(key, val));
                 }
                 2 => {
-                    assert_eq!(t.remove(&mut p, key), model.remove(&key));
+                    assert_eq!(t.remove(&mut p, key).unwrap(), model.remove(&key));
                 }
                 _ => {
-                    assert_eq!(t.get(&mut p, key), model.get(&key).copied());
+                    assert_eq!(t.get(&mut p, key).unwrap(), model.get(&key).copied());
                 }
             }
             assert_eq!(t.len() as usize, model.len());
         }
         let expect: Vec<(u64, u64)> = model.into_iter().collect();
-        assert_eq!(t.entries(&mut p), expect);
+        assert_eq!(t.entries(&mut p).unwrap(), expect);
     }
 
     #[test]
     fn tree_survives_cold_cache() {
         let mut p = BufferPool::new(PageStore::new(), 8); // tiny pool
-        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
         for k in 0..500u64 {
-            t.insert(&mut p, k, !k);
+            t.insert(&mut p, k, !k).unwrap();
         }
         p.clear_cache();
         for k in (0..500u64).step_by(17) {
-            assert_eq!(t.get(&mut p, k), Some(!k));
+            assert_eq!(t.get(&mut p, k).unwrap(), Some(!k));
         }
         assert!(p.stats().page_faults > 0);
     }
@@ -660,20 +764,54 @@ mod tests {
     #[test]
     fn page_accounting_tracks_live_pages() {
         let mut p = pool();
-        let mut t = BPlusTree::with_caps(&mut p, 4, 4);
+        let mut t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
         for k in 0..64u64 {
-            t.insert(&mut p, k, k);
+            t.insert(&mut p, k, k).unwrap();
         }
         let peak = t.num_pages();
         assert!(peak > 10);
         for k in 0..64u64 {
-            t.remove(&mut p, k);
+            t.remove(&mut p, k).unwrap();
         }
         assert_eq!(t.num_pages(), 1);
         // Freed pages get recycled by later inserts.
         for k in 0..64u64 {
-            t.insert(&mut p, k, k);
+            t.insert(&mut p, k, k).unwrap();
         }
         assert!(t.num_pages() <= peak);
+    }
+
+    /// A page whose header claims more entries than fit the page must come
+    /// back as `CorruptPage`, not as a hostile-sized allocation or an
+    /// out-of-range read.
+    #[test]
+    fn corrupt_counts_surface_as_errors() {
+        let mut p = pool();
+        let t = BPlusTree::with_caps(&mut p, 4, 4).unwrap();
+        // Overwrite the root leaf's count with an impossible value.
+        let root = t.root;
+        p.with_page_mut(root, |pg| {
+            pg.bytes_mut()[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+        })
+        .unwrap();
+        assert_eq!(
+            t.get(&mut p, 1),
+            Err(StorageError::CorruptPage("leaf entry count exceeds page capacity"))
+        );
+        // An internal node claiming more keys than its fanout: tag byte 1,
+        // count larger than int_cap but small enough to "fit" a page.
+        p.with_page_mut(root, |pg| {
+            let b = pg.bytes_mut();
+            b[0] = 1; // TAG_INTERNAL
+            b[2..4].copy_from_slice(&100u16.to_le_bytes());
+        })
+        .unwrap();
+        assert_eq!(
+            t.get(&mut p, 1),
+            Err(StorageError::CorruptPage("internal key count exceeds fanout"))
+        );
+        // Unknown tag.
+        p.with_page_mut(root, |pg| pg.bytes_mut()[0] = 9).unwrap();
+        assert_eq!(t.get(&mut p, 1), Err(StorageError::CorruptPage("unknown B+-tree node tag")));
     }
 }

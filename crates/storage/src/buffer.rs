@@ -2,7 +2,9 @@
 //!
 //! Matches the paper's cache model: a fixed number of frames (50 by
 //! default) replaced LRU, cold at the start of every measured query.
+// roadlint: serving-path
 
+use crate::error::StorageError;
 use crate::lru::LruCache;
 use crate::page::{Page, PageId};
 use crate::store::PageStore;
@@ -36,13 +38,22 @@ impl BufferStats {
 /// from its backing pool. Implemented by the single-threaded [`BufferPool`]
 /// and by [`crate::striped::TalliedPool`], a per-query view of the
 /// concurrent [`crate::striped::StripedBufferPool`].
+///
+/// Every method is fallible: the striped implementation surfaces a
+/// poisoned stripe or store lock as [`StorageError::LockPoisoned`] instead
+/// of panicking the serving thread, so the trait carries the `Result`
+/// through to every caller.
 pub trait PagePool {
     /// Allocates a fresh zeroed page (cached clean).
-    fn alloc(&mut self) -> PageId;
+    fn alloc(&mut self) -> Result<PageId, StorageError>;
     /// Reads page `id` through the cache.
-    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> R;
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, StorageError>;
     /// Mutates page `id` through the cache, marking it dirty.
-    fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R;
+    fn with_page_mut<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, StorageError>;
 }
 
 struct Frame {
@@ -84,29 +95,40 @@ impl BufferPool {
         }
     }
 
-    fn fault_in(&mut self, id: PageId) {
+    /// Faults `id` in if absent and returns its frame. The lookup after
+    /// the fault-in cannot miss (the LRU holds at least one frame and the
+    /// admitted page is the most recent), but the invariant is reported as
+    /// `Err` rather than unwound: serving threads must survive storage
+    /// bugs.
+    fn frame_mut(&mut self, id: PageId) -> Result<&mut Frame, StorageError> {
+        self.stats.logical_reads += 1;
         if !self.frames.contains(&id.0) {
             self.stats.page_faults += 1;
             let page = self.store.read(id);
             self.cache_insert(id.0, Frame { page, dirty: false });
         }
+        self.frames.get(&id.0).ok_or(StorageError::Internal("frame evicted during fault-in"))
     }
 
     /// Reads page `id` through the cache.
-    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> R {
-        self.stats.logical_reads += 1;
-        self.fault_in(id);
-        let frame = self.frames.get(&id.0).expect("frame just faulted in");
-        f(&frame.page)
+    pub fn with_page<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&Page) -> R,
+    ) -> Result<R, StorageError> {
+        let frame = self.frame_mut(id)?;
+        Ok(f(&frame.page))
     }
 
     /// Mutates page `id` through the cache, marking it dirty.
-    pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
-        self.stats.logical_reads += 1;
-        self.fault_in(id);
-        let frame = self.frames.get(&id.0).expect("frame just faulted in");
+    pub fn with_page_mut<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, StorageError> {
+        let frame = self.frame_mut(id)?;
         frame.dirty = true;
-        f(&mut frame.page)
+        Ok(f(&mut frame.page))
     }
 
     /// Writes every dirty frame back to the store (frames stay cached).
@@ -115,7 +137,7 @@ impl BufferPool {
         let dirty: Vec<u32> =
             self.frames.iter().filter(|(_, fr)| fr.dirty).map(|(id, _)| *id).collect();
         for id in dirty {
-            let frame = self.frames.get(&id).unwrap();
+            let Some(frame) = self.frames.get(&id) else { continue };
             frame.dirty = false;
             let page = frame.page.clone();
             self.stats.write_backs += 1;
@@ -152,15 +174,19 @@ impl BufferPool {
 }
 
 impl PagePool for BufferPool {
-    fn alloc(&mut self) -> PageId {
-        BufferPool::alloc(self)
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        Ok(BufferPool::alloc(self))
     }
 
-    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> R {
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, StorageError> {
         BufferPool::with_page(self, id, f)
     }
 
-    fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
+    fn with_page_mut<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, StorageError> {
         BufferPool::with_page_mut(self, id, f)
     }
 }
@@ -175,7 +201,7 @@ mod tests {
         let p = pool.alloc();
         pool.reset_stats();
         for _ in 0..10 {
-            pool.with_page(p, |pg| assert_eq!(pg.bytes()[0], 0));
+            pool.with_page(p, |pg| assert_eq!(pg.bytes()[0], 0)).unwrap();
         }
         let st = pool.stats();
         assert_eq!(st.logical_reads, 10);
@@ -186,13 +212,13 @@ mod tests {
     fn eviction_writes_back_dirty_pages() {
         let mut pool = BufferPool::new(PageStore::new(), 2);
         let a = pool.alloc();
-        pool.with_page_mut(a, |pg| pg.bytes_mut()[0] = 42);
+        pool.with_page_mut(a, |pg| pg.bytes_mut()[0] = 42).unwrap();
         // Fill the pool until `a` is evicted.
         let _b = pool.alloc();
         let _c = pool.alloc();
         assert!(pool.stats().write_backs >= 1);
         // Fault `a` back in: the write-back preserved the data.
-        pool.with_page(a, |pg| assert_eq!(pg.bytes()[0], 42));
+        pool.with_page(a, |pg| assert_eq!(pg.bytes()[0], 42)).unwrap();
         assert!(pool.stats().page_faults >= 1);
     }
 
@@ -201,17 +227,17 @@ mod tests {
         let mut pool = BufferPool::new(PageStore::new(), 8);
         let ids: Vec<PageId> = (0..4).map(|_| pool.alloc()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            pool.with_page_mut(id, |pg| pg.bytes_mut()[0] = i as u8);
+            pool.with_page_mut(id, |pg| pg.bytes_mut()[0] = i as u8).unwrap();
         }
         pool.clear_cache();
         pool.reset_stats();
         for (i, &id) in ids.iter().enumerate() {
-            pool.with_page(id, |pg| assert_eq!(pg.bytes()[0], i as u8));
+            pool.with_page(id, |pg| assert_eq!(pg.bytes()[0], i as u8)).unwrap();
         }
         assert_eq!(pool.stats().page_faults, 4);
         // Second round is warm.
         for &id in &ids {
-            pool.with_page(id, |_| ());
+            pool.with_page(id, |_| ()).unwrap();
         }
         assert_eq!(pool.stats().page_faults, 4);
     }
@@ -220,10 +246,10 @@ mod tests {
     fn flush_persists_without_dropping_frames() {
         let mut pool = BufferPool::new(PageStore::new(), 4);
         let a = pool.alloc();
-        pool.with_page_mut(a, |pg| pg.bytes_mut()[1] = 9);
+        pool.with_page_mut(a, |pg| pg.bytes_mut()[1] = 9).unwrap();
         pool.flush();
         pool.reset_stats();
-        pool.with_page(a, |pg| assert_eq!(pg.bytes()[1], 9));
+        pool.with_page(a, |pg| assert_eq!(pg.bytes()[1], 9)).unwrap();
         assert_eq!(pool.stats().page_faults, 0, "flush must not evict");
     }
 }

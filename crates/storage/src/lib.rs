@@ -9,6 +9,8 @@
 //!
 //! Components:
 //!
+//! * [`error`] — [`StorageError`], how fallible paths report poisoned
+//!   locks and corrupt pages instead of panicking a serving thread;
 //! * [`page`] — fixed 4 KB pages and page ids;
 //! * [`store`] — the simulated disk (a growable array of pages with
 //!   physical read/write counters);
@@ -30,6 +32,7 @@
 pub mod bptree;
 pub mod buffer;
 pub mod ccam;
+pub mod error;
 pub mod lru;
 pub mod page;
 pub mod pagemap;
@@ -39,6 +42,7 @@ pub mod striped;
 pub use bptree::BPlusTree;
 pub use buffer::{BufferPool, BufferStats, PagePool};
 pub use ccam::{NodeClustering, RecordLocation};
+pub use error::StorageError;
 pub use lru::LruCache;
 pub use page::{PageId, PAGE_SIZE};
 pub use pagemap::{IoTracker, PageMap};

@@ -139,10 +139,15 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         let i = self.tail;
         self.unlink(i);
         self.free.push(i);
-        let key = self.slots[i].key.take().expect("linked slot has a key");
-        let value = self.slots[i].value.take().expect("linked slot has a value");
-        self.map.remove(&key);
-        Some((key, value))
+        // A linked slot always has both halves; `zip` expresses that
+        // without a panic path.
+        let key = self.slots[i].key.take();
+        let value = self.slots[i].value.take();
+        let entry = key.zip(value);
+        if let Some((key, _)) = &entry {
+            self.map.remove(key);
+        }
+        entry
     }
 
     /// Removes `key`, returning its value if present.
@@ -192,7 +197,7 @@ impl<'a, K: Hash + Eq + Clone, V> Iterator for LruIter<'a, K, V> {
         }
         let slot = &self.cache.slots[self.cur];
         self.cur = slot.next;
-        Some((slot.key.as_ref().unwrap(), slot.value.as_ref().unwrap()))
+        slot.key.as_ref().zip(slot.value.as_ref())
     }
 }
 

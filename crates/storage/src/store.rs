@@ -48,7 +48,7 @@ impl PageStore {
     pub fn alloc(&mut self) -> PageId {
         let id = PageId(self.pages.len() as u32);
         self.pages.push(Page::zeroed());
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocations.fetch_add(1, Ordering::Relaxed); // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
         id
     }
 
@@ -57,30 +57,30 @@ impl PageStore {
     /// # Panics
     /// Panics on an unallocated page id — always a logic error here.
     pub fn read(&self, id: PageId) -> Page {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed); // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
         self.pages[id.index()].clone()
     }
 
     /// Writes a page back (counted as one physical write).
     pub fn write(&mut self, id: PageId, page: &Page) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed); // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
         self.pages[id.index()] = page.clone();
     }
 
     /// Cumulative counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            allocations: self.allocations.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed), // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
+            writes: self.writes.load(Ordering::Relaxed), // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
+            allocations: self.allocations.load(Ordering::Relaxed), // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
         }
     }
 
     /// Zeroes the counters (page contents are retained).
     pub fn reset_stats(&mut self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.allocations.store(0, Ordering::Relaxed);
+        self.reads.store(0, Ordering::Relaxed); // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
+        self.writes.store(0, Ordering::Relaxed); // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
+        self.allocations.store(0, Ordering::Relaxed); // roadlint: relaxed-ok reason="independent diagnostic counter; never ordered against page data"
     }
 }
 

@@ -35,17 +35,28 @@
 //! queries sum exactly to the pool's cumulative [`BufferStats`] (a
 //! property the core crate's paged tests pin down).
 //!
+//! ## Lock order and poisoning
+//!
 //! Lock order is `stripe -> store`, everywhere: the allocation path
 //! releases the store lock before touching a stripe, and fault/write-back
 //! paths take the store lock only while already holding a stripe. No path
-//! holds two stripe locks at once.
+//! holds two stripe locks at once. The `roadlint` pass extracts every
+//! acquisition site in this file and checks the acquired-while-held graph
+//! stays acyclic.
+//!
+//! A poisoned lock (a caller's closure panicked inside `with_page`)
+//! surfaces as [`StorageError::LockPoisoned`] on every later access to
+//! that stripe — the serving thread gets an `Err`, never a propagated
+//! panic.
+// roadlint: serving-path
 
 use crate::buffer::{BufferStats, PagePool};
+use crate::error::StorageError;
 use crate::lru::LruCache;
 use crate::page::{Page, PageId};
 use crate::store::PageStore;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, RwLock};
 
 /// Default stripe count: enough to keep a handful of serving threads off
 /// each other's locks without fragmenting small pools.
@@ -95,13 +106,15 @@ impl StripedBufferPool {
     /// # Panics
     /// Panics when `capacity` or `stripes` is zero.
     pub fn new(store: PageStore, capacity: usize, stripes: usize) -> Self {
+        // roadlint: allow(panic) reason="construction-time configuration check, not a serving path"
         assert!(capacity > 0, "buffer-pool capacity must be positive");
+        // roadlint: allow(panic) reason="construction-time configuration check, not a serving path"
         assert!(stripes > 0, "stripe count must be positive");
         let per_stripe =
             |i: usize| (capacity / stripes + usize::from(i < capacity % stripes)).max(1);
+        let capacity = (0..stripes).map(per_stripe).sum();
         let stripes: Vec<Mutex<LruCache<u32, Frame>>> =
             (0..stripes).map(|i| Mutex::new(LruCache::new(per_stripe(i)))).collect();
-        let capacity = stripes.iter().map(|s| s.lock().unwrap().capacity()).sum();
         StripedBufferPool {
             store: RwLock::new(store),
             stripes,
@@ -112,21 +125,36 @@ impl StripedBufferPool {
         }
     }
 
+    /// Locks the stripe owning page `id`; `Err` if a previous holder
+    /// panicked.
     #[inline]
-    fn stripe(&self, id: PageId) -> &Mutex<LruCache<u32, Frame>> {
-        &self.stripes[id.index() % self.stripes.len()]
+    fn stripe(&self, id: PageId) -> Result<MutexGuard<'_, LruCache<u32, Frame>>, StorageError> {
+        // roadlint: allow(panic) reason="index is id % stripes.len(), in range by construction"
+        self.stripes[id.index() % self.stripes.len()]
+            .lock()
+            .map_err(|_| StorageError::LockPoisoned("buffer-pool stripe"))
     }
 
     /// Inserts a frame into `stripe`, writing back the evicted frame if it
     /// was dirty. Caller holds the stripe lock; the store lock is taken
     /// after (`stripe -> store` order).
-    fn insert_frame(&self, stripe: &mut LruCache<u32, Frame>, id: u32, frame: Frame) {
+    fn insert_frame(
+        &self,
+        stripe: &mut LruCache<u32, Frame>,
+        id: u32,
+        frame: Frame,
+    ) -> Result<(), StorageError> {
         if let Some((evicted_id, evicted)) = stripe.put(id, frame) {
             if evicted.dirty {
+                // roadlint: relaxed-ok reason="monotonic stats counter, read only by stats()"
                 self.write_backs.fetch_add(1, Ordering::Relaxed);
-                self.store.write().unwrap().write(PageId(evicted_id), &evicted.page);
+                self.store
+                    .write()
+                    .map_err(|_| StorageError::LockPoisoned("page store"))?
+                    .write(PageId(evicted_id), &evicted.page);
             }
         }
+        Ok(())
     }
 
     /// Allocates a fresh zeroed page (cached clean).
@@ -134,77 +162,102 @@ impl StripedBufferPool {
     /// The store lock is released before the stripe lock is taken, so
     /// callers that need *consecutive* page ids (multi-page records) must
     /// serialize their own allocation runs.
-    pub fn alloc(&self) -> PageId {
-        let id = self.store.write().unwrap().alloc();
-        let mut stripe = self.stripe(id).lock().unwrap();
-        self.insert_frame(&mut stripe, id.0, Frame { page: Page::zeroed(), dirty: false });
-        id
+    pub fn alloc(&self) -> Result<PageId, StorageError> {
+        let id = self.store.write().map_err(|_| StorageError::LockPoisoned("page store"))?.alloc();
+        let mut stripe = self.stripe(id)?;
+        self.insert_frame(&mut stripe, id.0, Frame { page: Page::zeroed(), dirty: false })?;
+        Ok(id)
+    }
+
+    /// Faults `id` into its (locked) stripe if absent.
+    fn fault_in(
+        &self,
+        stripe: &mut LruCache<u32, Frame>,
+        id: PageId,
+        tally: &mut IoTally,
+    ) -> Result<(), StorageError> {
+        if !stripe.contains(&id.0) {
+            // roadlint: relaxed-ok reason="monotonic stats counter; exactness is per-caller via IoTally"
+            self.page_faults.fetch_add(1, Ordering::Relaxed);
+            tally.page_faults += 1;
+            let page =
+                self.store.read().map_err(|_| StorageError::LockPoisoned("page store"))?.read(id);
+            self.insert_frame(stripe, id.0, Frame { page, dirty: false })?;
+        }
+        Ok(())
     }
 
     /// Reads page `id` through the cache, charging `tally` (and the global
     /// counters) one logical read plus a fault if the page was not
-    /// resident.
-    pub fn with_page<R>(&self, id: PageId, tally: &mut IoTally, f: impl FnOnce(&Page) -> R) -> R {
+    /// resident. `Err` when the stripe or store lock is poisoned.
+    pub fn with_page<R>(
+        &self,
+        id: PageId,
+        tally: &mut IoTally,
+        f: impl FnOnce(&Page) -> R,
+    ) -> Result<R, StorageError> {
+        // roadlint: relaxed-ok reason="monotonic stats counter; exactness is per-caller via IoTally"
         self.logical_reads.fetch_add(1, Ordering::Relaxed);
         tally.logical_reads += 1;
-        let mut stripe = self.stripe(id).lock().unwrap();
-        if !stripe.contains(&id.0) {
-            self.page_faults.fetch_add(1, Ordering::Relaxed);
-            tally.page_faults += 1;
-            let page = self.store.read().unwrap().read(id);
-            self.insert_frame(&mut stripe, id.0, Frame { page, dirty: false });
-        }
-        f(&stripe.get(&id.0).expect("frame just faulted in").page)
+        let mut stripe = self.stripe(id)?;
+        self.fault_in(&mut stripe, id, tally)?;
+        let frame =
+            stripe.get(&id.0).ok_or(StorageError::Internal("frame evicted during fault-in"))?;
+        Ok(f(&frame.page))
     }
 
     /// Mutates page `id` through the cache, marking it dirty; same
-    /// accounting as [`StripedBufferPool::with_page`].
+    /// accounting and error contract as [`StripedBufferPool::with_page`].
     pub fn with_page_mut<R>(
         &self,
         id: PageId,
         tally: &mut IoTally,
         f: impl FnOnce(&mut Page) -> R,
-    ) -> R {
+    ) -> Result<R, StorageError> {
+        // roadlint: relaxed-ok reason="monotonic stats counter; exactness is per-caller via IoTally"
         self.logical_reads.fetch_add(1, Ordering::Relaxed);
         tally.logical_reads += 1;
-        let mut stripe = self.stripe(id).lock().unwrap();
-        if !stripe.contains(&id.0) {
-            self.page_faults.fetch_add(1, Ordering::Relaxed);
-            tally.page_faults += 1;
-            let page = self.store.read().unwrap().read(id);
-            self.insert_frame(&mut stripe, id.0, Frame { page, dirty: false });
-        }
-        let frame = stripe.get(&id.0).expect("frame just faulted in");
+        let mut stripe = self.stripe(id)?;
+        self.fault_in(&mut stripe, id, tally)?;
+        let frame =
+            stripe.get(&id.0).ok_or(StorageError::Internal("frame evicted during fault-in"))?;
         frame.dirty = true;
-        f(&mut frame.page)
+        Ok(f(&mut frame.page))
     }
 
     /// Writes every dirty frame back to the store (frames stay cached and
     /// become clean, so a later eviction will not write them again).
-    pub fn flush(&self) {
+    pub fn flush(&self) -> Result<(), StorageError> {
         for stripe in &self.stripes {
-            let mut stripe = stripe.lock().unwrap();
+            let mut stripe =
+                stripe.lock().map_err(|_| StorageError::LockPoisoned("buffer-pool stripe"))?;
             let dirty: Vec<u32> =
                 stripe.iter().filter(|(_, fr)| fr.dirty).map(|(id, _)| *id).collect();
             for id in dirty {
-                let frame = stripe.get(&id).expect("iterated frame exists");
+                let Some(frame) = stripe.get(&id) else { continue };
                 frame.dirty = false;
                 let page = frame.page.clone();
+                // roadlint: relaxed-ok reason="monotonic stats counter, read only by stats()"
                 self.write_backs.fetch_add(1, Ordering::Relaxed);
-                self.store.write().unwrap().write(PageId(id), &page);
+                self.store
+                    .write()
+                    .map_err(|_| StorageError::LockPoisoned("page store"))?
+                    .write(PageId(id), &page);
             }
         }
+        Ok(())
     }
 
     /// Flushes and empties every stripe — the paper initialises every
     /// measured query with an empty cache. Faults after a clear are
     /// counted once per access like any other cold read; the flush inside
     /// marks frames clean first, so nothing is written back twice.
-    pub fn clear_cache(&self) {
-        self.flush();
+    pub fn clear_cache(&self) -> Result<(), StorageError> {
+        self.flush()?;
         for stripe in &self.stripes {
-            stripe.lock().unwrap().clear();
+            stripe.lock().map_err(|_| StorageError::LockPoisoned("buffer-pool stripe"))?.clear();
         }
+        Ok(())
     }
 
     /// Cumulative pool counters since the last reset. Under concurrency
@@ -212,8 +265,11 @@ impl StripedBufferPool {
     /// write-backs, which are pool-internal).
     pub fn stats(&self) -> BufferStats {
         BufferStats {
+            // roadlint: relaxed-ok reason="independent monotonic counters; no cross-counter ordering is promised"
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            // roadlint: relaxed-ok reason="independent monotonic counters; no cross-counter ordering is promised"
             page_faults: self.page_faults.load(Ordering::Relaxed),
+            // roadlint: relaxed-ok reason="independent monotonic counters; no cross-counter ordering is promised"
             write_backs: self.write_backs.load(Ordering::Relaxed),
         }
     }
@@ -221,8 +277,11 @@ impl StripedBufferPool {
     /// Zeroes the pool counters (cache contents unchanged; callers'
     /// tallies are theirs to reset).
     pub fn reset_stats(&self) {
+        // roadlint: relaxed-ok reason="stats reset races benignly with concurrent bumps"
         self.logical_reads.store(0, Ordering::Relaxed);
+        // roadlint: relaxed-ok reason="stats reset races benignly with concurrent bumps"
         self.page_faults.store(0, Ordering::Relaxed);
+        // roadlint: relaxed-ok reason="stats reset races benignly with concurrent bumps"
         self.write_backs.store(0, Ordering::Relaxed);
     }
 
@@ -238,18 +297,26 @@ impl StripedBufferPool {
     }
 
     /// Frames currently cached across all stripes.
+    ///
+    /// Introspection only: a poisoned stripe is *recovered* here (its LRU
+    /// bookkeeping stays coherent — see the module docs) so diagnostics
+    /// keep working even after a serving thread died.
     pub fn cached_pages(&self) -> usize {
-        self.stripes.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).len()) // roadlint: lock(stripe)
+            .sum()
     }
 
-    /// Pages allocated in the backing store.
+    /// Pages allocated in the backing store. Introspection: recovers a
+    /// poisoned store lock like [`StripedBufferPool::cached_pages`].
     pub fn num_pages(&self) -> usize {
-        self.store.read().unwrap().num_pages()
+        self.store.read().unwrap_or_else(|poisoned| poisoned.into_inner()).num_pages()
     }
 
     /// Backing-store size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.store.read().unwrap().size_bytes()
+        self.store.read().unwrap_or_else(|poisoned| poisoned.into_inner()).size_bytes()
     }
 }
 
@@ -265,15 +332,19 @@ pub struct TalliedPool<'a> {
 }
 
 impl PagePool for TalliedPool<'_> {
-    fn alloc(&mut self) -> PageId {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
         self.pool.alloc()
     }
 
-    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> R {
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, StorageError> {
         self.pool.with_page(id, self.tally, f)
     }
 
-    fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
+    fn with_page_mut<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, StorageError> {
         self.pool.with_page_mut(id, self.tally, f)
     }
 }
@@ -300,20 +371,20 @@ mod tests {
     fn reads_and_faults_roundtrip_across_stripes() {
         let p = pool(16, 4);
         let mut tally = IoTally::default();
-        let ids: Vec<PageId> = (0..12).map(|_| p.alloc()).collect();
+        let ids: Vec<PageId> = (0..12).map(|_| p.alloc().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            p.with_page_mut(id, &mut tally, |pg| pg.bytes_mut()[7] = i as u8);
+            p.with_page_mut(id, &mut tally, |pg| pg.bytes_mut()[7] = i as u8).unwrap();
         }
-        p.clear_cache();
+        p.clear_cache().unwrap();
         p.reset_stats();
         let mut tally = IoTally::default();
         for (i, &id) in ids.iter().enumerate() {
-            p.with_page(id, &mut tally, |pg| assert_eq!(pg.bytes()[7], i as u8));
+            p.with_page(id, &mut tally, |pg| assert_eq!(pg.bytes()[7], i as u8)).unwrap();
         }
         assert_eq!(tally.page_faults, 12, "cold reads fault once each");
         // Warm repeat: reads grow, faults do not.
         for &id in &ids {
-            p.with_page(id, &mut tally, |_| ());
+            p.with_page(id, &mut tally, |_| ()).unwrap();
         }
         assert_eq!(tally.logical_reads, 24);
         assert_eq!(tally.page_faults, 12);
@@ -329,23 +400,23 @@ mod tests {
     fn clear_cache_does_not_double_count() {
         let p = pool(8, 2);
         let mut tally = IoTally::default();
-        let a = p.alloc();
-        p.with_page_mut(a, &mut tally, |pg| pg.bytes_mut()[0] = 1);
-        p.clear_cache();
+        let a = p.alloc().unwrap();
+        p.with_page_mut(a, &mut tally, |pg| pg.bytes_mut()[0] = 1).unwrap();
+        p.clear_cache().unwrap();
         let after_first = p.stats().write_backs;
         assert_eq!(after_first, 1, "one dirty frame, one write-back");
         // Clearing again: the frame is gone, nothing to write.
-        p.clear_cache();
+        p.clear_cache().unwrap();
         assert_eq!(p.stats().write_backs, after_first);
         // Fault it back in twice: one fault, two reads.
         p.reset_stats();
         let mut tally = IoTally::default();
-        p.with_page(a, &mut tally, |pg| assert_eq!(pg.bytes()[0], 1));
-        p.with_page(a, &mut tally, |_| ());
+        p.with_page(a, &mut tally, |pg| assert_eq!(pg.bytes()[0], 1)).unwrap();
+        p.with_page(a, &mut tally, |_| ()).unwrap();
         assert_eq!(tally, IoTally { logical_reads: 2, page_faults: 1 });
         // A clean frame evicted by pressure is not written back.
         for _ in 0..20 {
-            p.alloc();
+            p.alloc().unwrap();
         }
         assert_eq!(p.stats().write_backs, 0);
     }
@@ -356,11 +427,11 @@ mod tests {
     fn hit_rate_defined_at_zero_reads() {
         let p = pool(4, 2);
         assert_eq!(p.stats().hit_rate(), 1.0);
-        let a = p.alloc();
-        p.clear_cache();
+        let a = p.alloc().unwrap();
+        p.clear_cache().unwrap();
         let mut tally = IoTally::default();
-        p.with_page(a, &mut tally, |_| ());
-        p.with_page(a, &mut tally, |_| ());
+        p.with_page(a, &mut tally, |_| ()).unwrap();
+        p.with_page(a, &mut tally, |_| ()).unwrap();
         let rate = p.stats().hit_rate();
         assert!((rate - 0.5).abs() < 1e-12, "one fault in two reads, got {rate}");
     }
@@ -370,8 +441,8 @@ mod tests {
     #[test]
     fn tallies_sum_to_global_stats_under_threads() {
         let p = pool(6, 3); // small enough to keep evicting
-        let ids: Vec<PageId> = (0..32).map(|_| p.alloc()).collect();
-        p.clear_cache();
+        let ids: Vec<PageId> = (0..32).map(|_| p.alloc().unwrap()).collect();
+        p.clear_cache().unwrap();
         p.reset_stats();
         let tallies: Vec<IoTally> = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..4u64)
@@ -384,7 +455,8 @@ mod tests {
                             let id = ids[((i * 7 + t * 13) % ids.len() as u64) as usize];
                             p.with_page(id, &mut tally, |pg| {
                                 assert_eq!(pg.bytes()[0], 0);
-                            });
+                            })
+                            .unwrap();
                         }
                         tally
                     })
@@ -405,7 +477,7 @@ mod tests {
     #[test]
     fn concurrent_writes_are_not_lost() {
         let p = pool(4, 2);
-        let ids: Vec<PageId> = (0..16).map(|_| p.alloc()).collect();
+        let ids: Vec<PageId> = (0..16).map(|_| p.alloc().unwrap()).collect();
         std::thread::scope(|scope| {
             for t in 0..4usize {
                 let p = &p;
@@ -414,17 +486,19 @@ mod tests {
                     let mut tally = IoTally::default();
                     // Each thread owns a disjoint quarter of the pages.
                     for (i, &id) in ids.iter().enumerate().skip(t * 4).take(4) {
-                        p.with_page_mut(id, &mut tally, |pg| pg.bytes_mut()[100] = i as u8 + 1);
+                        p.with_page_mut(id, &mut tally, |pg| pg.bytes_mut()[100] = i as u8 + 1)
+                            .unwrap();
                     }
                 });
             }
         });
-        p.clear_cache();
+        p.clear_cache().unwrap();
         let mut tally = IoTally::default();
         for (i, &id) in ids.iter().enumerate() {
             p.with_page(id, &mut tally, |pg| {
                 assert_eq!(pg.bytes()[100], i as u8 + 1, "page {i} lost its write");
-            });
+            })
+            .unwrap();
         }
     }
 
@@ -433,9 +507,9 @@ mod tests {
         let p = pool(5, 4); // caps 2,1,1,1
         assert_eq!(p.capacity(), 5);
         let mut tally = IoTally::default();
-        let ids: Vec<PageId> = (0..64).map(|_| p.alloc()).collect();
+        let ids: Vec<PageId> = (0..64).map(|_| p.alloc().unwrap()).collect();
         for &id in &ids {
-            p.with_page(id, &mut tally, |_| ());
+            p.with_page(id, &mut tally, |_| ()).unwrap();
         }
         assert!(p.cached_pages() <= p.capacity());
     }
@@ -446,6 +520,53 @@ mod tests {
         let _ = pool(0, 4);
     }
 
+    /// The panic-freedom satellite: a closure that panics inside
+    /// `with_page` poisons that stripe, and every later access to the
+    /// stripe surfaces `Err(LockPoisoned)` — never a propagated panic.
+    #[test]
+    fn poisoned_stripe_surfaces_as_err_not_panic() {
+        let p = pool(8, 2);
+        let mut tally = IoTally::default();
+        let a = p.alloc().unwrap();
+        let sibling = {
+            // A page in the same stripe as `a` (same id parity).
+            let mut id = p.alloc().unwrap();
+            while id.index() % 2 != a.index() % 2 {
+                id = p.alloc().unwrap();
+            }
+            id
+        };
+        let other = {
+            // A page in the other stripe.
+            let mut id = p.alloc().unwrap();
+            while id.index() % 2 == a.index() % 2 {
+                id = p.alloc().unwrap();
+            }
+            id
+        };
+        // Poison `a`'s stripe: panic while holding its lock.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t = IoTally::default();
+            let _ = p.with_page(a, &mut t, |_| panic!("die holding the stripe lock"));
+        }));
+        assert!(panicked.is_err(), "closure panic must unwind out of with_page");
+        // Same stripe: every access reports Err.
+        assert_eq!(
+            p.with_page(a, &mut tally, |_| ()),
+            Err(StorageError::LockPoisoned("buffer-pool stripe"))
+        );
+        assert_eq!(
+            p.with_page_mut(sibling, &mut tally, |_| ()),
+            Err(StorageError::LockPoisoned("buffer-pool stripe"))
+        );
+        assert!(p.flush().is_err(), "flush walks every stripe");
+        // The untouched stripe still serves.
+        assert!(p.with_page(other, &mut tally, |_| ()).is_ok());
+        // Introspection recovers instead of failing.
+        let _ = p.cached_pages();
+        assert!(p.num_pages() >= 3);
+    }
+
     /// B+-tree over the concurrent pool via `TalliedPool`: shared reads
     /// from several threads agree with the single-threaded answer.
     #[test]
@@ -453,11 +574,12 @@ mod tests {
         use crate::bptree::BPlusTree;
         let p = pool(8, 4);
         let mut tally = IoTally::default();
-        let mut tree = BPlusTree::with_caps(&mut TalliedPool { pool: &p, tally: &mut tally }, 4, 4);
+        let mut tree =
+            BPlusTree::with_caps(&mut TalliedPool { pool: &p, tally: &mut tally }, 4, 4).unwrap();
         for k in 0..300u64 {
-            tree.insert(&mut TalliedPool { pool: &p, tally: &mut tally }, k, k * 3);
+            tree.insert(&mut TalliedPool { pool: &p, tally: &mut tally }, k, k * 3).unwrap();
         }
-        p.clear_cache();
+        p.clear_cache().unwrap();
         p.reset_stats();
         std::thread::scope(|scope| {
             for t in 0..4u64 {
@@ -469,6 +591,7 @@ mod tests {
                         let k = (i * 11 + t) % 300;
                         let got = tree
                             .get(&mut TalliedPool { pool: p, tally: &mut tally }, k)
+                            .unwrap()
                             .expect("key present");
                         assert_eq!(got, k * 3);
                     }

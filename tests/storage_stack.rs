@@ -17,21 +17,21 @@ fn bptree_as_association_directory_index() {
     // Model the paper's Association Directory: node id -> object-record
     // pointer for 10k nodes, under a 50-page buffer.
     let mut pool = BufferPool::new(PageStore::new(), DEFAULT_BUFFER_PAGES);
-    let mut tree = BPlusTree::new(&mut pool);
+    let mut tree = BPlusTree::new(&mut pool).unwrap();
     let mut pages = PageMap::new();
     for node in (0..10_000u64).step_by(7) {
         let (pg, _) = pages.insert(node, 32);
-        tree.insert(&mut pool, node, pg as u64);
+        tree.insert(&mut pool, node, pg as u64).unwrap();
     }
     pool.clear_cache();
     pool.reset_stats();
     // A cold lookup path costs height+1 page faults at most.
-    let v = tree.get(&mut pool, 7 * 100);
+    let v = tree.get(&mut pool, 7 * 100).unwrap();
     assert!(v.is_some());
     let faults = pool.stats().page_faults;
     assert!(faults as u32 <= tree.height() + 1, "lookup cost {faults} pages");
     // Missing keys are cheap too and prove absence.
-    assert_eq!(tree.get(&mut pool, 3), None);
+    assert_eq!(tree.get(&mut pool, 3).unwrap(), None);
 }
 
 #[test]
@@ -84,16 +84,16 @@ fn buffer_pool_bounds_resident_pages() {
     let mut pool = BufferPool::new(PageStore::new(), 10);
     let ids: Vec<_> = (0..100).map(|_| pool.alloc()).collect();
     for (i, &id) in ids.iter().enumerate() {
-        pool.with_page_mut(id, |p| p.bytes_mut()[0] = i as u8);
+        pool.with_page_mut(id, |p| p.bytes_mut()[0] = i as u8).unwrap();
     }
     // Everything is still readable (write-back worked) …
     for (i, &id) in ids.iter().enumerate() {
-        pool.with_page(id, |p| assert_eq!(p.bytes()[0], i as u8));
+        pool.with_page(id, |p| assert_eq!(p.bytes()[0], i as u8)).unwrap();
     }
     // … and the store carries the truth after a flush.
     pool.clear_cache();
     for (i, &id) in ids.iter().enumerate() {
-        pool.with_page(id, |p| assert_eq!(p.bytes()[0], i as u8));
+        pool.with_page(id, |p| assert_eq!(p.bytes()[0], i as u8)).unwrap();
     }
 }
 
@@ -135,15 +135,15 @@ fn buffer_pool_repin_protects_hot_page() {
     pool.reset_stats();
     // Fault in 0, 1, 2; re-pin 0; then stream 3 and 4 (evicting 1 and 2).
     for &p in &pages[..3] {
-        pool.with_page(p, |_| ());
+        pool.with_page(p, |_| ()).unwrap();
     }
-    pool.with_page(pages[0], |_| ());
-    pool.with_page(pages[3], |_| ());
-    pool.with_page(pages[4], |_| ());
+    pool.with_page(pages[0], |_| ()).unwrap();
+    pool.with_page(pages[3], |_| ()).unwrap();
+    pool.with_page(pages[4], |_| ()).unwrap();
     let faults_before = pool.stats().page_faults;
-    pool.with_page(pages[0], |_| ()); // still resident: no fault
+    pool.with_page(pages[0], |_| ()).unwrap(); // still resident: no fault
     assert_eq!(pool.stats().page_faults, faults_before, "re-pinned page was evicted");
-    pool.with_page(pages[1], |_| ()); // evicted: faults
+    pool.with_page(pages[1], |_| ()).unwrap(); // evicted: faults
     assert_eq!(pool.stats().page_faults, faults_before + 1);
 }
 
@@ -154,28 +154,32 @@ fn buffer_pool_repin_protects_hot_page() {
 fn bptree_split_merge_at_boundary_fanouts() {
     for (leaf_cap, int_cap) in [(3usize, 3usize), (3, 4), (4, 3), (4, 4), (5, 3)] {
         let mut pool = BufferPool::new(PageStore::new(), 8);
-        let mut tree = BPlusTree::with_caps(&mut pool, leaf_cap, int_cap);
+        let mut tree = BPlusTree::with_caps(&mut pool, leaf_cap, int_cap).unwrap();
         let mut model = std::collections::BTreeMap::new();
         // Ascending fill to one past every split boundary.
         let n = (leaf_cap * int_cap * int_cap + 1) as u64;
         for k in 0..n {
             assert_eq!(
-                tree.insert(&mut pool, k, !k),
+                tree.insert(&mut pool, k, !k).unwrap(),
                 model.insert(k, !k),
                 "caps {leaf_cap}/{int_cap}"
             );
         }
         assert!(tree.height() >= 2, "caps {leaf_cap}/{int_cap} never built height");
         assert_eq!(
-            tree.entries(&mut pool),
+            tree.entries(&mut pool).unwrap(),
             model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
         );
         // Descending removal drains through every merge/borrow path.
         for k in (0..n).rev() {
-            assert_eq!(tree.remove(&mut pool, k), model.remove(&k), "caps {leaf_cap}/{int_cap}");
+            assert_eq!(
+                tree.remove(&mut pool, k).unwrap(),
+                model.remove(&k),
+                "caps {leaf_cap}/{int_cap}"
+            );
             if k % 7 == 0 {
                 // Interleaved probes keep lookups honest mid-rebalance.
-                assert_eq!(tree.get(&mut pool, k / 2), model.get(&(k / 2)).copied());
+                assert_eq!(tree.get(&mut pool, k / 2).unwrap(), model.get(&(k / 2)).copied());
             }
         }
         assert!(tree.is_empty());
@@ -189,17 +193,17 @@ fn bptree_split_merge_at_boundary_fanouts() {
 #[test]
 fn bptree_zigzag_at_split_boundary() {
     let mut pool = BufferPool::new(PageStore::new(), 8);
-    let mut tree = BPlusTree::with_caps(&mut pool, 3, 3);
+    let mut tree = BPlusTree::with_caps(&mut pool, 3, 3).unwrap();
     for round in 0..40u64 {
         let base = round * 100;
         for k in 0..9 {
-            tree.insert(&mut pool, base + k, k);
+            tree.insert(&mut pool, base + k, k).unwrap();
         }
         // Remove from alternating ends to force left- and right-sibling
         // merges in the same subtree.
         for (i, k) in (0..9).enumerate() {
             let key = if i % 2 == 0 { base + k } else { base + 8 - k };
-            tree.remove(&mut pool, key);
+            tree.remove(&mut pool, key).unwrap();
         }
     }
     assert!(tree.is_empty());
@@ -277,24 +281,24 @@ fn signature_false_positive_rate_and_union() {
 fn stress_bptree_soak_under_tiny_buffer() {
     let mut rng = StdRng::seed_from_u64(2024);
     let mut pool = BufferPool::new(PageStore::new(), 4);
-    let mut tree = BPlusTree::with_caps(&mut pool, 4, 4);
+    let mut tree = BPlusTree::with_caps(&mut pool, 4, 4).unwrap();
     let mut model = std::collections::BTreeMap::new();
     for step in 0..100_000u64 {
         let key = rng.random_range(0..4_000u64);
         match rng.random_range(0..5) {
             0..=2 => {
-                assert_eq!(tree.insert(&mut pool, key, step), model.insert(key, step));
+                assert_eq!(tree.insert(&mut pool, key, step).unwrap(), model.insert(key, step));
             }
             3 => {
-                assert_eq!(tree.remove(&mut pool, key), model.remove(&key));
+                assert_eq!(tree.remove(&mut pool, key).unwrap(), model.remove(&key));
             }
             _ => {
-                assert_eq!(tree.get(&mut pool, key), model.get(&key).copied());
+                assert_eq!(tree.get(&mut pool, key).unwrap(), model.get(&key).copied());
             }
         }
         if step % 20_000 == 0 {
             assert_eq!(
-                tree.entries(&mut pool),
+                tree.entries(&mut pool).unwrap(),
                 model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
             );
         }
@@ -310,16 +314,16 @@ proptest! {
     #[test]
     fn bptree_model_under_tiny_buffer(ops in prop::collection::vec((0u8..3, 0u64..200), 1..120)) {
         let mut pool = BufferPool::new(PageStore::new(), 4);
-        let mut tree = BPlusTree::with_caps(&mut pool, 4, 4);
+        let mut tree = BPlusTree::with_caps(&mut pool, 4, 4).unwrap();
         let mut model = std::collections::BTreeMap::new();
         for (op, key) in ops {
             match op {
-                0 => { prop_assert_eq!(tree.insert(&mut pool, key, key + 1), model.insert(key, key + 1)); }
-                1 => { prop_assert_eq!(tree.remove(&mut pool, key), model.remove(&key)); }
-                _ => { prop_assert_eq!(tree.get(&mut pool, key), model.get(&key).copied()); }
+                0 => { prop_assert_eq!(tree.insert(&mut pool, key, key + 1).unwrap(), model.insert(key, key + 1)); }
+                1 => { prop_assert_eq!(tree.remove(&mut pool, key).unwrap(), model.remove(&key)); }
+                _ => { prop_assert_eq!(tree.get(&mut pool, key).unwrap(), model.get(&key).copied()); }
             }
         }
-        let got = tree.entries(&mut pool);
+        let got = tree.entries(&mut pool).unwrap();
         let want: Vec<(u64, u64)> = model.into_iter().collect();
         prop_assert_eq!(got, want);
     }

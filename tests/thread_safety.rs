@@ -1,0 +1,51 @@
+//! Compile-time thread-safety assertions for every type the serving path
+//! shares across threads. These are static assertions: if a refactor
+//! accidentally drops `Send`/`Sync` from an engine (say, by storing an
+//! `Rc` or a raw pointer), this file stops compiling — no runtime test
+//! required.
+
+use road::core::{LiveEngine, PagedEngine, QueryEngine, Snapshot, UpdateHandle};
+use road::storage::StripedBufferPool;
+use std::panic::RefUnwindSafe;
+use std::sync::Arc;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+fn assert_ref_unwind_safe<T: RefUnwindSafe>() {}
+
+#[test]
+fn engines_are_send_and_sync() {
+    // QueryEngine: shared by reference across scoped batch workers.
+    assert_send::<QueryEngine>();
+    assert_sync::<QueryEngine>();
+
+    // LiveEngine + UpdateHandle: readers and the single writer live on
+    // different threads; snapshots are handed across thread boundaries.
+    assert_send::<LiveEngine>();
+    assert_sync::<LiveEngine>();
+    assert_send::<UpdateHandle>();
+    assert_send::<Arc<Snapshot>>();
+    assert_sync::<Arc<Snapshot>>();
+
+    // PagedEngine: one shared disk-resident engine serves all threads.
+    assert_send::<PagedEngine>();
+    assert_sync::<PagedEngine>();
+
+    // The lock-striped pool underneath it.
+    assert_send::<StripedBufferPool>();
+    assert_sync::<StripedBufferPool>();
+}
+
+#[test]
+fn serving_types_survive_unwind_boundaries() {
+    // A panic in one request must not poison the whole process: the
+    // serving loop catches unwinds around worker closures, so the shared
+    // engines must be legitimately RefUnwindSafe (their interior
+    // mutability is all Mutex/RwLock/atomics, which surface a poisoned
+    // state as an error rather than UB).
+    assert_ref_unwind_safe::<QueryEngine>();
+    assert_ref_unwind_safe::<LiveEngine>();
+    assert_ref_unwind_safe::<PagedEngine>();
+    assert_ref_unwind_safe::<StripedBufferPool>();
+    assert_ref_unwind_safe::<Arc<Snapshot>>();
+}
