@@ -1,13 +1,23 @@
 //! The roadlint CLI.
 //!
 //! ```text
-//! roadlint [ROOT] [--graph]
+//! roadlint [ROOT] [--graph] [--taint] [--dag] [--json]
 //! ```
 //!
 //! Walks the workspace at ROOT (default: the current directory), runs
-//! every rule and prints the findings. `--graph` additionally prints the
-//! acquired-while-held lock graph. Exit status: 0 clean, 1 findings,
-//! 2 usage or I/O error.
+//! every rule and prints the findings.
+//!
+//! * `--graph` additionally prints the acquired-while-held lock graph
+//!   with example sites;
+//! * `--taint` additionally prints the taint verdict table
+//!   (source → sanitizer → sink);
+//! * `--dag` prints ONLY canonical `from -> to` lines to stdout (for
+//!   diffing against a committed `lockgraph.expected`); findings go to
+//!   stderr;
+//! * `--json` prints ONLY the machine-readable report to stdout (for the
+//!   CI artifact); the human summary goes to stderr.
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,11 +25,17 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut graph = false;
+    let mut taint = false;
+    let mut dag = false;
+    let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--graph" => graph = true,
+            "--taint" => taint = true,
+            "--dag" => dag = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: roadlint [ROOT] [--graph]");
+                println!("usage: roadlint [ROOT] [--graph] [--taint] [--dag] [--json]");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -38,10 +54,44 @@ fn main() -> ExitCode {
         }
     };
 
+    let status = if analysis.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+
+    if json {
+        // Stdout is the artifact; everything human-facing goes to stderr.
+        println!("{}", road_analysis::json::render(&analysis));
+        for f in &analysis.findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "roadlint: {} file(s), {} finding(s)",
+            analysis.files_scanned,
+            analysis.findings.len()
+        );
+        return status;
+    }
+
+    if dag {
+        // Stdout is exactly the canonical edge list, for `diff`.
+        for (from, to) in analysis.graph.edges.keys() {
+            println!("{from} -> {to}");
+        }
+        for f in &analysis.findings {
+            eprintln!("{f}");
+        }
+        return status;
+    }
+
     if graph {
         println!("lock classes: {:?}", analysis.graph.classes);
         for ((from, to), site) in &analysis.graph.edges {
             println!("  {from} -> {to}   (e.g. {}:{} in {})", site.file, site.line, site.function);
+        }
+    }
+
+    if taint {
+        println!("taint verdicts (source -> sanitizer -> sink):");
+        for v in &analysis.taint {
+            println!("  {}\n    -> sanitized by {}\n    -> {}", v.source, v.sanitizer, v.sink);
         }
     }
 
@@ -53,9 +103,5 @@ fn main() -> ExitCode {
         analysis.files_scanned,
         analysis.findings.len()
     );
-    if analysis.findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    status
 }

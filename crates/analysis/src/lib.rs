@@ -1,23 +1,37 @@
 //! roadlint — project-specific static analysis for the ROAD workspace.
 //!
-//! A dependency-free, token-level pass proving five invariants of the
+//! A dependency-free, token-level pass proving the invariants of the
 //! serving path (see ARCHITECTURE.md §"Invariants and static analysis"):
 //!
 //! 1. **panic** — `serving-path` files contain no `.unwrap()` /
 //!    `.expect()`, no panicking macros and no slice indexing;
 //! 2. **lock-order** — the acquired-while-held graph over the named lock
-//!    classes is a DAG;
+//!    classes is a DAG, with cross-crate footprints computed on the
+//!    workspace call graph;
 //! 3. **hot-alloc** — `hot-path` fences contain no fresh heap
 //!    allocations;
 //! 4. **atomic-ordering** — every `Ordering::Relaxed` carries a
 //!    `relaxed-ok` justification and bare `Ordering::SeqCst` is flagged;
 //! 5. **decode-bound** — `with_capacity` in `decode-fn` functions is
-//!    dominated by a bound/error check on the decoded count.
+//!    dominated by a bound/error check on the decoded count;
+//! 6. **taint** — integers decoded from untrusted bytes must flow
+//!    through a sanitizer before sizing an allocation, indexing a slice
+//!    or bounding a loop ([`dataflow`], interprocedural);
+//! 7. **guard-io** — no guard other than the buffer pool's own stripe
+//!    is held across `PageStore` IO ([`lockgraph`]);
+//! 8. **swallowed-error** — `Result`s on the serving/decode path are
+//!    not silently discarded ([`discard`]).
 //!
+//! Rules 6–8 resolve calls across files and crates via [`callgraph`].
 //! The pass walks every `.rs` file of the workspace (skipping `target`,
 //! `vendor`, test trees and fixtures) and exits non-zero on any finding,
-//! which makes it usable as a hard CI gate.
+//! which makes it usable as a hard CI gate; `--json` emits a
+//! machine-readable report for CI artifacts.
 
+pub mod callgraph;
+pub mod dataflow;
+pub mod discard;
+pub mod json;
 pub mod lexer;
 pub mod lockgraph;
 pub mod markers;
@@ -28,14 +42,15 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// One rule violation (or marker-hygiene problem) at a source location.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     /// Workspace-relative path of the offending file.
     pub file: String,
     /// 1-based line; 0 for whole-file findings.
     pub line: u32,
     /// Stable rule identifier (`panic`, `lock-order`, `hot-alloc`,
-    /// `atomic-ordering`, `decode-bound`, `marker`).
+    /// `atomic-ordering`, `decode-bound`, `taint`, `guard-io`,
+    /// `swallowed-error`, `marker`).
     pub rule: &'static str,
     pub message: String,
 }
@@ -46,13 +61,37 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One parsed file, shared by every pass: lexed tokens, markers, function
+/// spans and unit-test ranges.
+#[derive(Debug)]
+pub struct FileData {
+    pub path: String,
+    pub lexed: lexer::Lexed,
+    pub markers: markers::Markers,
+    pub fns: Vec<syntax::FnSpan>,
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileData {
+    pub fn new(path: &str, src: &str) -> FileData {
+        let lexed = lexer::lex(src);
+        let markers = markers::parse(path, &lexed.comments);
+        let fns = syntax::functions(&lexed.tokens);
+        let test_ranges = syntax::test_mod_ranges(&lexed.tokens);
+        FileData { path: path.to_owned(), lexed, markers, fns, test_ranges }
+    }
+}
+
 /// The result of analysing a set of sources.
 #[derive(Debug, Default)]
 pub struct Analysis {
     /// All findings, sorted by file then line.
     pub findings: Vec<Finding>,
-    /// The acquired-while-held lock graph (for `--graph`).
+    /// The acquired-while-held lock graph (for `--graph` / `--dag`).
     pub graph: lockgraph::LockGraph,
+    /// The taint verdict table: every sanitized flow that reached a sink
+    /// (for `--taint`).
+    pub taint: Vec<dataflow::TaintVerdict>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -60,18 +99,24 @@ pub struct Analysis {
 /// Analyses in-memory `(path, source)` pairs — the composition point the
 /// workspace walk and the fixture tests share.
 pub fn analyze_sources<'a>(sources: impl IntoIterator<Item = (&'a str, &'a str)>) -> Analysis {
-    let mut analysis = Analysis::default();
+    let files: Vec<FileData> =
+        sources.into_iter().map(|(path, src)| FileData::new(path, src)).collect();
+    let cg = callgraph::CallGraph::build(&files);
+    let mut analysis = Analysis { files_scanned: files.len(), ..Default::default() };
     let mut locks = Vec::new();
-    for (path, src) in sources {
-        analysis.files_scanned += 1;
-        let report = rules::check_file(path, src);
-        analysis.findings.extend(report.findings);
-        locks.extend(report.locks);
+    for (fi, fd) in files.iter().enumerate() {
+        analysis.findings.extend(rules::check_file(fd));
+        locks.push(lockgraph::extract_file_locks(fd, fi, &cg, &mut analysis.findings));
     }
-    let (graph, order_findings) = lockgraph::check(&locks);
+    let (graph, order_findings) = lockgraph::check(&locks, &cg);
     analysis.graph = graph;
     analysis.findings.extend(order_findings);
-    analysis.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let (taint_findings, verdicts) = dataflow::check(&files, &cg);
+    analysis.findings.extend(taint_findings);
+    analysis.taint = verdicts;
+    analysis.findings.extend(discard::check(&files, &cg));
+    analysis.findings.sort();
+    analysis.findings.dedup();
     analysis
 }
 

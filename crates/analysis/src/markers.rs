@@ -15,6 +15,10 @@
 //! | `relaxed-ok reason="…"` | justifies an adjacent `Ordering::Relaxed` |
 //! | `seqcst-ok reason="…"` | justifies an adjacent `Ordering::SeqCst` |
 //! | `lock(<class>)` | classifies an unrecognized lock acquisition on this line |
+//! | `taint-source` | the next function's return value is untrusted input |
+//! | `sanitized reason="…"` | taint escape: a sink on this/next line is bounded |
+//! | `allow(io-under-lock) reason="…"` | escape: guard intentionally held across page IO |
+//! | `allow(discard) reason="…"` | escape: the `Result` discard on this line is intentional |
 //!
 //! Every escape *requires* a non-empty reason; an escape without one is
 //! itself a finding and does not suppress anything.
@@ -35,6 +39,11 @@ pub enum Marker {
     RelaxedOk,
     SeqCstOk,
     LockClass(String),
+    TaintSource,
+    /// Taint escape with its reason text (shown in the verdict table).
+    Sanitized(String),
+    AllowIoUnderLock,
+    AllowDiscard,
 }
 
 /// A marker plus the line its comment starts on.
@@ -67,6 +76,16 @@ impl Markers {
     pub fn lock_class_on_line(&self, l: u32) -> Option<&str> {
         self.markers.iter().find_map(|m| match &m.marker {
             Marker::LockClass(c) if m.line == l => Some(c.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The reason of a `sanitized` marker on line `l` or the line above.
+    pub fn sanitized_reason_near(&self, l: u32) -> Option<&str> {
+        self.markers.iter().find_map(|m| match &m.marker {
+            Marker::Sanitized(reason) if m.line == l || (l > 0 && m.line == l - 1) => {
+                Some(reason.as_str())
+            }
             _ => None,
         })
     }
@@ -123,6 +142,21 @@ pub fn parse(file: &str, comments: &[Comment]) -> Markers {
             out.markers.push(MarkerAt { marker: Marker::HotPathStart, line: c.line });
         } else if rest.starts_with("decode-fn") {
             out.markers.push(MarkerAt { marker: Marker::DecodeFn, line: c.line });
+        } else if rest.starts_with("taint-source") {
+            out.markers.push(MarkerAt { marker: Marker::TaintSource, line: c.line });
+        } else if rest.starts_with("sanitized") {
+            match reason_text(rest) {
+                Some(reason) => out
+                    .markers
+                    .push(MarkerAt { marker: Marker::Sanitized(reason.to_owned()), line: c.line }),
+                None => out.hygiene.push(hygiene(
+                    "`sanitized` requires a non-empty reason=\"…\" and suppresses nothing without one".to_owned(),
+                )),
+            }
+        } else if rest.starts_with("allow(io-under-lock)") {
+            reasoned(&mut out, Marker::AllowIoUnderLock, "allow(io-under-lock)");
+        } else if rest.starts_with("allow(discard)") {
+            reasoned(&mut out, Marker::AllowDiscard, "allow(discard)");
         } else if rest.starts_with("allow(panic-fn)") {
             reasoned(&mut out, Marker::AllowPanicFn, "allow(panic-fn)");
         } else if rest.starts_with("allow(panic)") {
@@ -161,12 +195,15 @@ pub fn parse(file: &str, comments: &[Comment]) -> Markers {
 
 /// True when the directive tail carries `reason="<non-empty>"`.
 fn has_reason(rest: &str) -> bool {
-    rest.find("reason=\"")
-        .map(|at| {
-            let tail = &rest[at + "reason=\"".len()..];
-            tail.split('"').next().is_some_and(|r| !r.trim().is_empty())
-        })
-        .unwrap_or(false)
+    reason_text(rest).is_some()
+}
+
+/// The non-empty `reason="…"` text of a directive tail, if present.
+fn reason_text(rest: &str) -> Option<&str> {
+    let at = rest.find("reason=\"")?;
+    let tail = &rest[at + "reason=\"".len()..];
+    let r = tail.split('"').next()?.trim();
+    (!r.is_empty()).then_some(r)
 }
 
 #[cfg(test)]

@@ -16,19 +16,10 @@
 //!
 //! Unit-test modules (`#[cfg(test)] mod`) are exempt from all of these.
 
-use crate::lexer::{lex, Token};
-use crate::lockgraph::FileLocks;
-use crate::markers::{self, Marker, Markers};
+use crate::lexer::Token;
+use crate::markers::{Marker, Markers};
 use crate::syntax::{self, FnSpan};
-use crate::Finding;
-
-/// Everything roadlint extracts from one file: rule findings plus the
-/// lock-acquisition summary consumed by the cross-file lock-order rule.
-#[derive(Debug, Default)]
-pub struct FileReport {
-    pub findings: Vec<Finding>,
-    pub locks: Option<FileLocks>,
-}
+use crate::{FileData, Finding};
 
 /// Macros that abort the current thread when reached / failing.
 const PANIC_MACROS: &[&str] = &[
@@ -69,19 +60,20 @@ const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "clone", "co
 const BOUND_EVIDENCE: &[&str] =
     &["Err", "min", "clamp", "assert", "assert_eq", "debug_assert", "take"];
 
-/// Runs every per-file rule over `src`.
-pub fn check_file(file: &str, src: &str) -> FileReport {
-    let lexed = lex(src);
-    let markers = markers::parse(file, &lexed.comments);
-    let fns = syntax::functions(&lexed.tokens);
-    let test_ranges = syntax::test_mod_ranges(&lexed.tokens);
+/// Runs every per-file rule over one parsed file.
+pub fn check_file(fd: &FileData) -> Vec<Finding> {
+    let file = fd.path.as_str();
+    let markers = &fd.markers;
+    let fns = &fd.fns;
 
     let mut findings = markers.hygiene.clone();
-    let panic_fn_ranges =
-        marked_fn_bodies(file, &markers, Marker::AllowPanicFn, &fns, &mut findings);
-    let decode_fns = marked_fns(file, &markers, Marker::DecodeFn, &fns, &mut findings);
+    let panic_fn_ranges = marked_fn_bodies(file, markers, Marker::AllowPanicFn, fns, &mut findings);
+    let decode_fns = marked_fns(file, markers, Marker::DecodeFn, fns, &mut findings);
+    // `taint-source` markers have their fn association resolved by the
+    // call graph; here we only check they are not dangling.
+    let _ = marked_fns(file, markers, Marker::TaintSource, fns, &mut findings);
 
-    let ctx = Ctx { file, tokens: &lexed.tokens, markers: &markers, test_ranges: &test_ranges };
+    let ctx = Ctx { file, tokens: &fd.lexed.tokens, markers, test_ranges: &fd.test_ranges };
 
     if markers.serving_path() {
         panic_rule(&ctx, &panic_fn_ranges, &mut findings);
@@ -89,12 +81,7 @@ pub fn check_file(file: &str, src: &str) -> FileReport {
     hot_alloc_rule(&ctx, &mut findings);
     atomic_ordering_rule(&ctx, &mut findings);
     decode_bound_rule(&ctx, &decode_fns, &mut findings);
-
-    let locks = markers
-        .serving_path()
-        .then(|| crate::lockgraph::extract_file_locks(&ctx.into_lock_ctx(), &fns, &mut findings));
-
-    FileReport { findings, locks }
+    findings
 }
 
 /// Shared per-file scanning context.
@@ -119,15 +106,6 @@ impl<'a> Ctx<'a> {
     fn line_escaped(&self, marker: &Marker, line: u32) -> bool {
         self.markers.has_on_line(marker, line)
             || (line > 0 && self.markers.has_on_line(marker, line - 1))
-    }
-
-    pub(crate) fn into_lock_ctx(self) -> crate::lockgraph::LockCtx<'a> {
-        crate::lockgraph::LockCtx {
-            file: self.file,
-            tokens: self.tokens,
-            markers: self.markers,
-            test_ranges: self.test_ranges,
-        }
     }
 }
 

@@ -1,0 +1,21 @@
+// roadlint: serving-path
+// All three swallowed-Result shapes on the serving path: each must be a
+// finding.
+pub struct S {
+    dirty: bool,
+}
+
+impl S {
+    fn flush(&self) -> Result<(), u32> {
+        if self.dirty {
+            return Err(1);
+        }
+        Ok(())
+    }
+
+    pub fn serve(&self) {
+        let _ = self.flush();
+        self.flush();
+        self.flush().ok();
+    }
+}

@@ -1,0 +1,22 @@
+// roadlint: serving-path
+// Propagated or explicitly-escaped Results are not swallows.
+pub struct S {
+    dirty: bool,
+}
+
+impl S {
+    fn flush(&self) -> Result<(), u32> {
+        if self.dirty {
+            return Err(1);
+        }
+        Ok(())
+    }
+
+    pub fn serve(&self) -> Result<(), u32> {
+        self.flush()?;
+        let _ = self.flush()?;
+        // roadlint: allow(discard) reason="best-effort cache warm on the side"
+        let _ = self.flush();
+        Ok(())
+    }
+}

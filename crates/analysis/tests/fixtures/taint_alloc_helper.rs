@@ -1,0 +1,5 @@
+// The allocating third of the cross-file taint fixture. File-locally
+// `n` is just a parameter of unknown provenance — no finding.
+pub fn alloc_records(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,16 @@
+// An untrusted length (decoded from raw bytes) driving all three sink
+// shapes without a sanitizer: every one must be a taint finding.
+pub fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+pub fn decode(b: &[u8]) -> Vec<u32> {
+    let n = le_u32(b) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(0);
+    }
+    let first = b[n];
+    out.push(first as u32);
+    out
+}

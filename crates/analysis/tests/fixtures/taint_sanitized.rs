@@ -1,0 +1,24 @@
+// Each sanctioned bounding idiom must suppress the taint finding and
+// appear in the verdict table (source -> sanitizer -> sink) instead.
+pub fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+pub fn guarded(b: &[u8]) -> Vec<u32> {
+    let n = le_u32(b) as usize;
+    if n > b.len() / 4 {
+        return Vec::new();
+    }
+    Vec::with_capacity(n)
+}
+
+pub fn bounded(b: &[u8]) -> Vec<u32> {
+    let n = le_u32(b) as usize;
+    Vec::with_capacity(n.min(b.len()))
+}
+
+pub fn marked(b: &[u8]) -> Vec<u32> {
+    let n = le_u32(b) as usize;
+    // roadlint: sanitized reason="n is pre-validated by the section walker"
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,5 @@
+// The byte-reading third of the cross-file taint fixture. Nothing here
+// allocates or indexes, so a file-local rule sees nothing suspicious.
+pub fn read_count(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}

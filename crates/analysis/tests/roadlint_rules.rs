@@ -10,9 +10,21 @@
 use road_analysis::{analyze_sources, Analysis, Finding};
 
 fn analyze_fixture(name: &str) -> Analysis {
-    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
-    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    analyze_sources([(name, src.as_str())])
+    analyze_fixtures(&[name])
+}
+
+/// Analyzes several fixtures as ONE workspace — how the cross-file rules
+/// (call-graph taint, lock cycles split over files) are exercised.
+fn analyze_fixtures(names: &[&str]) -> Analysis {
+    let srcs: Vec<(String, String)> = names
+        .iter()
+        .map(|name| {
+            let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+            let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            (name.to_string(), src)
+        })
+        .collect();
+    analyze_sources(srcs.iter().map(|(n, s)| (n.as_str(), s.as_str())))
 }
 
 fn rules(findings: &[Finding]) -> Vec<&'static str> {
@@ -101,6 +113,88 @@ fn unclassified_acquisition_is_a_finding() {
 }
 
 #[test]
+fn taint_rule_fires_on_every_sink_shape() {
+    let a = analyze_fixture("taint_bad.rs");
+    let taint: Vec<_> = a.findings.iter().filter(|f| f.rule == "taint").collect();
+    assert_eq!(taint.len(), 3, "{:?}", a.findings);
+    let msgs: String = taint.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.contains("with_capacity()"), "{msgs}");
+    assert!(msgs.contains("loop bound"), "{msgs}");
+    assert!(msgs.contains("slice index/range"), "{msgs}");
+}
+
+#[test]
+fn taint_sanitizers_suppress_and_appear_in_the_verdict_table() {
+    let a = analyze_fixture("taint_sanitized.rs");
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    assert_eq!(a.taint.len(), 3, "{:?}", a.taint);
+    let sanitizers: String = a.taint.iter().map(|v| v.sanitizer.as_str()).collect();
+    assert!(sanitizers.contains("guard"), "{sanitizers}");
+    assert!(sanitizers.contains("min()"), "{sanitizers}");
+    assert!(sanitizers.contains("marker:"), "{sanitizers}");
+}
+
+#[test]
+fn cross_file_taint_needs_the_workspace_call_graph() {
+    // Each file alone is what v1's file-local decode-bound rule saw:
+    // nothing. The flow source -> helper -> sink spans three files.
+    for f in ["taint_source_reader.rs", "taint_alloc_helper.rs", "taint_decode_flow.rs"] {
+        let a = analyze_fixture(f);
+        assert!(a.findings.is_empty(), "{f} alone should be clean: {:?}", a.findings);
+    }
+    let a = analyze_fixtures(&[
+        "taint_source_reader.rs",
+        "taint_alloc_helper.rs",
+        "taint_decode_flow.rs",
+    ]);
+    let taint: Vec<_> = a.findings.iter().filter(|f| f.rule == "taint").collect();
+    assert_eq!(taint.len(), 1, "{:?}", a.findings);
+    assert!(taint[0].message.contains("read_count"), "{:?}", taint[0]);
+}
+
+#[test]
+fn cross_file_lock_cycle_needs_both_files() {
+    for f in ["lock_cycle_a.rs", "lock_cycle_b.rs"] {
+        let a = analyze_fixture(f);
+        assert!(a.findings.is_empty(), "{f} alone should be clean: {:?}", a.findings);
+    }
+    let a = analyze_fixtures(&["lock_cycle_a.rs", "lock_cycle_b.rs"]);
+    let order: Vec<_> = a.findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(order.len(), 1, "{:?}", a.findings);
+    assert!(order[0].message.contains("lock-order cycle"));
+    assert!(order[0].message.contains("append -> store"));
+    assert!(order[0].message.contains("store -> append"));
+}
+
+#[test]
+fn guard_across_io_is_found_through_the_call_graph() {
+    let a = analyze_fixture("guard_io_bad.rs");
+    let io: Vec<_> = a.findings.iter().filter(|f| f.rule == "guard-io").collect();
+    assert_eq!(io.len(), 1, "{:?}", a.findings);
+    assert!(io[0].message.contains("`image`"), "{:?}", io[0]);
+    assert!(io[0].message.contains("Pool::alloc"), "{:?}", io[0]);
+    // The acquired-while-held edge is computed from the same resolution.
+    assert!(a.graph.edges.contains_key(&("image".to_owned(), "store".to_owned())));
+
+    let ok = analyze_fixture("guard_io_ok.rs");
+    assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+}
+
+#[test]
+fn swallowed_results_fire_and_escape() {
+    let a = analyze_fixture("discard_bad.rs");
+    let sw: Vec<_> = a.findings.iter().filter(|f| f.rule == "swallowed-error").collect();
+    assert_eq!(sw.len(), 3, "{:?}", a.findings);
+    let msgs: String = sw.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.contains("`let _ =`"), "{msgs}");
+    assert!(msgs.contains("bare `flush"), "{msgs}");
+    assert!(msgs.contains(".ok()"), "{msgs}");
+
+    let ok = analyze_fixture("discard_ok.rs");
+    assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+}
+
+#[test]
 fn the_workspace_itself_is_clean() {
     // The CI gate in executable form: the real workspace must lint clean.
     let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
@@ -118,4 +212,21 @@ fn the_workspace_itself_is_clean() {
     assert!(edge(&a, "rnet-decode", "append"));
     assert!(edge(&a, "stripe", "store"));
     assert!(!a.graph.edges.keys().any(|(f, t)| f == "publish" || t == "publish"));
+    // Every decode loop/allocation must appear in the taint verdict table
+    // with its sanitizer — spot-check the load-bearing chains: the
+    // shortcut section counts (fail-fast guards added with this rule),
+    // the persist prelude (Reader::require as an interprocedural
+    // sanitizer), and the B+-tree's partition_point-bounded indices.
+    let verdict = |src: &str, san: &str, sink: &str| {
+        a.taint
+            .iter()
+            .any(|v| v.source.contains(src) && v.sanitizer.contains(san) && v.sink.contains(sink))
+    };
+    assert!(verdict("read_u32", "guard", "loop bound"), "shortcut count chains missing");
+    assert!(verdict("Reader::u32", "Reader::require", "loop bound"), "prelude chains missing");
+    assert!(verdict("le_u64", "partition_point()", "slice index/range"), "bptree chains missing");
+    assert!(
+        a.taint.iter().any(|v| v.sink.contains("ShortcutStore::skip_rnet_section")),
+        "lazy-open walker not in the verdict table"
+    );
 }

@@ -305,8 +305,9 @@ impl ShortcutStore {
     }
 
     /// Appends a flat binary encoding of the store to `out` (see
-    /// [`crate::persist`] for the enclosing format).
-    pub(crate) fn serialize_into(&self, out: &mut Vec<u8>) {
+    /// [`crate::persist`] for the enclosing format). Public so tests can
+    /// locate the store section inside a full image byte-for-byte.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.per_rnet.len() as u32).to_le_bytes());
         for map in &self.per_rnet {
             out.extend_from_slice(&(map.len() as u32).to_le_bytes());
@@ -393,6 +394,11 @@ impl ShortcutStore {
             Ok(NodeId(id))
         };
         let num_sources = read_u32(buf, pos)? as usize;
+        // A source costs at least 8 bytes (node id + edge count); reject an
+        // over-claimed count before looping on it.
+        if num_sources > (buf.len() - *pos) / 8 {
+            return Err("truncated shortcut store (source count exceeds buffer)".into());
+        }
         let mut map: FastMap<u32, Vec<ShortcutEdge>> = FastMap::default();
         for _ in 0..num_sources {
             let from = check_node(read_u32(buf, pos)?)?.0;
@@ -444,6 +450,11 @@ impl ShortcutStore {
             Ok(())
         };
         let num_sources = read_u32(buf, pos)? as usize;
+        // Same fail-fast bound as decode_rnet_section: at least 8 bytes per
+        // source.
+        if num_sources > (buf.len() - *pos) / 8 {
+            return Err("truncated shortcut store (source count exceeds buffer)".into());
+        }
         let mut seen_sources: road_network::hash::FastSet<u32> = Default::default();
         for _ in 0..num_sources {
             let from = read_u32(buf, pos)?;
@@ -462,11 +473,10 @@ impl ShortcutStore {
                     return Err(format!("corrupt shortcut distance {dist}"));
                 }
                 let via_len = read_u32(buf, pos)? as usize;
-                let end = via_len
-                    .checked_mul(4)
-                    .and_then(|b| pos.checked_add(b))
-                    .filter(|&e| e <= buf.len())
-                    .ok_or("truncated shortcut store (via run exceeds buffer)")?;
+                if via_len > (buf.len() - *pos) / 4 {
+                    return Err("truncated shortcut store (via run exceeds buffer)".into());
+                }
+                let end = *pos + via_len * 4;
                 for _ in 0..via_len {
                     check_node(read_u32(buf, pos)?)?;
                 }

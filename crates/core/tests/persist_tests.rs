@@ -182,6 +182,69 @@ fn absurd_counts_fail_fast_without_allocating() {
     assert!(road_core::PagedImage::open(bad).is_err());
 }
 
+/// Walks the shortcut-store section (the last section of the image,
+/// laid out as `num_rnets`, then per Rnet `num_sources`, per source
+/// `from num_edges`, per edge `to dist via_len via…`) and returns the
+/// byte offsets of the first non-empty Rnet's `num_sources` field and
+/// of the first edge's `via_len` field.
+fn shortcut_count_offsets(bytes: &[u8], store_at: usize) -> (usize, usize) {
+    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+    let num_rnets = u32_at(store_at);
+    let mut pos = store_at + 4;
+    let mut sources_at = None;
+    for _ in 0..num_rnets {
+        let num_sources = u32_at(pos);
+        if num_sources > 0 && sources_at.is_none() {
+            sources_at = Some(pos);
+        }
+        pos += 4;
+        for _ in 0..num_sources {
+            pos += 4; // from
+            let num_edges = u32_at(pos);
+            pos += 4;
+            for _ in 0..num_edges {
+                pos += 4 + 8; // to + dist
+                let via_len = u32_at(pos);
+                if let Some(s) = sources_at {
+                    return (s, pos);
+                }
+                pos += 4 + via_len * 4;
+            }
+        }
+    }
+    panic!("grid framework built no shortcuts to corrupt");
+}
+
+/// Over-claimed counts inside a shortcut Rnet section must fail fast on
+/// BOTH decode paths — the monolithic restore (`decode_rnet_section`)
+/// and the lazy page-granular open (`skip_rnet_section`) — instead of
+/// spinning a four-billion-iteration loop over a buffer that cannot
+/// possibly hold that many records. Pins the fail-fast source/via
+/// bounds the taint pass demanded.
+#[test]
+fn overclaimed_shortcut_counts_fail_fast_on_both_decode_paths() {
+    let fw = RoadFramework::builder(simple::grid(4, 4, 1.0)).fanout(2).levels(2).build().unwrap();
+    let bytes = fw.to_bytes();
+    // The store is the last section: locate it by re-serializing it alone.
+    let mut store = Vec::new();
+    fw.shortcuts().serialize_into(&mut store);
+    let store_at = bytes.len() - store.len();
+    assert_eq!(&bytes[store_at..], &store[..], "shortcut store is not the tail section");
+    let (sources_at, via_len_at) = shortcut_count_offsets(&bytes, store_at);
+
+    for (what, at) in [("num_sources", sources_at), ("via_len", via_len_at)] {
+        let mut bad = bytes.clone();
+        bad[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = RoadFramework::from_bytes(&bad);
+        assert!(err.is_err(), "monolithic restore accepted huge {what}");
+        assert!(
+            format!("{}", err.unwrap_err()).contains("exceeds buffer"),
+            "huge {what} should fail the count-vs-remaining-bytes check"
+        );
+        assert!(road_core::PagedImage::open(bad).is_err(), "paged open accepted huge {what}");
+    }
+}
+
 /// A longer randomized corruption soak for the `--include-ignored` CI
 /// stress pass: every byte truncated, and random multi-byte stomps.
 #[test]
