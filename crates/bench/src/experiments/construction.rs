@@ -1,0 +1,89 @@
+//! Shortcut-construction ablation: the contraction-based builder
+//! (`ShortcutStore::build`) against the legacy per-Rnet all-pairs sweep
+//! (`ShortcutStore::build_with_oracle`, kept compiled via the
+//! `oracle-build` feature).  Both produce byte-identical stores — the
+//! differential suite in road-core pins that — so the only thing this
+//! table can show is time.  At small (CI) scale the speedup column is
+//! asserted `>= 1`: contraction must never regress construction.
+
+use super::Ctx;
+use crate::config;
+use crate::table::{fmt_f, fmt_secs, print_table};
+use road_core::{HierarchyConfig, RnetHierarchy, ShortcutStore};
+use road_network::generator::Dataset;
+use road_network::graph::RoadNetwork;
+use std::time::Instant;
+
+/// Minimum wall-clock over `reps` runs of `f` (min, not mean: build time
+/// is noise-above-floor, and the floor is the honest number).
+fn min_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn hierarchy(g: &RoadNetwork, fanout: usize, levels: u32) -> RnetHierarchy {
+    let cfg = HierarchyConfig { fanout, levels, ..Default::default() };
+    RnetHierarchy::build(g, &cfg).expect("bench hierarchy")
+}
+
+/// Runs the experiment and prints the construction table.
+pub fn run(ctx: &Ctx) {
+    let reps = if ctx.scale.name == "small" { 5 } else { 2 };
+    let mut rows = Vec::new();
+    let (mut legacy_total, mut contraction_total) = (0.0f64, 0.0f64);
+    for ds in Dataset::ALL {
+        let g = config::network(ds, &ctx.scale, &ctx.params);
+        let levels = config::levels(ds, &g, &ctx.scale, &ctx.params);
+        let hier = hierarchy(&g, ctx.params.fanout, levels);
+        let opts = Default::default();
+
+        let legacy = min_seconds(reps, || {
+            std::hint::black_box(ShortcutStore::build_with_oracle(
+                &g,
+                &hier,
+                ctx.params.metric,
+                &opts,
+            ));
+        });
+        let contraction = min_seconds(reps, || {
+            std::hint::black_box(ShortcutStore::build(&g, &hier, ctx.params.metric, &opts));
+        });
+        legacy_total += legacy;
+        contraction_total += contraction;
+        rows.push(vec![
+            format!("{} ({}n/{}e, l={levels})", ds.name(), g.num_nodes(), g.num_edges()),
+            fmt_secs(legacy),
+            fmt_secs(contraction),
+            format!("{}x", fmt_f(legacy / contraction)),
+        ]);
+    }
+    let speedup = legacy_total / contraction_total;
+    rows.push(vec![
+        "all datasets".to_string(),
+        fmt_secs(legacy_total),
+        fmt_secs(contraction_total),
+        format!("{}x", fmt_f(speedup)),
+    ]);
+    // Contraction must never regress construction.  Asserted on the
+    // aggregate: at smoke scale the per-dataset builds are a fraction of a
+    // millisecond each and individually noise-dominated, while the summed
+    // measurement is stable (and dominated by the largest network, which is
+    // exactly where construction time matters).
+    if ctx.scale.name == "small" {
+        assert!(
+            speedup >= 1.0,
+            "contraction construction slower than the legacy sweep overall \
+             ({contraction_total:.4}s vs {legacy_total:.4}s)"
+        );
+    }
+    print_table(
+        "Shortcut construction — legacy all-pairs sweep vs contraction",
+        &["network", "legacy sweep", "contraction", "speedup"],
+        &rows,
+    );
+}

@@ -3,6 +3,7 @@
 //! serving experiments (`exp_throughput`, `exp_live`).
 
 pub mod ablation;
+pub mod construction;
 pub mod disk;
 pub mod fig11;
 pub mod fig13;
@@ -52,6 +53,7 @@ pub fn run_all(ctx: &Ctx) {
     fig11::run(ctx);
     fig13::run(ctx);
     fig14::run(ctx);
+    construction::run(ctx);
     fig15::run(ctx);
     fig16::run(ctx);
     fig17::run(ctx, None);

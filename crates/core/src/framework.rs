@@ -8,6 +8,7 @@
 //! network and objects is the framework's core design property, letting
 //! several object sets share one overlay.
 
+use crate::arena::QueryArena;
 use crate::association::AssociationDirectory;
 use crate::hierarchy::{HierarchyConfig, RnetHierarchy, RnetId};
 use crate::search::{
@@ -91,6 +92,9 @@ pub struct RoadFramework {
     cfg: RoadConfig,
     hier: Arc<RnetHierarchy>,
     shortcuts: ShortcutStore,
+    /// Pre-joined flat adjacency for the query path (see [`crate::arena`]);
+    /// kept current by every maintenance operation.
+    arena: Arc<QueryArena>,
     scratch: BuildScratch,
 }
 
@@ -104,6 +108,7 @@ impl Clone for RoadFramework {
             cfg: self.cfg.clone(),
             hier: Arc::clone(&self.hier),
             shortcuts: self.shortcuts.clone(),
+            arena: Arc::clone(&self.arena),
             scratch: BuildScratch::default(),
         }
     }
@@ -115,11 +120,13 @@ impl RoadFramework {
     pub fn build(g: RoadNetwork, cfg: RoadConfig) -> Result<Self, RoadError> {
         let hier = RnetHierarchy::build(&g, &cfg.hierarchy)?;
         let shortcuts = ShortcutStore::build(&g, &hier, cfg.metric, &cfg.shortcuts);
+        let arena = Arc::new(QueryArena::build(&g, &hier, cfg.metric));
         Ok(RoadFramework {
             g: Arc::new(g),
             cfg,
             hier: Arc::new(hier),
             shortcuts,
+            arena,
             scratch: BuildScratch::default(),
         })
     }
@@ -139,11 +146,13 @@ impl RoadFramework {
         shortcuts: ShortcutStore,
     ) -> Result<Self, RoadError> {
         hier.validate(&g).map_err(RoadError::InvalidConfig)?;
+        let arena = Arc::new(QueryArena::build(&g, &hier, cfg.metric));
         Ok(RoadFramework {
             g: Arc::new(g),
             cfg,
             hier: Arc::new(hier),
             shortcuts,
+            arena,
             scratch: BuildScratch::default(),
         })
     }
@@ -158,7 +167,8 @@ impl RoadFramework {
         shortcuts: ShortcutStore,
     ) -> Result<Self, RoadError> {
         hier.validate(&g).map_err(RoadError::InvalidConfig)?;
-        Ok(RoadFramework { g, cfg, hier, shortcuts, scratch: BuildScratch::default() })
+        let arena = Arc::new(QueryArena::build(&g, &hier, cfg.metric));
+        Ok(RoadFramework { g, cfg, hier, shortcuts, arena, scratch: BuildScratch::default() })
     }
 
     /// Builds the framework over a caller-supplied leaf partition (e.g.
@@ -178,11 +188,13 @@ impl RoadFramework {
             leaf_index_of,
         )?;
         let shortcuts = ShortcutStore::build(&g, &hier, cfg.metric, &cfg.shortcuts);
+        let arena = Arc::new(QueryArena::build(&g, &hier, cfg.metric));
         Ok(RoadFramework {
             g: Arc::new(g),
             cfg,
             hier: Arc::new(hier),
             shortcuts,
+            arena,
             scratch: BuildScratch::default(),
         })
     }
@@ -196,6 +208,12 @@ impl RoadFramework {
     /// Restores a framework serialized with [`RoadFramework::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, RoadError> {
         crate::persist::from_bytes(bytes)
+    }
+
+    /// The pre-joined query-path adjacency arena (see [`crate::arena`]).
+    #[inline]
+    pub(crate) fn arena(&self) -> &QueryArena {
+        &self.arena
     }
 
     /// The underlying network.
@@ -465,6 +483,7 @@ impl RoadFramework {
             return Ok(outcome);
         }
         Arc::make_mut(&mut self.g).set_weight(e, self.cfg.metric, weight)?;
+        Arc::make_mut(&mut self.arena).patch_weight(&self.g, e, weight);
         let mut r = self.hier.leaf_of_edge(e);
         while r.is_valid() {
             outcome.rnets_refreshed += 1;
@@ -488,7 +507,12 @@ impl RoadFramework {
     /// Adds a new intersection (used when road construction introduces new
     /// nodes); connect it with [`RoadFramework::add_edge`].
     pub fn add_node(&mut self, at: Point) -> NodeId {
-        Arc::make_mut(&mut self.g).add_node(at)
+        let n = Arc::make_mut(&mut self.g).add_node(at);
+        // The arena's offset table must cover the new node id; an isolated
+        // node has no arcs, so a rebuild here is cheap and keeps `arcs`
+        // in-range without special cases.
+        self.arena = Arc::new(QueryArena::build(&self.g, &self.hier, self.cfg.metric));
+        n
     }
 
     /// Adds a road segment (Section 5.2.2, "addition of a new edge").
@@ -596,6 +620,10 @@ impl RoadFramework {
         }
         let mut outcome = UpdateOutcome::default();
         let mut affected: FastSet<u32> = FastSet::default();
+        // Topology changed: re-join the query arena (edge set and leaf
+        // assignments moved). O(V + E), dwarfed by the shortcut refreshes
+        // below.
+        self.arena = Arc::new(QueryArena::build(&self.g, &self.hier, self.cfg.metric));
         // Border bookkeeping mutates the hierarchy; un-share it once here
         // (a no-op unless a snapshot fork still references it).
         let hier = Arc::make_mut(&mut self.hier);

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod abstracts;
+pub(crate) mod arena;
 pub mod association;
 pub mod engine;
 pub mod error;

@@ -274,6 +274,11 @@ impl UpdateHandle {
     /// [`RoadFramework::set_edge_weight`]. Setting the weight an edge
     /// already has mutates nothing and leaves the pending/stats state
     /// untouched (no spurious snapshot version on the next publish).
+    ///
+    /// Repair cost is dominated by the contraction-based Rnet refreshes
+    /// (`ShortcutStore::refresh_rnet`); the query arena is patched in place
+    /// (`O(deg)`), so published snapshots keep serving from flat adjacency
+    /// without a rebuild.
     pub fn set_edge_weight(
         &mut self,
         e: EdgeId,

@@ -434,16 +434,16 @@ impl SearchSource for MemorySource<'_> {
         leaf: Option<RnetId>,
         visit: &mut dyn FnMut(EdgeId, u32, Weight),
     ) -> Result<(), RoadError> {
-        let g = self.fw.network();
-        let hier = self.fw.hierarchy();
-        let kind = self.fw.metric();
-        for (e, v) in g.neighbors(n) {
+        // Stream the framework's pre-joined flat arena (see [`crate::arena`]):
+        // edge id, head, metric weight and owning leaf live in parallel flat
+        // vectors, so the expansion loop takes no detour through the edge
+        // records or the hierarchy. Arc order equals `neighbors` order.
+        for (e, v, w, leaf_r) in self.fw.arena().arcs(n.0) {
             if let Some(r) = leaf {
-                if hier.leaf_of_edge(e) != r {
+                if leaf_r != r {
                     continue;
                 }
             }
-            let w = g.weight(e, kind);
             if w.is_infinite() {
                 continue;
             }

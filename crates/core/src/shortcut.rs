@@ -12,7 +12,30 @@
 //! Lemma 4 pruning: a shortcut whose path passes through *another border of
 //! the same Rnet* is transitively reachable via that border's own shortcuts
 //! at equal total distance, so it is dropped. This keeps the overlay graphs
-//! and Route Overlay sparse without losing correctness.
+//! and Route Overlay sparse without losing correctness. The canonical form
+//! used here is the *matrix rule*: with `dmat` the all-pairs border distance
+//! matrix of the Rnet's local graph, the pair `(b, t)` is kept iff
+//! `dmat[b][t]` is finite and no third border `m` satisfies
+//! `dmat[b][m] + dmat[m][t] <= dmat[b][t]` (ties drop — by the triangle
+//! inequality a covering pair splits at *exactly* the original distance, so
+//! chaining kept shortcuts reconstructs every border distance as long as
+//! edge weights are strictly positive, which road networks guarantee).
+//!
+//! Construction is contraction-based (ROADMAP item 1): instead of one full
+//! Dijkstra per border over the local graph, the interior nodes are
+//! *contracted* ([`road_network::contractor`]) and `dmat` is computed on the
+//! tiny border-only remainder graph, which preserves all pairwise border
+//! distances by construction. Kept pairs are then materialised by one
+//! *sealed* Dijkstra per source border over the local CSR arena
+//! ([`LocalDijkstra::run_csr`] with `seal_below` = the border count): border
+//! nodes are settled but never expanded, so the predecessor chains are
+//! border-free — Lemma 4's path shape — in a single pass. The legacy
+//! all-pairs sweep survives behind `#[cfg(any(test, feature =
+//! "oracle-build"))]` as [`ShortcutStore::build_with_oracle`]; because both
+//! builders share the canonical local-graph assembly, the matrix rule and
+//! the sealed finalisation pass, their outputs are **byte-identical**
+//! (pinned by `tests/construction_oracle.rs`), which is what makes the
+//! fast path safely swappable.
 //!
 //! Each shortcut stores its intermediate *waypoints* — physical nodes at
 //! the finest level, child border nodes above — which is exactly the
@@ -27,12 +50,25 @@
 //! clones only the affected Rnets' shortcut data.
 
 use crate::hierarchy::{RnetHierarchy, RnetId};
-use road_network::dijkstra::{LocalDijkstra, LocalEdge};
+use road_network::contractor::{ContractionOrder, Contractor};
+use road_network::csr::{CsrBuilder, CsrGraph};
+use road_network::dijkstra::LocalDijkstra;
 use road_network::graph::{RoadNetwork, WeightKind};
 use road_network::hash::FastMap;
 use road_network::path::Path;
 use road_network::{NodeId, Weight};
 use std::sync::Arc;
+
+/// Settle bound for each witness search during contraction. Bounded witness
+/// searches only ever make the remainder graph denser (a missed witness adds
+/// a redundant arc), never wrong, so this is purely a speed knob.
+const WITNESS_SETTLE_LIMIT: usize = 64;
+
+/// Local graphs below this node count contract with a witness budget of
+/// zero: their fill-in is already bounded by the (tiny) border count, so
+/// every witness search is pure overhead there.  Another speed knob —
+/// neither constant changes a single output byte.
+const WITNESS_MIN_NODES: usize = 256;
 
 /// One directed shortcut out of a border node.
 #[derive(Clone, Debug)]
@@ -52,11 +88,26 @@ pub struct ShortcutOptions {
     /// Apply Lemma 4: drop shortcuts covered by other shortcuts of the
     /// same Rnet. On by default; the ablation benchmark switches it off.
     pub prune_transitive: bool,
+    /// Order in which interior nodes are contracted. The final store is
+    /// independent of this choice (the remainder graph always preserves
+    /// border distances); differential tests vary it to prove exactly that.
+    pub contraction_order: ContractionOrder,
+    /// Witness-search settle budget per contraction, or `None` for the
+    /// adaptive default: `WITNESS_SETTLE_LIMIT` (64) once the local graph
+    /// reaches `WITNESS_MIN_NODES` (256) nodes, zero below (tiny Rnets bound
+    /// fill-in by their border count, so searching there is pure overhead).
+    /// Like the order, the budget never changes a single output byte —
+    /// differential tests vary it to prove exactly that.
+    pub witness_budget: Option<usize>,
 }
 
 impl Default for ShortcutOptions {
     fn default() -> Self {
-        ShortcutOptions { prune_transitive: true }
+        ShortcutOptions {
+            prune_transitive: true,
+            contraction_order: ContractionOrder::MinDegree,
+            witness_budget: None,
+        }
     }
 }
 
@@ -179,6 +230,10 @@ impl ShortcutStore {
 
     /// Computes the shortcut map of one Rnet from the network (finest
     /// level) or from its children's current shortcuts (upper levels).
+    ///
+    /// Pruned builds (the default) go through node contraction; unpruned
+    /// builds (the ablation baseline) keep the per-border sweep, since
+    /// without Lemma 4 every reachable pair is materialised anyway.
     fn compute_rnet_map(
         &self,
         g: &RoadNetwork,
@@ -193,60 +248,135 @@ impl ShortcutStore {
         if borders.len() < 2 {
             return out;
         }
-        // --- Assemble the local graph ---------------------------------
+        self.assemble_local(g, hier, kind, r, scratch, borders);
+        if !opts.prune_transitive {
+            self.sweep_unpruned(scratch, borders, &mut out);
+            return out;
+        }
+        // Contract the interiors; the *remainder* graph lives on the borders
+        // alone and preserves all their pairwise distances, so the dmat
+        // closure is a tiny Floyd-Warshall over an `nb x nb` flat matrix
+        // instead of |borders| Dijkstras over the whole local graph.  Under
+        // exact arithmetic the closure reproduces the sweep's distances
+        // bit-for-bit (both are exact sums of the same edge weights).
+        scratch.remainder_builder.clear();
+        let witness_budget =
+            opts.witness_budget.unwrap_or(if scratch.csr.num_nodes() >= WITNESS_MIN_NODES {
+                WITNESS_SETTLE_LIMIT
+            } else {
+                0
+            });
+        scratch.contractor.contract(
+            &scratch.csr,
+            borders.len() as u32,
+            opts.contraction_order,
+            witness_budget,
+            &mut scratch.remainder_builder,
+        );
+        let nb = borders.len();
+        scratch.dmat.clear();
+        scratch.dmat.resize(nb * nb, Weight::INFINITY);
+        for bi in 0..nb {
+            scratch.dmat[bi * nb + bi] = Weight::ZERO;
+        }
+        // Fold the remainder arcs straight off the builder: the closure only
+        // needs the min weight per border pair, so freezing them into a CSR
+        // (a counting sort) would be pure overhead.
+        for (u, v, w) in scratch.remainder_builder.arcs() {
+            let slot = &mut scratch.dmat[u as usize * nb + v as usize];
+            if w < *slot {
+                *slot = w;
+            }
+        }
+        for k in 0..nb {
+            for i in 0..nb {
+                let dik = scratch.dmat[i * nb + k];
+                if dik.is_infinite() {
+                    continue;
+                }
+                for j in 0..nb {
+                    let via = dik + scratch.dmat[k * nb + j];
+                    if via < scratch.dmat[i * nb + j] {
+                        scratch.dmat[i * nb + j] = via;
+                    }
+                }
+            }
+        }
+        self.finalize_from_matrix(scratch, borders, &mut out);
+        out
+    }
+
+    /// Assembles Rnet `r`'s local graph into `scratch.csr` under the
+    /// *canonical numbering*: every border of `r` gets local id `0..nb` in
+    /// `hier.borders(r)` order first (reachable or not), interiors follow in
+    /// first-appearance order. Upper levels iterate children's borders in
+    /// hierarchy order and look the lists up by key, so the assembly — and
+    /// with it everything downstream — depends only on map *contents*,
+    /// never on map iteration order.
+    fn assemble_local(
+        &self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        r: RnetId,
+        scratch: &mut BuildScratch,
+        borders: &[NodeId],
+    ) {
         scratch.clear();
+        for &b in borders {
+            scratch.local(b.0);
+        }
+        scratch.border_locals.extend(0..borders.len() as u32);
         if hier.is_leaf(r) {
             for &e in hier.leaf_edge_list(r) {
                 let w = g.weight(e, kind);
                 let (a, b) = g.edge(e).endpoints();
                 let (la, lb) = (scratch.local(a.0), scratch.local(b.0));
-                scratch.adj[la as usize].push(LocalEdge { to: lb, weight: w, label: e.0 });
-                scratch.adj[lb as usize].push(LocalEdge { to: la, weight: w, label: e.0 });
+                scratch.builder.push(la, lb, w, e.0);
+                scratch.builder.push(lb, la, w, e.0);
             }
         } else {
             for child in hier.children(r) {
-                for (&from, list) in self.per_rnet[child.0 as usize].iter() {
-                    let lf = scratch.local(from);
+                for &from in hier.borders(child) {
+                    let Some(list) = self.per_rnet[child.0 as usize].get(&from.0) else {
+                        continue;
+                    };
+                    let lf = scratch.local(from.0);
                     for sc in list {
                         let lt = scratch.local(sc.to.0);
-                        scratch.adj[lf as usize].push(LocalEdge {
-                            to: lt,
-                            weight: sc.dist,
-                            label: 0,
-                        });
+                        scratch.builder.push(lf, lt, sc.dist, 0);
                     }
                 }
             }
         }
-        // --- Dijkstra per border --------------------------------------
-        let border_locals: Vec<u32> =
-            borders.iter().filter_map(|&b| scratch.local_of.get(&b.0).copied()).collect();
-        if border_locals.len() < 2 {
-            return out;
-        }
-        let is_border: FastMap<u32, ()> = border_locals.iter().map(|&l| (l, ())).collect();
+        let (builder, csr) = (&mut scratch.builder, &mut scratch.csr);
+        builder.finish_into(scratch.global.len(), csr);
+    }
+
+    /// Unpruned construction: one full Dijkstra per border, keeping every
+    /// reachable pair with its full waypoint chain (borders included).
+    fn sweep_unpruned(
+        &self,
+        scratch: &mut BuildScratch,
+        borders: &[NodeId],
+        out: &mut FastMap<u32, Vec<ShortcutEdge>>,
+    ) {
         for (bi, &b) in borders.iter().enumerate() {
-            let Some(&src) = scratch.local_of.get(&b.0) else { continue };
-            scratch.dij.run(&scratch.adj, src, &border_locals);
+            scratch.dij.run_csr(&scratch.csr, bi as u32, &scratch.border_locals, 0);
             let mut list: Vec<ShortcutEdge> = Vec::new();
-            'targets: for (ti, &t) in borders.iter().enumerate() {
+            for (ti, &t) in borders.iter().enumerate() {
                 if ti == bi {
                     continue;
                 }
-                let Some(&dst) = scratch.local_of.get(&t.0) else { continue };
-                let dist = scratch.dij.dist(dst);
+                let dist = scratch.dij.dist(ti as u32);
                 if dist.is_infinite() {
                     continue; // internally disconnected Rnet: no shortcut
                 }
-                // Walk the predecessor chain to collect waypoints.
                 let mut via: Vec<NodeId> = Vec::new();
-                let mut cur = dst;
+                let mut cur = ti as u32;
                 while let Some((prev, _label)) = scratch.dij.pred(cur) {
-                    if prev == src {
+                    if prev == bi as u32 {
                         break;
-                    }
-                    if opts.prune_transitive && is_border.contains_key(&prev) {
-                        continue 'targets; // Lemma 4: covered by other shortcuts
                     }
                     via.push(NodeId(scratch.global[prev as usize]));
                     cur = prev;
@@ -258,7 +388,135 @@ impl ShortcutStore {
                 out.insert(b.0, list);
             }
         }
+    }
+
+    /// Shared finalisation of a pruned build: apply the matrix keep rule to
+    /// `scratch.dmat`, then materialise each source border's kept shortcuts
+    /// with one *sealed* Dijkstra over the local CSR (borders settle but
+    /// never expand), whose predecessor chains are border-free by
+    /// construction. Both the contraction build and the all-pairs oracle
+    /// funnel through here, which is what pins their outputs byte-equal.
+    fn finalize_from_matrix(
+        &self,
+        scratch: &mut BuildScratch,
+        borders: &[NodeId],
+        out: &mut FastMap<u32, Vec<ShortcutEdge>>,
+    ) {
+        let nb = borders.len();
+        for (bi, &b) in borders.iter().enumerate() {
+            scratch.kept.clear();
+            for ti in 0..nb {
+                if ti == bi {
+                    continue;
+                }
+                let d = scratch.dmat[bi * nb + ti];
+                if d.is_infinite() {
+                    continue; // internally disconnected Rnet: no shortcut
+                }
+                // Lemma 4 (matrix form): covered through any third border,
+                // ties drop.
+                let covered = (0..nb).any(|mi| {
+                    mi != bi
+                        && mi != ti
+                        && scratch.dmat[bi * nb + mi] + scratch.dmat[mi * nb + ti] <= d
+                });
+                if !covered {
+                    scratch.kept.push(ti as u32);
+                }
+            }
+            if scratch.kept.is_empty() {
+                continue;
+            }
+            scratch.dij.run_csr(&scratch.csr, bi as u32, &scratch.kept, nb as u32);
+            let mut list: Vec<ShortcutEdge> = Vec::with_capacity(scratch.kept.len());
+            for &t in &scratch.kept {
+                let dist = scratch.dij.dist(t);
+                debug_assert!(dist.is_finite(), "kept pair must have an interior-only path");
+                let mut via: Vec<NodeId> = Vec::new();
+                let mut cur = t;
+                while let Some((prev, _label)) = scratch.dij.pred(cur) {
+                    if prev == bi as u32 {
+                        break;
+                    }
+                    via.push(NodeId(scratch.global[prev as usize]));
+                    cur = prev;
+                }
+                via.reverse();
+                list.push(ShortcutEdge { to: NodeId(scratch.global[t as usize]), dist, via });
+            }
+            out.insert(b.0, list);
+        }
+    }
+
+    /// Legacy all-pairs construction, kept as the differential-testing
+    /// oracle: `dmat` comes from one *full* local-graph Dijkstra per border
+    /// (the pre-contraction sweep) instead of the contraction remainder.
+    /// Shares the canonical assembly, matrix rule and sealed finalisation
+    /// with [`ShortcutStore::build`], so the two are byte-identical — the
+    /// remainder graph preserves all pairwise border distances exactly.
+    #[cfg(any(test, feature = "oracle-build"))]
+    pub fn build_with_oracle(
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        opts: &ShortcutOptions,
+    ) -> Self {
+        let mut store = ShortcutStore {
+            per_rnet: (0..hier.num_rnets()).map(|_| Arc::new(FastMap::default())).collect(),
+            num_shortcuts: 0,
+        };
+        let mut scratch = BuildScratch::default();
+        for level in (1..=hier.levels()).rev() {
+            for r in hier.rnets_at_level(level) {
+                let map = store.compute_rnet_map_oracle(g, hier, kind, r, opts, &mut scratch);
+                store.replace_rnet(r, map);
+            }
+        }
+        store
+    }
+
+    /// One Rnet of the oracle build (see
+    /// [`ShortcutStore::build_with_oracle`]).
+    #[cfg(any(test, feature = "oracle-build"))]
+    fn compute_rnet_map_oracle(
+        &self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        r: RnetId,
+        opts: &ShortcutOptions,
+        scratch: &mut BuildScratch,
+    ) -> FastMap<u32, Vec<ShortcutEdge>> {
+        let borders = hier.borders(r);
+        let mut out: FastMap<u32, Vec<ShortcutEdge>> = FastMap::default();
+        if borders.len() < 2 {
+            return out;
+        }
+        self.assemble_local(g, hier, kind, r, scratch, borders);
+        if !opts.prune_transitive {
+            self.sweep_unpruned(scratch, borders, &mut out);
+            return out;
+        }
+        let nb = borders.len();
+        scratch.dmat.clear();
+        scratch.dmat.resize(nb * nb, Weight::INFINITY);
+        for bi in 0..nb {
+            scratch.dij.run_csr(&scratch.csr, bi as u32, &scratch.border_locals, 0);
+            for ti in 0..nb {
+                scratch.dmat[bi * nb + ti] = scratch.dij.dist(ti as u32);
+            }
+        }
+        self.finalize_from_matrix(scratch, borders, &mut out);
         out
+    }
+
+    /// Per-Rnet source-key *iteration* order of the underlying hash maps —
+    /// exposed so differential tests can pin not just serialized bytes
+    /// (which sort sources) but the in-memory traversal order two builders
+    /// produce.
+    #[cfg(any(test, feature = "oracle-build"))]
+    pub fn rnet_source_orders(&self) -> Vec<Vec<u32>> {
+        self.per_rnet.iter().map(|m| m.keys().copied().collect()).collect()
     }
 
     /// Expands a shortcut of Rnet `r` starting at `from` into the full
@@ -521,20 +779,33 @@ fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, String> {
     Ok(f64::from_le_bytes(b))
 }
 
-/// Reusable allocations for shortcut computation.
+/// Reusable allocations for shortcut computation: the local-id interner,
+/// the CSR arena of the Rnet being built, the contraction state, the
+/// border-distance matrix and the shared Dijkstra.
 #[derive(Default)]
 pub(crate) struct BuildScratch {
     local_of: FastMap<u32, u32>,
     global: Vec<u32>,
-    adj: Vec<Vec<LocalEdge>>,
+    builder: CsrBuilder,
+    csr: CsrGraph,
+    contractor: Contractor,
+    remainder_builder: CsrBuilder,
     dij: LocalDijkstra,
+    /// The identity list `0..nb` (borders own the first local ids) — the
+    /// target set handed to each matrix Dijkstra.
+    border_locals: Vec<u32>,
+    /// Row-major `nb x nb` all-pairs border distances of the current Rnet.
+    dmat: Vec<Weight>,
+    /// Kept target locals of the current source border (matrix rule).
+    kept: Vec<u32>,
 }
 
 impl BuildScratch {
     fn clear(&mut self) {
         self.local_of.clear();
         self.global.clear();
-        self.adj.clear();
+        self.builder.clear();
+        self.border_locals.clear();
     }
 
     fn local(&mut self, global: u32) -> u32 {
@@ -544,7 +815,6 @@ impl BuildScratch {
         let l = self.global.len() as u32;
         self.local_of.insert(global, l);
         self.global.push(global);
-        self.adj.push(Vec::new());
         l
     }
 }
@@ -568,7 +838,7 @@ mod tests {
             g,
             &hier,
             WeightKind::Distance,
-            &ShortcutOptions { prune_transitive: prune },
+            &ShortcutOptions { prune_transitive: prune, ..Default::default() },
         );
         (hier, store)
     }
@@ -788,5 +1058,100 @@ mod tests {
             }
         }
         assert!(diverged, "time-metric shortcuts should differ from distance-metric ones");
+    }
+
+    /// The pruning rule, verified post hoc against restricted shortest-path
+    /// distances on a unit grid (heavy with equal-weight ties): the store
+    /// holds `(b, t)` **iff** the restricted distance is finite and no
+    /// third border `m` covers it with `d(b,m) + d(m,t) <= d(b,t)`.  Since
+    /// `d` is a shortest-path distance, a covering split can only be
+    /// *exactly equal* (triangle inequality), so every covered pair this
+    /// test sees is an equal-weight tie — pinning that ties drop the
+    /// shortcut rather than keep it.
+    #[test]
+    fn matrix_rule_governs_membership_and_ties_drop() {
+        let g = simple::grid(8, 8, 1.0);
+        let (hier, store) = build(&g, 4, 2, true);
+        let mut dij = Dijkstra::for_network(&g);
+        let mut tie_dropped = false;
+        for lv in 1..=hier.levels() {
+            for r in hier.rnets_at_level(lv) {
+                let borders = hier.borders(r);
+                let nb = borders.len();
+                let mut dmat = vec![Weight::INFINITY; nb * nb];
+                for (bi, &b) in borders.iter().enumerate() {
+                    dij.expand_filtered_multi(
+                        &g,
+                        WeightKind::Distance,
+                        &[(b, Weight::ZERO)],
+                        |e| hier.rnet_of_edge_at(e, lv) == r,
+                        &mut |n, d| {
+                            if let Some(ti) = borders.iter().position(|&t| t == n) {
+                                dmat[bi * nb + ti] = d;
+                            }
+                            road_network::dijkstra::Control::Continue
+                        },
+                    );
+                }
+                for bi in 0..nb {
+                    for ti in 0..nb {
+                        if ti == bi {
+                            continue;
+                        }
+                        let d = dmat[bi * nb + ti];
+                        let covered = (0..nb).any(|mi| {
+                            mi != bi && mi != ti && dmat[bi * nb + mi] + dmat[mi * nb + ti] <= d
+                        });
+                        let keep = d.is_finite() && !covered;
+                        let present = store.between(r, borders[bi], borders[ti]).is_some();
+                        assert_eq!(
+                            present, keep,
+                            "{r:?}: membership of {}->{} disagrees with the matrix rule \
+                             (d = {d}, covered = {covered})",
+                            borders[bi], borders[ti]
+                        );
+                        if d.is_finite() && covered {
+                            tie_dropped = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(tie_dropped, "unit grid produced no equal-weight tie to pin");
+    }
+
+    /// Degenerate leaves: a single-border Rnet keeps no shortcuts at all,
+    /// and a zero-interior Rnet keeps exactly the direct border-to-border
+    /// arc with an empty via list.  Border pairs disconnected *within*
+    /// their Rnet stay absent from the store, not stored as infinity.
+    #[test]
+    fn degenerate_leaves_single_border_and_zero_interior() {
+        // Path a-b-c-d; leaf 1 owns only the middle edge b-c, so it has
+        // borders {b, c} and zero interior nodes, while b and c fall in two
+        // different components of leaf 0 (a-b and c-d).
+        let g = simple::chain(4, 1.0);
+        let edges: Vec<_> = g.edge_ids().collect();
+        let hier =
+            RnetHierarchy::from_leaf_assignment(&g, 2, 1, |e| u32::from(e == edges[1])).unwrap();
+        let store = ShortcutStore::build(&g, &hier, WeightKind::Distance, &Default::default());
+        let (b, c) = (NodeId(1), NodeId(2));
+        let middle = hier.leaf_of_edge(edges[1]);
+        let outer = hier.leaf_of_edge(edges[0]);
+        let sc = store.between(middle, b, c).expect("zero-interior leaf keeps the direct arc");
+        assert_eq!(sc.dist, Weight::new(1.0));
+        assert!(sc.via.is_empty(), "direct border-to-border arc must have no waypoints");
+        assert!(store.between(middle, c, b).is_some(), "shortcuts are stored per direction");
+        // b and c are disconnected inside leaf 0: absent, not infinite.
+        assert!(store.between(outer, b, c).is_none());
+        assert!(store.between(outer, c, b).is_none());
+
+        // Path a-b-c split at b: every leaf sees exactly one border, so the
+        // whole store is empty.
+        let g = simple::chain(3, 1.0);
+        let edges: Vec<_> = g.edge_ids().collect();
+        let hier =
+            RnetHierarchy::from_leaf_assignment(&g, 2, 1, |e| u32::from(e == edges[1])).unwrap();
+        let store = ShortcutStore::build(&g, &hier, WeightKind::Distance, &Default::default());
+        assert_eq!(store.num_shortcuts(), 0, "single-border Rnets keep no shortcuts");
     }
 }

@@ -1,0 +1,288 @@
+//! Differential construction harness: the contraction-based
+//! [`ShortcutStore::build`] must be **byte-equal** — identical serialized
+//! bytes (exact f64 bits) *and* identical in-memory iteration order — to
+//! the legacy all-pairs sweep kept as [`ShortcutStore::build_with_oracle`],
+//! across random worlds with varied fanout, closed (infinite-weight) edges
+//! and genuinely multi-component networks.  On top of the store diff, the
+//! same worlds must answer kNN / range / aggregate queries identically
+//! across all three engines built from the store (in-memory, eager paged,
+//! lazily-opened persisted image).
+//!
+//! Weight classes are chosen so f64 arithmetic is exact (small integers
+//! and dyadic rationals `k/64`): under exact arithmetic the contraction
+//! remainder preserves every pairwise border distance bit-for-bit, which
+//! is the invariant that makes the two builders interchangeable.
+//!
+//! This target needs the `oracle-build` feature (declared via
+//! `[[test]] required-features` in Cargo.toml); workspace builds enable
+//! it through the bench crate's dependency, so plain `cargo test` at the
+//! workspace root runs it.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use road_core::paged::{PagedEngine, PagedOptions};
+use road_core::prelude::*;
+use road_core::search::{Aggregate, AggregateKnnQuery};
+use road_core::shortcut::{ShortcutOptions, ShortcutStore};
+use road_core::{HierarchyConfig, RnetHierarchy};
+use road_network::contractor::ContractionOrder;
+use road_network::generator::simple;
+use road_network::graph::{NetworkBuilder, RoadNetwork};
+use road_network::Point;
+
+/// Rewrites every edge's Distance weight deterministically from `seed` —
+/// small integers (exact in f64) or dyadic rationals `k/64` (also exact) —
+/// then closes up to `closed` edges with `Weight::INFINITY`.
+fn reweight(g: &mut RoadNetwork, seed: u64, dyadic: bool, closed: usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_AD1C);
+    let edges: Vec<_> = g.edge_ids().collect();
+    for &e in &edges {
+        let w = if dyadic {
+            Weight::new(rng.random_range(1..=1024u32) as f64 / 64.0)
+        } else {
+            Weight::new(rng.random_range(1..=16u32) as f64)
+        };
+        g.set_weight(e, WeightKind::Distance, w).unwrap();
+    }
+    for _ in 0..closed {
+        let e = edges[rng.random_range(0..edges.len())];
+        g.set_weight(e, WeightKind::Distance, Weight::INFINITY).unwrap();
+    }
+}
+
+/// Two disjoint components in one network: the partitioner and both
+/// builders must cope with cross-component border pairs staying *absent*
+/// from the store (not encoded as infinite arcs).
+fn two_component_net(seed: u64) -> RoadNetwork {
+    let mut b = NetworkBuilder::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first: Vec<_> = (0..10).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+    for w in first.windows(2) {
+        b.add_edge(w[0], w[1], rng.random_range(1..=9u32) as f64).unwrap();
+    }
+    let second: Vec<_> =
+        (0..12).map(|i| b.add_node(Point::new((i % 4) as f64, 4.0 + (i / 4) as f64))).collect();
+    for w in second.windows(2) {
+        b.add_edge(w[0], w[1], rng.random_range(1..=9u32) as f64).unwrap();
+    }
+    b.build()
+}
+
+fn serialize(store: &ShortcutStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    store.serialize_into(&mut out);
+    out
+}
+
+/// The pinned property: same count, same per-Rnet iteration order, same
+/// serialized bytes.
+fn assert_stores_byte_equal(
+    g: &RoadNetwork,
+    hier: &RnetHierarchy,
+    opts: &ShortcutOptions,
+    label: &str,
+) {
+    let fast = ShortcutStore::build(g, hier, WeightKind::Distance, opts);
+    let oracle = ShortcutStore::build_with_oracle(g, hier, WeightKind::Distance, opts);
+    assert_eq!(fast.num_shortcuts(), oracle.num_shortcuts(), "{label}: shortcut counts diverged");
+    assert_eq!(
+        fast.rnet_source_orders(),
+        oracle.rnet_source_orders(),
+        "{label}: per-Rnet map iteration order diverged"
+    );
+    assert_eq!(serialize(&fast), serialize(&oracle), "{label}: serialized bytes diverged");
+}
+
+fn hier_for(g: &RoadNetwork, fanout: usize, levels: u32) -> RnetHierarchy {
+    RnetHierarchy::build(g, &HierarchyConfig { fanout, levels, ..Default::default() }).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random connected worlds, varied fanout/levels, exact-arithmetic
+    /// weight classes, a few closed edges: contraction == sweep, always.
+    #[test]
+    fn contraction_matches_oracle_on_random_worlds(
+        n in 16usize..70,
+        extra in 0usize..25,
+        seed in 0u64..1000,
+        dyadic in (0u8..2).prop_map(|b| b == 1),
+        closed in 0usize..4,
+        fanout in (1u32..3).prop_map(|p| 1usize << p),
+    ) {
+        let mut g = simple::random_connected(n, extra, seed);
+        reweight(&mut g, seed, dyadic, closed);
+        let levels = if fanout >= 4 { 2 } else { 3 };
+        let hier = hier_for(&g, fanout, levels);
+        assert_stores_byte_equal(&g, &hier, &ShortcutOptions::default(),
+            &format!("n={n} extra={extra} seed={seed} dyadic={dyadic} closed={closed} fanout={fanout}"));
+    }
+
+    /// Same property through the whole serving stack: the contraction-built
+    /// framework answers kNN / range / aggregate queries identically from
+    /// memory, from an eagerly laid-out paged store and from a lazily
+    /// opened persisted image.
+    #[test]
+    fn engines_agree_on_contraction_built_worlds(
+        n in 16usize..50,
+        extra in 0usize..15,
+        objects in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut net = simple::random_connected(n, extra, seed);
+        reweight(&mut net, seed, false, 1);
+        let fw = RoadFramework::builder(net).fanout(2).levels(2).build().unwrap();
+        let mut ad = AssociationDirectory::new(fw.hierarchy());
+        // Objects live only on open (finite-weight) edges: an object on a
+        // closed edge is unreachable by definition.
+        let open_edges: Vec<_> = fw
+            .network()
+            .edge_ids()
+            .filter(|&e| fw.network().weight(e, WeightKind::Distance).is_finite())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x000B_7EC7);
+        for i in 0..objects {
+            let e = open_edges[rng.random_range(0..open_edges.len())];
+            let o = Object::new(
+                ObjectId(i as u64),
+                e,
+                rng.random_range(0.0..=1.0),
+                CategoryId(rng.random_range(0..4)),
+            );
+            ad.insert(fw.network(), fw.hierarchy(), o).unwrap();
+        }
+
+        let num_nodes = fw.network().num_nodes() as u32;
+        let engine = QueryEngine::new(fw.clone(), ad.clone());
+        let opts = PagedOptions::with_buffer_pages(4);
+        let eager = PagedEngine::new(&fw, &ad, opts).unwrap();
+        let objs: Vec<Object> = ad.objects().cloned().collect();
+        let image = PagedImage::open(fw.to_bytes()).unwrap();
+        let lazy = PagedEngine::open(image, objs, opts).unwrap();
+
+        for i in 0..12usize {
+            let node = NodeId(rng.random_range(0..num_nodes));
+            match i % 3 {
+                0 => {
+                    let q = KnnQuery::new(node, rng.random_range(1..6));
+                    let mem = engine.knn(&q).unwrap().hits;
+                    prop_assert_eq!(&mem, &eager.knn(&q).unwrap().hits, "eager kNN #{}", i);
+                    prop_assert_eq!(&mem, &lazy.knn(&q).unwrap().hits, "lazy kNN #{}", i);
+                }
+                1 => {
+                    let q = RangeQuery::new(node, Weight::new(rng.random_range(1.0..25.0)));
+                    let mem = engine.range(&q).unwrap().hits;
+                    prop_assert_eq!(&mem, &eager.range(&q).unwrap().hits, "eager range #{}", i);
+                    prop_assert_eq!(&mem, &lazy.range(&q).unwrap().hits, "lazy range #{}", i);
+                }
+                _ => {
+                    let other = NodeId(rng.random_range(0..num_nodes));
+                    let agg = if i % 2 == 0 { Aggregate::Sum } else { Aggregate::Max };
+                    let q = AggregateKnnQuery::new(vec![node, other], rng.random_range(1..5))
+                        .with_aggregate(agg);
+                    let mem = engine.aggregate_knn(&q).unwrap();
+                    prop_assert_eq!(&mem, &eager.aggregate_knn(&q).unwrap(), "eager agg #{}", i);
+                    prop_assert_eq!(&mem, &lazy.aggregate_knn(&q).unwrap(), "lazy agg #{}", i);
+                }
+            }
+        }
+    }
+}
+
+/// Cross-component border pairs must be absent in both builders, and the
+/// stores still byte-agree.
+#[test]
+fn multi_component_worlds_byte_agree() {
+    for seed in [3u64, 17, 99] {
+        let g = two_component_net(seed);
+        for fanout in [2usize, 4] {
+            let hier = hier_for(&g, fanout, 2);
+            assert_stores_byte_equal(
+                &g,
+                &hier,
+                &ShortcutOptions::default(),
+                &format!("two-component seed={seed} fanout={fanout}"),
+            );
+        }
+    }
+}
+
+/// The final store is independent of the contraction order: every order
+/// yields the same bytes (the remainder graphs differ, the border
+/// distances they encode do not).
+#[test]
+fn store_is_contraction_order_independent() {
+    let mut g = simple::grid(9, 8, 1.0);
+    reweight(&mut g, 42, false, 2);
+    let hier = hier_for(&g, 4, 2);
+    let reference = serialize(&ShortcutStore::build(
+        &g,
+        &hier,
+        WeightKind::Distance,
+        &ShortcutOptions::default(),
+    ));
+    for order in [ContractionOrder::InputOrder, ContractionOrder::ReverseInput] {
+        let opts = ShortcutOptions { contraction_order: order, ..Default::default() };
+        let store = ShortcutStore::build(&g, &hier, WeightKind::Distance, &opts);
+        assert_eq!(serialize(&store), reference, "order {order:?} diverged");
+    }
+}
+
+/// The witness-search budget is a pure speed knob: any forced budget —
+/// zero (witnessing disabled), tiny (almost every witness missed), or
+/// far beyond the adaptive default — must yield the same bytes as the
+/// adaptive policy and as the legacy sweep.  Missed witnesses only make
+/// the contraction remainder denser; the border distances it closes
+/// over are identical.
+#[test]
+fn store_is_witness_budget_independent() {
+    let mut g = simple::grid(9, 8, 1.0);
+    reweight(&mut g, 0x11ED, false, 2);
+    let hier = hier_for(&g, 2, 3);
+    let reference = serialize(&ShortcutStore::build(
+        &g,
+        &hier,
+        WeightKind::Distance,
+        &ShortcutOptions::default(),
+    ));
+    for budget in [Some(0), Some(1), Some(4), Some(1 << 20)] {
+        let opts = ShortcutOptions { witness_budget: budget, ..Default::default() };
+        assert_stores_byte_equal(&g, &hier, &opts, "witness budget");
+        let store = ShortcutStore::build(&g, &hier, WeightKind::Distance, &opts);
+        assert_eq!(serialize(&store), reference, "budget {budget:?} diverged");
+    }
+}
+
+/// Unpruned (ablation) builds go through the always-compiled sweep in both
+/// entry points; they must agree bitwise too.
+#[test]
+fn unpruned_builds_byte_agree() {
+    let mut g = simple::grid(7, 7, 1.0);
+    reweight(&mut g, 7, true, 0);
+    let hier = hier_for(&g, 2, 2);
+    let opts = ShortcutOptions { prune_transitive: false, ..Default::default() };
+    assert_stores_byte_equal(&g, &hier, &opts, "unpruned grid");
+}
+
+/// Medium-world stress diff (CI runs it under `--include-ignored`): a
+/// 1600-node grid with randomized integer weights, fanout 4, three
+/// levels, built both ways and diffed byte-for-byte — twice, under two
+/// different contraction orders.
+#[test]
+#[ignore = "medium-world construction diff; run with --include-ignored"]
+fn stress_medium_world_builds_byte_equal_both_ways() {
+    let mut g = simple::grid(40, 40, 1.0);
+    reweight(&mut g, 0xEDB7, false, 5);
+    let hier = hier_for(&g, 4, 3);
+    assert_stores_byte_equal(&g, &hier, &ShortcutOptions::default(), "grid 40x40 fanout=4");
+    let opts = ShortcutOptions {
+        contraction_order: ContractionOrder::InputOrder,
+        witness_budget: Some(64),
+        ..Default::default()
+    };
+    assert_stores_byte_equal(&g, &hier, &opts, "grid 40x40 fanout=4 input-order witnessed");
+}

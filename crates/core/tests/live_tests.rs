@@ -324,3 +324,57 @@ fn move_object_is_atomic_and_rolls_back() {
         .validate(writer.framework().network(), writer.framework().hierarchy())
         .unwrap();
 }
+
+/// Repair parity for the contraction-based builder: after a long mixed
+/// churn stream (weight updates, connector edges added and removed,
+/// object moves), the incrementally repaired shortcut store must be
+/// **byte-identical** to a from-scratch `ShortcutStore::build` over the
+/// final network — same serialized bytes, not just the same answers.
+/// Weights are small integers so f64 arithmetic is exact and the
+/// refresh path's no-op detection coincides with bitwise equality.
+#[test]
+fn contraction_refresh_equals_fresh_rebuild_after_mixed_churn() {
+    use road_core::shortcut::ShortcutStore;
+
+    let (_live, mut writer) = grid_engine(21, 16);
+    let num_nodes = writer.framework().network().num_nodes() as u32;
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut added: Vec<EdgeId> = Vec::new();
+    for round in 0..40u64 {
+        let edges: Vec<EdgeId> = writer.framework().network().edge_ids().collect();
+        for _ in 0..3 {
+            let e = edges[rng.random_range(0..edges.len())];
+            let w = Weight::new(rng.random_range(1..=16u32) as f64);
+            writer.set_edge_weight(e, w).unwrap();
+        }
+        writer.move_object(ObjectId(rng.random_range(0..16)), edges[0], 0.25).unwrap();
+        if round % 8 == 3 {
+            let a = NodeId(rng.random_range(0..num_nodes));
+            let b = NodeId(rng.random_range(0..num_nodes));
+            if a != b && writer.framework().network().edge_between(a, b).is_none() {
+                let w = Weight::new(2.0);
+                let (e, _) = writer.add_edge(a, b, (w, w, Weight::ZERO)).unwrap();
+                added.push(e);
+            }
+        }
+        if round % 16 == 11 {
+            if let Some(e) = added.pop() {
+                writer.remove_edge(e).unwrap();
+            }
+        }
+        writer.publish();
+    }
+
+    let fw = writer.framework();
+    let fresh =
+        ShortcutStore::build(fw.network(), fw.hierarchy(), fw.metric(), &Default::default());
+    let mut repaired_bytes = Vec::new();
+    fw.shortcuts().serialize_into(&mut repaired_bytes);
+    let mut fresh_bytes = Vec::new();
+    fresh.serialize_into(&mut fresh_bytes);
+    assert_eq!(fw.shortcuts().num_shortcuts(), fresh.num_shortcuts());
+    assert_eq!(
+        repaired_bytes, fresh_bytes,
+        "incrementally repaired store diverged from a from-scratch rebuild"
+    );
+}

@@ -398,3 +398,47 @@ fn roundtrip_after_mixed_maintenance_agrees_with_fresh_rebuild() {
         }
     }
 }
+
+/// Byte-level round-trip of a *repaired* overlay through the lazy open
+/// path: after mixed maintenance with exact (integer) weights, the image
+/// opened via `PagedImage::open` and materialized must re-serialize to
+/// the **identical** bytes, and its shortcut section must byte-match a
+/// from-scratch contraction rebuild over the mutated network.
+#[test]
+fn repaired_overlay_roundtrips_byte_identical_via_paged_open() {
+    let mut fw =
+        RoadFramework::builder(simple::grid(8, 8, 1.0)).fanout(4).levels(2).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(0xB17E);
+
+    let edges: Vec<EdgeId> = fw.network().edge_ids().collect();
+    for _ in 0..15 {
+        let e = edges[rng.random_range(0..edges.len())];
+        fw.set_edge_weight(e, Weight::new(rng.random_range(1..=16u32) as f64)).unwrap();
+    }
+    let w = Weight::new(3.0);
+    if fw.network().edge_between(NodeId(5), NodeId(30)).is_none() {
+        fw.add_edge(NodeId(5), NodeId(30), (w, w, Weight::ZERO)).unwrap();
+    }
+    fw.remove_edge(edges[33], &[]).unwrap();
+    fw.verify().unwrap();
+
+    let bytes = fw.to_bytes();
+    let image = road_core::PagedImage::open(bytes.clone()).unwrap();
+    let restored = image.into_framework().unwrap();
+    assert_eq!(restored.to_bytes(), bytes, "paged open + re-serialize must be the identity");
+
+    // The repaired store equals a fresh contraction build, byte for byte
+    // (integer weights make f64 arithmetic exact, so the incremental
+    // refreshes must land on the same bits).
+    let fresh = road_core::ShortcutStore::build(
+        fw.network(),
+        fw.hierarchy(),
+        fw.metric(),
+        &Default::default(),
+    );
+    let mut repaired = Vec::new();
+    fw.shortcuts().serialize_into(&mut repaired);
+    let mut rebuilt = Vec::new();
+    fresh.serialize_into(&mut rebuilt);
+    assert_eq!(repaired, rebuilt, "repaired overlay diverged from a fresh rebuild");
+}

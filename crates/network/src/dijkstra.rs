@@ -13,6 +13,7 @@
 //! callers decide when to stop (k objects found, range exceeded, target
 //! settled) and what to do at every settled node (object lookup).
 
+use crate::csr::CsrGraph;
 use crate::graph::{RoadNetwork, WeightKind};
 use crate::ids::{EdgeId, NodeId};
 use crate::path::Path;
@@ -433,6 +434,80 @@ impl LocalDijkstra {
         }
     }
 
+    /// Runs from `src` over a flat CSR arena (see [`crate::csr`]).  Same
+    /// semantics and tie discipline as [`run`](Self::run) — arc labels are
+    /// carried into predecessor links, infinite arcs are skipped, and when
+    /// `targets` is non-empty the run stops once all of them are settled —
+    /// plus one extra knob: nodes with id `< seal_below` (other than `src`)
+    /// are *sealed*.  A sealed node is settled normally but never relaxed
+    /// out of, so every returned path is internally free of sealed nodes.
+    /// Pass `seal_below = 0` for an ordinary run.
+    ///
+    /// The shortcut builder seals border ids to materialise paths that
+    /// avoid intermediate borders (the transitive prune of Lemma 4) in a
+    /// single pass.
+    pub fn run_csr(&mut self, g: &CsrGraph, src: u32, targets: &[u32], seal_below: u32) {
+        let n = g.num_nodes();
+        if n > self.dist.len() {
+            self.dist.resize(n, Weight::INFINITY);
+            self.pred_node.resize(n, NO_PRED);
+            self.pred_label.resize(n, NO_PRED);
+            self.stamp.resize(n, 0);
+            self.target_stamp.resize(n, 0);
+        }
+        self.round = self.round.wrapping_add(1);
+        if self.round == 0 {
+            self.stamp.fill(0);
+            self.target_stamp.fill(0);
+            self.round = 1;
+        }
+        self.heap.clear();
+
+        let mut pending = targets.len();
+        for &t in targets {
+            self.target_stamp[t as usize] = self.round;
+        }
+
+        self.dist[src as usize] = Weight::ZERO;
+        self.pred_node[src as usize] = NO_PRED;
+        self.stamp[src as usize] = self.round;
+        self.heap.push(Reverse((Weight::ZERO, src)));
+
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            let ui = u as usize;
+            if self.stamp[ui] != self.round || d > self.dist[ui] {
+                continue;
+            }
+            if pending > 0 && self.target_stamp[ui] == self.round {
+                // A target can be pushed twice; only count its settlement once.
+                self.target_stamp[ui] = self.round.wrapping_sub(1);
+                pending -= 1;
+                if pending == 0 {
+                    return;
+                }
+            }
+            if u != src && u < seal_below {
+                continue; // sealed: settled but never expanded
+            }
+            for (to, weight, label) in g.out(u) {
+                if weight.is_infinite() {
+                    continue;
+                }
+                let nd = d + weight;
+                let vi = to as usize;
+                let cur =
+                    if self.stamp[vi] == self.round { self.dist[vi] } else { Weight::INFINITY };
+                if nd < cur {
+                    self.dist[vi] = nd;
+                    self.pred_node[vi] = u;
+                    self.pred_label[vi] = label;
+                    self.stamp[vi] = self.round;
+                    self.heap.push(Reverse((nd, to)));
+                }
+            }
+        }
+    }
+
     /// Distance of `n` from the last run.
     #[inline]
     pub fn dist(&self, n: u32) -> Weight {
@@ -672,5 +747,45 @@ mod tests {
         // reuse across rounds
         ld.run(&adj, 3, &[]);
         assert_eq!(ld.dist(0), Weight::new(2.0));
+    }
+
+    #[test]
+    fn run_csr_matches_adjacency_run_and_seals_borders() {
+        let g = diamond();
+        let mut adj: Vec<Vec<LocalEdge>> = vec![Vec::new(); 4];
+        let mut b = crate::csr::CsrBuilder::default();
+        for e in g.edge_ids() {
+            let (a, bb) = g.edge(e).endpoints();
+            let w = g.weight(e, WeightKind::Distance);
+            adj[a.index()].push(LocalEdge { to: bb.0, weight: w, label: e.0 });
+            adj[bb.index()].push(LocalEdge { to: a.0, weight: w, label: e.0 });
+            b.push(a.0, bb.0, w, e.0);
+            b.push(bb.0, a.0, w, e.0);
+        }
+        let mut csr = crate::csr::CsrGraph::default();
+        b.finish_into(4, &mut csr);
+
+        let mut ld = LocalDijkstra::new();
+        let mut lc = LocalDijkstra::new();
+        for src in 0..4u32 {
+            ld.run(&adj, src, &[]);
+            lc.run_csr(&csr, src, &[], 0);
+            for n in 0..4u32 {
+                assert_eq!(ld.dist(n), lc.dist(n), "src {src} node {n}");
+                assert_eq!(ld.pred(n), lc.pred(n), "src {src} node {n}");
+            }
+        }
+
+        // Sealing node 1 forces 0 -> 3 through the detour over node 2, and
+        // the sealed node itself keeps its direct (settled) label.
+        lc.run_csr(&csr, 0, &[], 2);
+        assert_eq!(lc.dist(3), Weight::new(4.0));
+        assert_eq!(lc.labels_to(3), Some(vec![2, 3]));
+        assert_eq!(lc.dist(1), Weight::new(1.0));
+
+        // Early exit with targets still settles the requested nodes.
+        lc.run_csr(&csr, 0, &[3], 0);
+        assert_eq!(lc.dist(3), Weight::new(2.0));
+        assert_eq!(lc.labels_to(3), Some(vec![0, 1]));
     }
 }
