@@ -3,7 +3,7 @@
 use road_network::generator::Dataset;
 use road_network::graph::{RoadNetwork, WeightKind};
 
-/// How large a run is; chosen with `--scale small|medium|full`.
+/// How large a run is; chosen with `--scale small|medium|full|large`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExpScale {
     /// Label for output.
@@ -12,6 +12,10 @@ pub struct ExpScale {
     pub ca: f64,
     /// Scale factor for NA and SF.
     pub big: f64,
+    /// Scale factor for the beyond-paper CONT preset (only benched at
+    /// `large`, but every scale carries a feasible factor so ad-hoc runs
+    /// and the ignored CI smoke can shrink it).
+    pub continent: f64,
     /// Queries averaged per measurement point (paper: 100).
     pub queries: usize,
     /// Update trials per measurement point (paper: 100).
@@ -20,33 +24,59 @@ pub struct ExpScale {
 
 /// CI-sized runs.
 pub const SMALL: ExpScale =
-    ExpScale { name: "small", ca: 0.04, big: 0.012, queries: 15, trials: 8 };
+    ExpScale { name: "small", ca: 0.04, big: 0.012, continent: 0.004, queries: 15, trials: 8 };
 /// CA at paper size, NA/SF at a quarter (default).
 pub const MEDIUM: ExpScale =
-    ExpScale { name: "medium", ca: 1.0, big: 0.25, queries: 50, trials: 25 };
+    ExpScale { name: "medium", ca: 1.0, big: 0.25, continent: 0.05, queries: 50, trials: 25 };
 /// The paper's exact sizes.
-pub const FULL: ExpScale = ExpScale { name: "full", ca: 1.0, big: 1.0, queries: 100, trials: 100 };
+pub const FULL: ExpScale =
+    ExpScale { name: "full", ca: 1.0, big: 1.0, continent: 1.0, queries: 100, trials: 100 };
+/// Beyond the paper: the three paper networks at full size plus the
+/// ~10^6-node continental preset.
+pub const LARGE: ExpScale =
+    ExpScale { name: "large", ca: 1.0, big: 1.0, continent: 1.0, queries: 100, trials: 100 };
 
 impl ExpScale {
-    /// Parses `--scale NAME` from argv (default `medium`).
+    /// Parses `--scale NAME` from argv (default `medium`); an unknown
+    /// name is a hard error — silently benching the wrong world would
+    /// pollute the recorded perf trajectory.
     pub fn from_args() -> ExpScale {
         let args: Vec<String> = std::env::args().collect();
-        Self::from_arg_list(&args)
+        match Self::from_arg_list(&args) {
+            Ok(scale) => scale,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses from an explicit argument list (testable).
-    pub fn from_arg_list(args: &[String]) -> ExpScale {
+    pub fn from_arg_list(args: &[String]) -> Result<ExpScale, String> {
         match args.iter().position(|a| a == "--scale") {
             Some(i) => match args.get(i + 1).map(String::as_str) {
-                Some("small") => SMALL,
-                Some("full") => FULL,
-                Some("medium") | None => MEDIUM,
+                Some("small") => Ok(SMALL),
+                Some("full") => Ok(FULL),
+                Some("large") => Ok(LARGE),
+                Some("medium") | None => Ok(MEDIUM),
                 Some(other) => {
-                    eprintln!("unknown scale '{other}', using medium");
-                    MEDIUM
+                    Err(format!("unknown scale '{other}' (valid: small, medium, full, large)"))
                 }
             },
-            None => MEDIUM,
+            None => Ok(MEDIUM),
+        }
+    }
+
+    /// The datasets benched at this scale: the paper's three everywhere,
+    /// plus the continental preset at `large`.
+    pub fn datasets(&self) -> &'static [Dataset] {
+        const PAPER: [Dataset; 3] = Dataset::ALL;
+        const WITH_CONTINENT: [Dataset; 4] =
+            [Dataset::CaHighways, Dataset::NaHighways, Dataset::SfStreets, Dataset::Continent];
+        if self.name == "large" {
+            &WITH_CONTINENT
+        } else {
+            &PAPER
         }
     }
 
@@ -54,6 +84,7 @@ impl ExpScale {
     pub fn factor(&self, ds: Dataset) -> f64 {
         match ds {
             Dataset::CaHighways => self.ca,
+            Dataset::Continent => self.continent,
             _ => self.big,
         }
     }
@@ -98,9 +129,36 @@ impl Default for Params {
     }
 }
 
-/// Generates the network for `ds` at this scale.
+/// Generates the network for `ds` at this scale, or a diagnostic naming
+/// everything needed to reproduce the failure.
+pub fn try_network(ds: Dataset, scale: &ExpScale, params: &Params) -> Result<RoadNetwork, String> {
+    let factor = scale.factor(ds);
+    let diag = |detail: String| {
+        format!(
+            "cannot generate dataset {} at scale factor {factor} (seed {:#x}): {detail}",
+            ds.name(),
+            params.seed
+        )
+    };
+    // Checked here rather than asserted downstream: a hand-edited scale
+    // must not take the whole bench run down with a context-free panic.
+    if !(factor > 0.0 && factor <= 1.0) {
+        return Err(diag("scale factor must be in (0, 1]".to_string()));
+    }
+    ds.generate_scaled(factor, params.seed).map_err(|e| diag(e.to_string()))
+}
+
+/// Generates the network for `ds` at this scale; on infeasible targets
+/// the process exits with the [`try_network`] diagnostic instead of a
+/// context-free panic.
 pub fn network(ds: Dataset, scale: &ExpScale, params: &Params) -> RoadNetwork {
-    ds.generate_scaled(scale.factor(ds), params.seed).expect("feasible dataset targets")
+    match try_network(ds, scale, params) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Hierarchy depth for a dataset at a scale: the paper's `l` at full
@@ -120,10 +178,34 @@ mod tests {
     #[test]
     fn scale_parsing() {
         let args = |s: &str| vec!["bin".to_string(), "--scale".to_string(), s.to_string()];
-        assert_eq!(ExpScale::from_arg_list(&args("small")).name, "small");
-        assert_eq!(ExpScale::from_arg_list(&args("full")).name, "full");
-        assert_eq!(ExpScale::from_arg_list(&args("bogus")).name, "medium");
-        assert_eq!(ExpScale::from_arg_list(&["bin".to_string()]).name, "medium");
+        assert_eq!(ExpScale::from_arg_list(&args("small")).unwrap().name, "small");
+        assert_eq!(ExpScale::from_arg_list(&args("full")).unwrap().name, "full");
+        assert_eq!(ExpScale::from_arg_list(&args("large")).unwrap().name, "large");
+        assert_eq!(ExpScale::from_arg_list(&["bin".to_string()]).unwrap().name, "medium");
+        // A typo must not silently bench a different world.
+        let err = ExpScale::from_arg_list(&args("larg")).unwrap_err();
+        assert!(err.contains("larg") && err.contains("large"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn scale_datasets() {
+        assert_eq!(SMALL.datasets().len(), 3);
+        assert_eq!(LARGE.datasets().len(), 4);
+        assert!(LARGE.datasets().contains(&Dataset::Continent));
+        assert!(LARGE.factor(Dataset::Continent) >= 1.0);
+    }
+
+    #[test]
+    fn infeasible_network_error_names_the_run() {
+        let p = Params::default();
+        // An out-of-range factor must surface as a diagnostic naming the
+        // dataset, scale factor and seed — not a generator panic.
+        let overgrown = ExpScale { continent: 2.0, ..SMALL };
+        let err = try_network(Dataset::Continent, &overgrown, &p).unwrap_err();
+        assert!(err.contains("CONT"), "missing dataset: {err}");
+        assert!(err.contains('2'), "missing factor: {err}");
+        assert!(err.contains("0xedb72009"), "missing seed: {err}");
+        assert!(try_network(Dataset::CaHighways, &SMALL, &p).is_ok());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! Scales (`--scale`):
 //! * `small`  — CI-sized: every network heavily scaled down;
 //! * `medium` — CA at paper size, NA/SF at 25% (default);
-//! * `full`   — the paper's exact network sizes.
+//! * `full`   — the paper's exact network sizes;
+//! * `large`  — the paper's networks at full size *plus* the
+//!   beyond-paper ~10^6-node continental preset (`CONT`).
 
 pub mod config;
 pub mod experiments;

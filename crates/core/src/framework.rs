@@ -469,37 +469,71 @@ impl RoadFramework {
         e: EdgeId,
         weight: Weight,
     ) -> Result<UpdateOutcome, RoadError> {
+        self.set_edge_weights(&[(e, weight)])
+    }
+
+    /// Applies a batch of weight updates and repairs every affected Rnet
+    /// once, level by level.  Same-level Rnets are independent (Lemma 2:
+    /// a level reads only the level below), so each level's refreshes fan
+    /// out across [`ShortcutOptions::threads`] workers; a parent joins the
+    /// next frontier only while its children's shortcut sets keep changing,
+    /// exactly the per-edge early-break of [`RoadFramework::set_edge_weight`].
+    ///
+    /// The whole batch is validated before any weight is written: one bad
+    /// edge rejects the batch with the network untouched.  Updates that
+    /// leave a weight unchanged are skipped (they must not un-share a
+    /// forked network); duplicate edges apply in order, last one winning.
+    pub fn set_edge_weights(
+        &mut self,
+        updates: &[(EdgeId, Weight)],
+    ) -> Result<UpdateOutcome, RoadError> {
         let mut outcome = UpdateOutcome::default();
-        // Validate and compare against the current weight before touching
-        // the Arc: neither a bad edge nor a no-op update may un-share a
-        // forked network.
-        if e.index() >= self.g.edge_slots() {
-            return Err(road_network::error::NetworkError::EdgeOutOfBounds(e).into());
+        for &(e, _) in updates {
+            if e.index() >= self.g.edge_slots() {
+                return Err(road_network::error::NetworkError::EdgeOutOfBounds(e).into());
+            }
+            if self.g.edge(e).is_deleted() {
+                return Err(road_network::error::NetworkError::EdgeDeleted(e).into());
+            }
         }
-        if self.g.edge(e).is_deleted() {
-            return Err(road_network::error::NetworkError::EdgeDeleted(e).into());
+        let mut frontier: Vec<RnetId> = Vec::new();
+        for &(e, weight) in updates {
+            if self.g.weight(e, self.cfg.metric) == weight {
+                continue;
+            }
+            Arc::make_mut(&mut self.g).set_weight(e, self.cfg.metric, weight)?;
+            Arc::make_mut(&mut self.arena).patch_weight(&self.g, e, weight);
+            let leaf = self.hier.leaf_of_edge(e);
+            if leaf.is_valid() {
+                frontier.push(leaf);
+            }
         }
-        if self.g.weight(e, self.cfg.metric) == weight {
-            return Ok(outcome);
-        }
-        Arc::make_mut(&mut self.g).set_weight(e, self.cfg.metric, weight)?;
-        Arc::make_mut(&mut self.arena).patch_weight(&self.g, e, weight);
-        let mut r = self.hier.leaf_of_edge(e);
-        while r.is_valid() {
-            outcome.rnets_refreshed += 1;
-            let changed = self.shortcuts.refresh_rnet(
+        frontier.sort_by_key(|r| r.0);
+        frontier.dedup();
+        // Leaves all sit at the finest level and parents of a level share
+        // the next-coarser one, so each frontier is a single level and the
+        // loop walks the hierarchy finest-first.
+        while !frontier.is_empty() {
+            outcome.rnets_refreshed += frontier.len();
+            let changed = self.shortcuts.refresh_rnets(
                 &self.g,
                 &self.hier,
                 self.cfg.metric,
-                r,
+                &frontier,
                 &self.cfg.shortcuts,
                 &mut self.scratch,
             );
-            if !changed {
-                break; // Lemma 2: parents depend only on child shortcut distances
-            }
-            outcome.rnets_changed += 1;
-            r = self.hier.parent(r);
+            let mut next: Vec<RnetId> = frontier
+                .iter()
+                .zip(&changed)
+                .filter(|&(_, &c)| c)
+                .map(|(&r, _)| self.hier.parent(r))
+                .filter(|p| p.is_valid())
+                .collect();
+            outcome.rnets_changed += changed.iter().filter(|&&c| c).count();
+            next.sort_by_key(|r| r.0);
+            next.dedup();
+            frontier = next;
         }
         Ok(outcome)
     }
@@ -643,21 +677,22 @@ impl RoadFramework {
                 add_chain(hier, r, &mut affected);
             }
         }
-        // Refresh finest-first so parents see up-to-date child shortcuts.
+        // Refresh finest-first so parents see up-to-date child shortcuts;
+        // the id tiebreak keeps the commit order (and thus the store's
+        // byte layout) independent of hash-set iteration order.
+        // `refresh_rnets` fans same-level Rnets out across workers.
         let mut order: Vec<RnetId> = affected.iter().map(|&r| RnetId(r)).collect();
-        order.sort_by_key(|&r| std::cmp::Reverse(self.hier.level_of(r)));
-        for r in order {
-            outcome.rnets_refreshed += 1;
-            let changed = self.shortcuts.refresh_rnet(
-                &self.g,
-                &self.hier,
-                self.cfg.metric,
-                r,
-                &self.cfg.shortcuts,
-                &mut self.scratch,
-            );
-            outcome.rnets_changed += usize::from(changed);
-        }
+        order.sort_by_key(|&r| (std::cmp::Reverse(self.hier.level_of(r)), r.0));
+        outcome.rnets_refreshed += order.len();
+        let changed = self.shortcuts.refresh_rnets(
+            &self.g,
+            &self.hier,
+            self.cfg.metric,
+            &order,
+            &self.cfg.shortcuts,
+            &mut self.scratch,
+        );
+        outcome.rnets_changed += changed.iter().filter(|&&c| c).count();
         outcome
     }
 
@@ -714,6 +749,14 @@ impl RoadBuilder {
     /// Enables or disables Lemma-4 shortcut pruning.
     pub fn prune_transitive_shortcuts(mut self, on: bool) -> Self {
         self.cfg.shortcuts.prune_transitive = on;
+        self
+    }
+
+    /// Sets the worker-thread count for shortcut construction and
+    /// multi-Rnet repair (`0` = all hardware threads, `1` = inline). A
+    /// pure speed knob: it never changes a single output byte.
+    pub fn shortcut_threads(mut self, threads: usize) -> Self {
+        self.cfg.shortcuts.threads = threads;
         self
     }
 

@@ -293,6 +293,25 @@ impl UpdateHandle {
         Ok(outcome)
     }
 
+    /// Applies a batch of weight updates in one repair pass; see
+    /// [`RoadFramework::set_edge_weights`]. A traffic-feed storm that
+    /// touches many Rnets repairs each affected Rnet once, with same-level
+    /// Rnets refreshed concurrently — far cheaper than per-edge
+    /// [`set_edge_weight`](UpdateHandle::set_edge_weight) calls, and the
+    /// resulting store is byte-identical to applying the batch edge by
+    /// edge. A batch of pure no-ops leaves the pending/stats state
+    /// untouched.
+    pub fn set_edge_weights(
+        &mut self,
+        updates: &[(EdgeId, Weight)],
+    ) -> Result<UpdateOutcome, RoadError> {
+        let outcome = self.fw.set_edge_weights(updates)?;
+        if outcome != UpdateOutcome::default() {
+            self.note(outcome);
+        }
+        Ok(outcome)
+    }
+
     /// Adds a new intersection to the working network.
     pub fn add_node(&mut self, at: Point) -> NodeId {
         self.bump();

@@ -99,6 +99,16 @@ pub struct ShortcutOptions {
     /// Like the order, the budget never changes a single output byte —
     /// differential tests vary it to prove exactly that.
     pub witness_budget: Option<usize>,
+    /// Worker threads for construction and multi-Rnet repair: Rnets of the
+    /// same level are independent (Lemma 2 — a level reads only the level
+    /// below), so each level fans out over scoped workers. `0` means "use
+    /// [`std::thread::available_parallelism`]", `1` runs fully inline.
+    /// Like the order and the budget, the thread count never changes a
+    /// single output byte: every worker writes its Rnet's map into a
+    /// per-Rnet indexed slot and the slots are committed in hierarchy
+    /// order, so scheduling cannot reorder anything observable
+    /// (differential tests sweep 1/2/4/8 threads to prove it).
+    pub threads: usize,
 }
 
 impl Default for ShortcutOptions {
@@ -107,7 +117,18 @@ impl Default for ShortcutOptions {
             prune_transitive: true,
             contraction_order: ContractionOrder::MinDegree,
             witness_budget: None,
+            threads: 0,
         }
+    }
+}
+
+/// Resolves the `threads` option: `0` asks the OS for the available
+/// parallelism (falling back to 1 when that is unknowable).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        threads
     }
 }
 
@@ -122,10 +143,24 @@ pub struct ShortcutStore {
     /// `per_rnet[r]` maps a border-node id to its outgoing shortcuts in `r`.
     per_rnet: Vec<Arc<FastMap<u32, Vec<ShortcutEdge>>>>,
     num_shortcuts: usize,
+    /// Modelled serialized bytes of every stored shortcut, maintained
+    /// incrementally by [`ShortcutStore::replace_rnet`] exactly like
+    /// `num_shortcuts` — [`ShortcutStore::size_bytes`] must not re-walk
+    /// every list on each call (the index-size reports sum it per build,
+    /// and parallel construction makes full walks costlier still).
+    num_bytes: usize,
 }
 
 impl ShortcutStore {
     /// Builds every Rnet's shortcuts bottom-up (finest level first).
+    ///
+    /// Rnets of the same level are independent — a level's maps read only
+    /// the level below — so each level fans out over
+    /// [`ShortcutOptions::threads`] scoped workers, every worker owning its
+    /// own `BuildScratch`. Workers deposit maps into per-Rnet indexed
+    /// slots which are then committed in hierarchy order, so the store is
+    /// **byte-identical** to a single-threaded build regardless of
+    /// scheduling (pinned by `tests/parallel_build.rs`).
     pub fn build(
         g: &RoadNetwork,
         hier: &RnetHierarchy,
@@ -135,15 +170,56 @@ impl ShortcutStore {
         let mut store = ShortcutStore {
             per_rnet: (0..hier.num_rnets()).map(|_| Arc::new(FastMap::default())).collect(),
             num_shortcuts: 0,
+            num_bytes: 0,
         };
         let mut scratch = BuildScratch::default();
         for level in (1..=hier.levels()).rev() {
-            for r in hier.rnets_at_level(level) {
-                let map = store.compute_rnet_map(g, hier, kind, r, opts, &mut scratch);
+            let rnets: Vec<RnetId> = hier.rnets_at_level(level).collect();
+            let maps = store.compute_level_maps(g, hier, kind, &rnets, opts, &mut scratch);
+            for (&r, map) in rnets.iter().zip(maps) {
                 store.replace_rnet(r, map);
             }
         }
         store
+    }
+
+    /// Computes the shortcut maps of one level's (or more generally, of
+    /// mutually independent) Rnets, fanned out over scoped worker threads.
+    /// Workers own contiguous chunks of `rnets` and one [`BuildScratch`]
+    /// each; every map lands in the slot indexed by its Rnet's position, so
+    /// the result is independent of scheduling. `self` is only read (the
+    /// children's maps), never written — commits happen afterwards, in
+    /// order, on the caller's thread.
+    fn compute_level_maps(
+        &self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        rnets: &[RnetId],
+        opts: &ShortcutOptions,
+        scratch: &mut BuildScratch,
+    ) -> Vec<FastMap<u32, Vec<ShortcutEdge>>> {
+        let threads = resolve_threads(opts.threads).min(rnets.len().max(1));
+        let mut maps: Vec<FastMap<u32, Vec<ShortcutEdge>>> = Vec::new();
+        maps.resize_with(rnets.len(), FastMap::default);
+        if threads <= 1 {
+            for (&r, slot) in rnets.iter().zip(maps.iter_mut()) {
+                *slot = self.compute_rnet_map(g, hier, kind, r, opts, scratch);
+            }
+            return maps;
+        }
+        let chunk_len = rnets.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk, out) in rnets.chunks(chunk_len).zip(maps.chunks_mut(chunk_len)) {
+                scope.spawn(move || {
+                    let mut scratch = BuildScratch::default();
+                    for (&r, slot) in chunk.iter().zip(out.iter_mut()) {
+                        *slot = self.compute_rnet_map(g, hier, kind, r, opts, &mut scratch);
+                    }
+                });
+            }
+        });
+        maps
     }
 
     /// Outgoing shortcuts of node `n` within Rnet `r`.
@@ -163,25 +239,34 @@ impl ShortcutStore {
     }
 
     /// Modelled serialized size: 16 bytes per shortcut header plus 4 bytes
-    /// per waypoint.
+    /// per waypoint. O(1) — maintained incrementally by the private
+    /// `replace_rnet` commit step, never recomputed by walking every
+    /// shortcut list.
     pub fn size_bytes(&self) -> usize {
+        self.num_bytes
+    }
+
+    /// Shortcut count and modelled bytes of one Rnet's map — the per-Rnet
+    /// delta [`ShortcutStore::replace_rnet`] applies to the store totals.
+    fn map_stats(map: &FastMap<u32, Vec<ShortcutEdge>>) -> (usize, usize) {
+        let mut count = 0;
         let mut bytes = 0;
-        for map in &self.per_rnet {
-            for list in map.values() {
-                for sc in list {
-                    bytes += 16 + 4 * sc.via.len();
-                }
+        for list in map.values() {
+            count += list.len();
+            for sc in list {
+                bytes += 16 + 4 * sc.via.len();
             }
         }
-        bytes
+        (count, bytes)
     }
 
     fn replace_rnet(&mut self, r: RnetId, map: FastMap<u32, Vec<ShortcutEdge>>) {
         let slot = &mut self.per_rnet[r.0 as usize];
-        let old: usize = slot.values().map(Vec::len).sum();
-        let new: usize = map.values().map(Vec::len).sum();
+        let (old, old_bytes) = Self::map_stats(slot);
+        let (new, new_bytes) = Self::map_stats(&map);
         *slot = Arc::new(map);
         self.num_shortcuts = self.num_shortcuts - old + new;
+        self.num_bytes = self.num_bytes - old_bytes + new_bytes;
     }
 
     /// How many Rnets' shortcut maps this store physically shares with
@@ -208,6 +293,52 @@ impl ShortcutStore {
         let new = self.compute_rnet_map(g, hier, kind, r, opts, scratch);
         let changed = !Self::maps_equivalent(&self.per_rnet[r.0 as usize], &new);
         self.replace_rnet(r, new);
+        changed
+    }
+
+    /// Recomputes several Rnets' shortcuts, fanning out within each level:
+    /// `rnets` must be sorted finest level first (ties in any order — Rnets
+    /// of one level are independent). Runs of equal level are computed
+    /// concurrently via [`ShortcutStore::compute_level_maps`] and committed
+    /// in input order before the next (coarser) run starts, so parents
+    /// always read fully repaired children and the outcome is byte-equal
+    /// to refreshing every Rnet sequentially in the same order. Returns the
+    /// per-Rnet "shortcut set changed" flags, aligned with `rnets`.
+    pub(crate) fn refresh_rnets(
+        &mut self,
+        g: &RoadNetwork,
+        hier: &RnetHierarchy,
+        kind: WeightKind,
+        rnets: &[RnetId],
+        opts: &ShortcutOptions,
+        scratch: &mut BuildScratch,
+    ) -> Vec<bool> {
+        debug_assert!(
+            rnets.windows(2).all(|w| hier.level_of(w[0]) >= hier.level_of(w[1])),
+            "refresh_rnets input must be sorted finest level first"
+        );
+        let mut changed = Vec::with_capacity(rnets.len());
+        let mut start = 0;
+        while start < rnets.len() {
+            let level = hier.level_of(rnets[start]);
+            let mut end = start + 1;
+            while end < rnets.len() && hier.level_of(rnets[end]) == level {
+                end += 1;
+            }
+            let run = &rnets[start..end];
+            if let [r] = *run {
+                // Single-Rnet run (the common ancestor-chain repair): skip
+                // the per-level slot vector entirely.
+                changed.push(self.refresh_rnet(g, hier, kind, r, opts, scratch));
+            } else {
+                let maps = self.compute_level_maps(g, hier, kind, run, opts, scratch);
+                for (&r, map) in run.iter().zip(maps) {
+                    changed.push(!Self::maps_equivalent(&self.per_rnet[r.0 as usize], &map));
+                    self.replace_rnet(r, map);
+                }
+            }
+            start = end;
+        }
         changed
     }
 
@@ -276,6 +407,10 @@ impl ShortcutStore {
         let nb = borders.len();
         scratch.dmat.clear();
         scratch.dmat.resize(nb * nb, Weight::INFINITY);
+        // Per-worker inner loop of the parallel build: everything below runs
+        // against this worker's own `BuildScratch` buffers (sized by the
+        // clear/resize above), so the closure must stay allocation-free.
+        // roadlint: hot-path
         for bi in 0..nb {
             scratch.dmat[bi * nb + bi] = Weight::ZERO;
         }
@@ -302,6 +437,7 @@ impl ShortcutStore {
                 }
             }
         }
+        // roadlint: end hot-path
         self.finalize_from_matrix(scratch, borders, &mut out);
         out
     }
@@ -431,7 +567,16 @@ impl ShortcutStore {
             let mut list: Vec<ShortcutEdge> = Vec::with_capacity(scratch.kept.len());
             for &t in &scratch.kept {
                 let dist = scratch.dij.dist(t);
-                debug_assert!(dist.is_finite(), "kept pair must have an interior-only path");
+                if dist.is_infinite() {
+                    // Float-tie fallout: every shortest path for this pair
+                    // runs through another border, but the covering sum
+                    // rounded one ulp above `d`, so the matrix rule kept
+                    // it. No interior-only path exists and the through-
+                    // border shortcuts already cover the pair — drop it
+                    // rather than materialise an infinite shortcut. Under
+                    // exact arithmetic this branch is unreachable.
+                    continue;
+                }
                 let mut via: Vec<NodeId> = Vec::new();
                 let mut cur = t;
                 while let Some((prev, _label)) = scratch.dij.pred(cur) {
@@ -444,7 +589,9 @@ impl ShortcutStore {
                 via.reverse();
                 list.push(ShortcutEdge { to: NodeId(scratch.global[t as usize]), dist, via });
             }
-            out.insert(b.0, list);
+            if !list.is_empty() {
+                out.insert(b.0, list);
+            }
         }
     }
 
@@ -464,6 +611,7 @@ impl ShortcutStore {
         let mut store = ShortcutStore {
             per_rnet: (0..hier.num_rnets()).map(|_| Arc::new(FastMap::default())).collect(),
             num_shortcuts: 0,
+            num_bytes: 0,
         };
         let mut scratch = BuildScratch::default();
         for level in (1..=hier.levels()).rev() {
@@ -605,12 +753,15 @@ impl ShortcutStore {
         let num_rnets = Self::read_store_header(buf, pos, expected_rnets)?;
         let mut per_rnet = Vec::with_capacity(num_rnets.min(buf.len() / 4 + 1));
         let mut num_shortcuts = 0usize;
+        let mut num_bytes = 0usize;
         for _ in 0..num_rnets {
             let map = Self::decode_rnet_section(buf, pos, num_nodes)?;
-            num_shortcuts += map.values().map(Vec::len).sum::<usize>();
+            let (count, bytes) = Self::map_stats(&map);
+            num_shortcuts += count;
+            num_bytes += bytes;
             per_rnet.push(Arc::new(map));
         }
-        Ok(ShortcutStore { per_rnet, num_shortcuts })
+        Ok(ShortcutStore { per_rnet, num_shortcuts, num_bytes })
     }
 
     /// Reads and validates the store header (the Rnet-section count)
@@ -633,8 +784,17 @@ impl ShortcutStore {
     /// Assembles a store from already-decoded per-Rnet maps (the lazy
     /// image's "materialize everything" path).
     pub(crate) fn from_rnet_maps(maps: Vec<FastMap<u32, Vec<ShortcutEdge>>>) -> Self {
-        let num_shortcuts = maps.iter().flat_map(|m| m.values()).map(Vec::len).sum();
-        ShortcutStore { per_rnet: maps.into_iter().map(Arc::new).collect(), num_shortcuts }
+        let (mut num_shortcuts, mut num_bytes) = (0, 0);
+        for m in &maps {
+            let (count, bytes) = Self::map_stats(m);
+            num_shortcuts += count;
+            num_bytes += bytes;
+        }
+        ShortcutStore {
+            per_rnet: maps.into_iter().map(Arc::new).collect(),
+            num_shortcuts,
+            num_bytes,
+        }
     }
 
     /// Decodes one Rnet's section of a serialized store, validating counts

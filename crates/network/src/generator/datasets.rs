@@ -1,6 +1,6 @@
 //! The paper's three evaluation networks as named presets.
 
-use super::{highway::HighwayConfig, streets::StreetsConfig};
+use super::{continent::ContinentConfig, highway::HighwayConfig, streets::StreetsConfig};
 use crate::error::NetworkError;
 use crate::graph::RoadNetwork;
 
@@ -14,10 +14,16 @@ pub enum Dataset {
     NaHighways,
     /// San Francisco streets: 174,956 nodes / 223,001 edges.
     SfStreets,
+    /// Continental mix beyond the paper's scale: a highway backbone over
+    /// ~100 street-grid cities, ~10^6 nodes. Node count is exact, edge
+    /// count approximate (set by the generator's density constants).
+    Continent,
 }
 
 impl Dataset {
-    /// All three datasets in the order the paper tabulates them.
+    /// The paper's three datasets in the order it tabulates them.
+    /// [`Dataset::Continent`] is deliberately excluded: it benchmarks
+    /// beyond-paper scale and only enters through `--scale large`.
     pub const ALL: [Dataset; 3] = [Dataset::CaHighways, Dataset::NaHighways, Dataset::SfStreets];
 
     /// Short label used in the paper's figures.
@@ -26,6 +32,7 @@ impl Dataset {
             Dataset::CaHighways => "CA",
             Dataset::NaHighways => "NA",
             Dataset::SfStreets => "SF",
+            Dataset::Continent => "CONT",
         }
     }
 
@@ -35,6 +42,7 @@ impl Dataset {
             Dataset::CaHighways => 21_048,
             Dataset::NaHighways => 175_813,
             Dataset::SfStreets => 174_956,
+            Dataset::Continent => 1_000_000,
         }
     }
 
@@ -44,6 +52,9 @@ impl Dataset {
             Dataset::CaHighways => 21_693,
             Dataset::NaHighways => 179_179,
             Dataset::SfStreets => 223_001,
+            // Approximate (see the variant doc); ~65% street nodes at
+            // ratio 1.3 plus degree-2 highway chains.
+            Dataset::Continent => 1_195_000,
         }
     }
 
@@ -54,6 +65,7 @@ impl Dataset {
             Dataset::CaHighways => 4,
             Dataset::NaHighways => 8,
             Dataset::SfStreets => 8,
+            Dataset::Continent => 8,
         }
     }
 
@@ -73,6 +85,12 @@ impl Dataset {
         let edges =
             (nodes as i64 + (cyclomatic as f64 * scale).round() as i64).max(nodes as i64) as usize;
         match self {
+            Dataset::Continent => super::continent::generate(&ContinentConfig {
+                nodes,
+                cities: (nodes / 10_000).clamp(4, 120),
+                extent: 5_000.0 * scale.sqrt(),
+                seed: seed ^ self.seed_salt(),
+            }),
             Dataset::CaHighways | Dataset::NaHighways => {
                 let backbone = match self {
                     Dataset::CaHighways => (2_000.0 * scale) as usize,
@@ -114,6 +132,7 @@ impl Dataset {
             Dataset::CaHighways => 0xCA11F012_00000001,
             Dataset::NaHighways => 0x0A0E12CA_00000002,
             Dataset::SfStreets => 0x5AF2A9C0_00000003,
+            Dataset::Continent => 0xC04713E7_00000004,
         }
     }
 }
@@ -144,6 +163,15 @@ mod tests {
         let sf_ratio = sf.num_edges() as f64 / sf.num_nodes() as f64;
         let na_ratio = na.num_edges() as f64 / na.num_nodes() as f64;
         assert!(sf_ratio > na_ratio + 0.1, "SF {sf_ratio} vs NA {na_ratio}");
+    }
+
+    #[test]
+    fn scaled_continent_mixes_regimes() {
+        let g = Dataset::Continent.generate_scaled(0.005, 1).unwrap();
+        assert_eq!(g.num_nodes(), (1_000_000.0 * 0.005) as usize);
+        assert_eq!(g.connected_components(), 1);
+        let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(ratio > 1.05 && ratio < 1.45, "continent ratio off: {ratio}");
     }
 
     #[test]

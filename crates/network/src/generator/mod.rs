@@ -18,6 +18,7 @@
 //! [`simple`] additionally provides tiny deterministic shapes (grids,
 //! chains, rings) for unit and property tests.
 
+pub mod continent;
 pub mod datasets;
 pub mod highway;
 pub mod simple;
@@ -119,7 +120,7 @@ pub(crate) fn add_subdivided_edge<R: Rng>(
     push_road_edge(b, rng, prev, prev_xy, to, crate::geometry::Point::new(x1, y1), class);
 }
 
-fn push_road_edge<R: Rng>(
+pub(crate) fn push_road_edge<R: Rng>(
     b: &mut NetworkBuilder,
     rng: &mut R,
     a: NodeId,
