@@ -1,7 +1,7 @@
 //! The roadlint CLI.
 //!
 //! ```text
-//! roadlint [ROOT] [--graph] [--taint] [--dag] [--json]
+//! roadlint [ROOT] [--graph] [--taint] [--order] [--dag] [--order-dag] [--json]
 //! ```
 //!
 //! Walks the workspace at ROOT (default: the current directory), runs
@@ -11,9 +11,15 @@
 //!   with example sites;
 //! * `--taint` additionally prints the taint verdict table
 //!   (source → sanitizer → sink);
+//! * `--order` additionally prints the determinism verdict table: every
+//!   unordered-iteration flow that reached byte output or an
+//!   order-sensitive commit, with the sanitizer that fixed its order;
 //! * `--dag` prints ONLY canonical `from -> to` lines to stdout (for
 //!   diffing against a committed `lockgraph.expected`); findings go to
 //!   stderr;
+//! * `--order-dag` prints ONLY canonical `source => sanitizer => sink`
+//!   lines to stdout (for diffing against a committed
+//!   `determinism.expected`); findings go to stderr;
 //! * `--json` prints ONLY the machine-readable report to stdout (for the
 //!   CI artifact); the human summary goes to stderr.
 //!
@@ -26,16 +32,22 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut graph = false;
     let mut taint = false;
+    let mut order = false;
     let mut dag = false;
+    let mut order_dag = false;
     let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--graph" => graph = true,
             "--taint" => taint = true,
+            "--order" => order = true,
             "--dag" => dag = true,
+            "--order-dag" => order_dag = true,
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: roadlint [ROOT] [--graph] [--taint] [--dag] [--json]");
+                println!(
+                    "usage: roadlint [ROOT] [--graph] [--taint] [--order] [--dag] [--order-dag] [--json]"
+                );
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -81,6 +93,18 @@ fn main() -> ExitCode {
         return status;
     }
 
+    if order_dag {
+        // Stdout is exactly the canonical chain list, for `diff` against
+        // the committed determinism.expected.
+        for v in &analysis.order {
+            println!("{} => {} => {}", v.source, v.sanitizer, v.sink);
+        }
+        for f in &analysis.findings {
+            eprintln!("{f}");
+        }
+        return status;
+    }
+
     if graph {
         println!("lock classes: {:?}", analysis.graph.classes);
         for ((from, to), site) in &analysis.graph.edges {
@@ -92,6 +116,13 @@ fn main() -> ExitCode {
         println!("taint verdicts (source -> sanitizer -> sink):");
         for v in &analysis.taint {
             println!("  {}\n    -> sanitized by {}\n    -> {}", v.source, v.sanitizer, v.sink);
+        }
+    }
+
+    if order {
+        println!("order verdicts (source -> sanitizer -> sink):");
+        for v in &analysis.order {
+            println!("  {}\n    -> ordered by {}\n    -> {}", v.source, v.sanitizer, v.sink);
         }
     }
 

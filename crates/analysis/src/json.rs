@@ -1,5 +1,5 @@
 //! Hand-rolled JSON rendering of an [`Analysis`] for the CI artifact
-//! (`roadlint --json`). No serde: the report is four flat arrays of
+//! (`roadlint --json`). No serde: the report is five flat arrays of
 //! strings and integers, not worth a dependency the container may not
 //! have.
 
@@ -60,6 +60,19 @@ pub fn render(a: &Analysis) -> String {
             esc(&v.sink)
         );
     }
+    s.push_str("],\"order\":[");
+    for (i, v) in a.order.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"source\":{},\"sanitizer\":{},\"sink\":{}}}",
+            esc(&v.source),
+            esc(&v.sanitizer),
+            esc(&v.sink)
+        );
+    }
     s.push_str("]}");
     s
 }
@@ -97,7 +110,8 @@ mod tests {
         let j = render(&a);
         assert!(j.starts_with("{\"files_scanned\":1,"));
         assert!(j.contains("\"rule\":\"panic\""));
-        assert!(j.ends_with("\"taint\":[]}"));
+        assert!(j.contains("\"taint\":[]"));
+        assert!(j.ends_with("\"order\":[]}"));
         assert_eq!(esc("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -20,12 +20,21 @@
 //! 7. **guard-io** — no guard other than the buffer pool's own stripe
 //!    is held across `PageStore` IO ([`lockgraph`]);
 //! 8. **swallowed-error** — `Result`s on the serving/decode path are
-//!    not silently discarded ([`discard`]).
+//!    not silently discarded ([`discard`]);
+//! 9. **unordered-iter** — iteration over hash-ordered containers must
+//!    not reach byte output or order-sensitive commits unsorted
+//!    ([`order`], interprocedural);
+//! 10. **float-order** — float reductions over unordered domains are
+//!     flagged: reassociation breaks byte-identical builds ([`order`]);
+//! 11. **sched-order** — `thread::scope` fan-outs must deposit results
+//!     into index-addressed slots or join in spawn order, never consume
+//!     in thread-completion order ([`order`]).
 //!
-//! Rules 6–8 resolve calls across files and crates via [`callgraph`].
+//! Rules 6–11 resolve calls across files and crates via [`callgraph`].
 //! The pass walks every `.rs` file of the workspace (skipping `target`,
-//! `vendor`, test trees and fixtures) and exits non-zero on any finding,
-//! which makes it usable as a hard CI gate; `--json` emits a
+//! `vendor`, test trees, fixtures, dot-directories and anything listed in
+//! a root `roadlint.toml` `skip = […]` entry) and exits non-zero on any
+//! finding, which makes it usable as a hard CI gate; `--json` emits a
 //! machine-readable report for CI artifacts.
 
 pub mod callgraph;
@@ -35,6 +44,7 @@ pub mod json;
 pub mod lexer;
 pub mod lockgraph;
 pub mod markers;
+pub mod order;
 pub mod rules;
 pub mod syntax;
 
@@ -50,7 +60,8 @@ pub struct Finding {
     pub line: u32,
     /// Stable rule identifier (`panic`, `lock-order`, `hot-alloc`,
     /// `atomic-ordering`, `decode-bound`, `taint`, `guard-io`,
-    /// `swallowed-error`, `marker`).
+    /// `swallowed-error`, `unordered-iter`, `float-order`, `sched-order`,
+    /// `marker`).
     pub rule: &'static str,
     pub message: String,
 }
@@ -92,6 +103,10 @@ pub struct Analysis {
     /// The taint verdict table: every sanitized flow that reached a sink
     /// (for `--taint`).
     pub taint: Vec<dataflow::TaintVerdict>,
+    /// The order verdict table: every sanitized unordered flow that
+    /// reached a byte-output or commit sink, plus the clean fan-out
+    /// shapes (for `--order` / `--order-dag`).
+    pub order: Vec<order::OrderVerdict>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -115,6 +130,9 @@ pub fn analyze_sources<'a>(sources: impl IntoIterator<Item = (&'a str, &'a str)>
     analysis.findings.extend(taint_findings);
     analysis.taint = verdicts;
     analysis.findings.extend(discard::check(&files, &cg));
+    let (order_rule_findings, order_verdicts) = order::check(&files, &cg);
+    analysis.findings.extend(order_rule_findings);
+    analysis.order = order_verdicts;
     analysis.findings.sort();
     analysis.findings.dedup();
     analysis
@@ -123,12 +141,40 @@ pub fn analyze_sources<'a>(sources: impl IntoIterator<Item = (&'a str, &'a str)>
 /// Directory names never descended into: build output, vendored
 /// third-party code, test trees (unit-test modules inside live files are
 /// excluded separately, by token range) and the lint's own fixtures.
-const SKIP_DIRS: &[&str] =
-    &[".git", "target", "vendor", "tests", "benches", "fixtures", "examples"];
+/// Dot-directories (`.git`, editor caches, stray `.cargo` homes) are
+/// skipped wholesale by [`workspace_files`]; a root `roadlint.toml` can
+/// extend this list so a stray generated file cannot flip CI.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", "examples"];
+
+/// Extra skip names from a `roadlint.toml` at the workspace root, parsed
+/// by hand (the lint stays dependency-free): the `skip = ["…", …]` entry,
+/// ignoring `#` comments. Anything else in the file is ignored.
+fn config_skips(root: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(root.join("roadlint.toml")) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some(rest) = line.strip_prefix("skip") else { continue };
+        let Some(list) = rest.trim_start().strip_prefix('=') else { continue };
+        for piece in list.trim().trim_start_matches('[').trim_end_matches(']').split(',') {
+            let name = piece.trim().trim_matches('"');
+            if !name.is_empty() {
+                out.push(name.to_owned());
+            }
+        }
+    }
+    out
+}
 
 /// Collects every workspace `.rs` file under `root`, sorted for
-/// deterministic output.
+/// deterministic output. Skips the built-in skip list, every dot-directory, and
+/// any directory named by the root `roadlint.toml` skip list — in any
+/// position of the tree, so a `crates/foo/target/` from a nested cargo
+/// invocation is as invisible as the top-level one.
 pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let extra = config_skips(root);
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
@@ -138,7 +184,10 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if entry.file_type()?.is_dir() {
-                if !SKIP_DIRS.contains(&name.as_ref()) {
+                let skipped = name.starts_with('.')
+                    || SKIP_DIRS.contains(&name.as_ref())
+                    || extra.iter().any(|s| s == name.as_ref());
+                if !skipped {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
@@ -160,4 +209,70 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
         sources.push((rel, src));
     }
     Ok(analyze_sources(sources.iter().map(|(p, s)| (p.as_str(), s.as_str()))))
+}
+
+#[cfg(test)]
+mod walker_tests {
+    use super::*;
+
+    /// A throwaway directory tree; removed on drop so a failing assert
+    /// cannot leak state into later runs.
+    struct TempTree(PathBuf);
+
+    impl TempTree {
+        fn new(tag: &str) -> TempTree {
+            let dir =
+                std::env::temp_dir().join(format!("roadlint-walk-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempTree(dir)
+        }
+
+        fn write(&self, rel: &str, body: &str) {
+            let p = self.0.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(p, body).unwrap();
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rels(root: &Path) -> Vec<String> {
+        workspace_files(root)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.strip_prefix(root).unwrap().to_string_lossy().replace('\\', "/").to_string())
+            .collect()
+    }
+
+    #[test]
+    fn generated_and_dot_dirs_cannot_flip_the_scan() {
+        let t = TempTree::new("gen");
+        t.write("src/lib.rs", "fn ok() {}");
+        // Stray build output — top-level and nested — plus dot-dirs:
+        // none of these may reach the analysis, at any depth.
+        t.write("target/debug/build/junk.rs", "fn junk() { panic!() }");
+        t.write("crates/foo/target/gen.rs", "fn gen() { panic!() }");
+        t.write(".cargo/registry/dep.rs", "fn dep() { panic!() }");
+        t.write(".git/hooks/hook.rs", "fn hook() {}");
+        assert_eq!(rels(&t.0), vec!["src/lib.rs"]);
+    }
+
+    #[test]
+    fn roadlint_toml_skip_list_is_honored() {
+        let t = TempTree::new("toml");
+        t.write("src/lib.rs", "fn ok() {}");
+        t.write("generated/schema.rs", "fn gen() { panic!() }");
+        t.write("proto/out/wire.rs", "fn wire() { panic!() }");
+        assert_eq!(rels(&t.0).len(), 3, "without a config all three are scanned");
+        t.write(
+            "roadlint.toml",
+            "# extra directories the walker must never descend into\nskip = [\"generated\", \"out\"] # per-tree\n",
+        );
+        assert_eq!(rels(&t.0), vec!["src/lib.rs"]);
+    }
 }

@@ -19,6 +19,8 @@
 //! | `sanitized reason="…"` | taint escape: a sink on this/next line is bounded |
 //! | `allow(io-under-lock) reason="…"` | escape: guard intentionally held across page IO |
 //! | `allow(discard) reason="…"` | escape: the `Result` discard on this line is intentional |
+//! | `order-sink` | the next function is an order-sensitive commit: its arguments' order reaches serialized bytes |
+//! | `ordered reason="…"` | determinism escape: the unordered flow on this/next line is order-independent |
 //!
 //! Every escape *requires* a non-empty reason; an escape without one is
 //! itself a finding and does not suppress anything.
@@ -44,6 +46,13 @@ pub enum Marker {
     Sanitized(String),
     AllowIoUnderLock,
     AllowDiscard,
+    /// The next function commits its arguments in an order that reaches
+    /// serialized bytes (the determinism pass treats every call to it as
+    /// an order-sensitive sink).
+    OrderSink,
+    /// Determinism escape with its reason text (shown in the order
+    /// verdict table).
+    Ordered(String),
 }
 
 /// A marker plus the line its comment starts on.
@@ -84,6 +93,16 @@ impl Markers {
     pub fn sanitized_reason_near(&self, l: u32) -> Option<&str> {
         self.markers.iter().find_map(|m| match &m.marker {
             Marker::Sanitized(reason) if m.line == l || (l > 0 && m.line == l - 1) => {
+                Some(reason.as_str())
+            }
+            _ => None,
+        })
+    }
+
+    /// The reason of an `ordered` marker on line `l` or the line above.
+    pub fn ordered_reason_near(&self, l: u32) -> Option<&str> {
+        self.markers.iter().find_map(|m| match &m.marker {
+            Marker::Ordered(reason) if m.line == l || (l > 0 && m.line == l - 1) => {
                 Some(reason.as_str())
             }
             _ => None,
@@ -151,6 +170,17 @@ pub fn parse(file: &str, comments: &[Comment]) -> Markers {
                     .push(MarkerAt { marker: Marker::Sanitized(reason.to_owned()), line: c.line }),
                 None => out.hygiene.push(hygiene(
                     "`sanitized` requires a non-empty reason=\"…\" and suppresses nothing without one".to_owned(),
+                )),
+            }
+        } else if rest.starts_with("order-sink") {
+            out.markers.push(MarkerAt { marker: Marker::OrderSink, line: c.line });
+        } else if rest.starts_with("ordered") {
+            match reason_text(rest) {
+                Some(reason) => out
+                    .markers
+                    .push(MarkerAt { marker: Marker::Ordered(reason.to_owned()), line: c.line }),
+                None => out.hygiene.push(hygiene(
+                    "`ordered` requires a non-empty reason=\"…\" and suppresses nothing without one".to_owned(),
                 )),
             }
         } else if rest.starts_with("allow(io-under-lock)") {
@@ -242,6 +272,21 @@ mod tests {
         assert_eq!(m.hygiene.len(), 3);
         assert!(!m.has_on_line(&Marker::AllowPanic, 1));
         assert!(m.hygiene[2].message.contains("unknown"));
+    }
+
+    #[test]
+    fn order_directives_parse_and_require_reasons() {
+        let m = parse_src(
+            "// roadlint: order-sink\n\
+             fn commit() {}\n\
+             // roadlint: ordered reason=\"commutative integer sum\"\n\
+             // roadlint: ordered\n",
+        );
+        assert!(m.has_on_line(&Marker::OrderSink, 1));
+        assert_eq!(m.ordered_reason_near(3), Some("commutative integer sum"));
+        assert_eq!(m.ordered_reason_near(4), Some("commutative integer sum"));
+        assert_eq!(m.hygiene.len(), 1, "{:?}", m.hygiene);
+        assert!(m.hygiene[0].message.contains("`ordered`"));
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Float-reduction-order fixture: f64 accumulation over hash-ordered
+//! domains — float addition does not reassociate, so each of these can
+//! produce different bytes on different runs.
+
+pub fn total_weight(weights: &FastMap<u32, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for w in weights.values() {
+        total += w;
+    }
+    total
+}
+
+pub fn total_inline(weights: &FastMap<u32, f64>) -> f64 {
+    weights.values().copied().sum::<f64>()
+}
+
+pub fn heaviest(weights: &FastMap<u32, f64>) -> Option<u32> {
+    weights.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(k, _)| *k)
+}

@@ -1,0 +1,26 @@
+//! Sanctioned counterparts of `float_order_bad.rs`: every float
+//! reduction's domain order is fixed first (or a deterministic
+//! `total_cmp` tie-break is used), and integer reductions stay exempt.
+
+pub fn total_weight(weights: &FastMap<u32, f64>) -> f64 {
+    let mut vals: Vec<f64> = weights.values().copied().collect();
+    vals.sort_by(|a, b| a.total_cmp(b));
+    let mut total: f64 = 0.0;
+    for w in vals {
+        total += w;
+    }
+    total
+}
+
+pub fn heaviest(weights: &FastMap<u32, f64>) -> Option<u32> {
+    weights.iter().max_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0))).map(|(k, _)| *k)
+}
+
+/// Integer folds are order-independent; the rule must stay quiet here.
+pub fn edge_count(lists: &FastMap<u32, Vec<u32>>) -> usize {
+    let mut n = 0usize;
+    for list in lists.values() {
+        n += list.len();
+    }
+    n + lists.keys().count()
+}

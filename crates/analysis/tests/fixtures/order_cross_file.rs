@@ -1,0 +1,10 @@
+//! Cross-file fixture, file 2: collects hash-map keys unsorted and hands
+//! them to the emitting helper from `order_emit_helper.rs`. Either file
+//! alone is clean — the unordered-iteration chain only exists across the
+//! workspace call graph, which is exactly what file-local analysis
+//! missed.
+
+pub fn dump(map: &FastMap<u32, u64>, out: &mut Vec<u8>) {
+    let keys: Vec<u32> = map.keys().copied().collect();
+    emit_all(&keys, out);
+}

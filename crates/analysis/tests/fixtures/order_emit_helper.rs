@@ -1,0 +1,10 @@
+//! Cross-file fixture, file 1: a helper that loops over its slice
+//! parameter and emits bytes — an order sink for every caller, visible
+//! only through the workspace call graph (its parameter's order reaches
+//! `extend_from_slice`, so the sink propagates into the summary).
+
+pub fn emit_all(keys: &[u32], out: &mut Vec<u8>) {
+    for k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}

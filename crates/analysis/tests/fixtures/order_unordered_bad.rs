@@ -1,0 +1,26 @@
+//! Unordered-iteration fixture: hash-map iteration reaching byte output
+//! and an order-sensitive commit unsorted — both must fire.
+
+pub struct Store {
+    pub shortcuts: FastMap<u32, Vec<u32>>,
+}
+
+impl Store {
+    // roadlint: order-sink
+    pub fn commit(&mut self, ids: &[u32]) {
+        let _count = ids.len();
+    }
+
+    /// Emits records in whatever order the hash map yields — the bug the
+    /// determinism prover exists to catch.
+    pub fn dump(&self, out: &mut Vec<u8>) {
+        for (k, _) in &self.shortcuts {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+}
+
+pub fn flush(store: &mut Store, pending: &FastMap<u32, u32>) {
+    let ids: Vec<u32> = pending.keys().copied().collect();
+    store.commit(&ids);
+}

@@ -1,0 +1,46 @@
+//! Sanitized counterpart of `order_unordered_bad.rs`: the same flows with
+//! their order fixed — each lands in the verdict table instead of firing.
+
+pub struct Store {
+    pub shortcuts: FastMap<u32, Vec<u32>>,
+}
+
+impl Store {
+    // roadlint: order-sink
+    pub fn commit(&mut self, ids: &[u32]) {
+        let _count = ids.len();
+    }
+
+    /// Collect-then-sort: the canonical sanitizer.
+    pub fn dump(&self, out: &mut Vec<u8>) {
+        let mut keys: Vec<u32> = self.shortcuts.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+
+    /// Rebinding through a BTreeMap fixes the order structurally.
+    pub fn dump_btree(&self, out: &mut Vec<u8>) {
+        let sorted: BTreeMap<u32, usize> =
+            self.shortcuts.iter().map(|(&k, list)| (k, list.len())).collect();
+        for (k, _) in &sorted {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+}
+
+pub fn flush(store: &mut Store, pending: &FastMap<u32, u32>) {
+    let mut ids: Vec<u32> = pending.keys().copied().collect();
+    ids.sort_unstable();
+    store.commit(&ids);
+}
+
+/// A reasoned escape: the emitted region is rewritten before it can
+/// reach durable bytes, so the iteration order is genuinely irrelevant.
+pub fn scratch_tags(map: &FastMap<u32, u32>, out: &mut Vec<u8>) {
+    // roadlint: ordered reason="scratch region is re-sorted by the compaction pass before hitting disk"
+    for k in map.keys() {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}

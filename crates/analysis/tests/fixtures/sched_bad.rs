@@ -1,0 +1,39 @@
+//! Scheduling-dependence fixture: thread::scope fan-outs whose results
+//! are consumed in thread-completion order — both shapes must fire.
+
+/// Channel receive: arrival order depends on which worker finishes first.
+pub fn batch_completion_order(queries: &[u32]) -> Vec<u32> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for chunk in queries.chunks(8) {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for q in chunk {
+                    if tx.send(*q).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out = Vec::new();
+    while let Ok(x) = rx.recv() {
+        out.push(x);
+    }
+    out
+}
+
+/// Shared-Vec push: the Mutex serializes the pushes but not their order.
+pub fn batch_mutex_push(queries: &[u32], results: &std::sync::Mutex<Vec<u32>>) {
+    std::thread::scope(|scope| {
+        for chunk in queries.chunks(8) {
+            scope.spawn(move || {
+                for q in chunk {
+                    // roadlint: lock(batch-results)
+                    results.lock().unwrap().push(*q);
+                }
+            });
+        }
+    });
+}

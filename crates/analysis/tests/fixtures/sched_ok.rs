@@ -1,0 +1,17 @@
+//! The sanctioned fan-out shape: every worker writes its own
+//! index-addressed slots, so the commit layout is identical no matter
+//! which worker finishes first. Lands in the verdict table.
+
+pub fn batch_indexed(queries: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; queries.len()];
+    std::thread::scope(|scope| {
+        for (qs, slots) in queries.chunks(8).zip(out.chunks_mut(8)) {
+            scope.spawn(move || {
+                for (q, slot) in qs.iter().zip(slots.iter_mut()) {
+                    *slot = q + 1;
+                }
+            });
+        }
+    });
+    out
+}

@@ -195,6 +195,68 @@ fn swallowed_results_fire_and_escape() {
 }
 
 #[test]
+fn unordered_iteration_fires_on_emission_and_commits() {
+    let a = analyze_fixture("order_unordered_bad.rs");
+    let o: Vec<_> = a.findings.iter().filter(|f| f.rule == "unordered-iter").collect();
+    assert_eq!(o.len(), 2, "{:?}", a.findings);
+    let msgs: String = o.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.contains("byte output"), "{msgs}");
+    assert!(msgs.contains("order-sensitive commit Store::commit"), "{msgs}");
+}
+
+#[test]
+fn order_sanitizers_suppress_and_appear_in_the_verdict_table() {
+    let a = analyze_fixture("order_unordered_ok.rs");
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    let sanitizers: String = a.order.iter().map(|v| v.sanitizer.as_str()).collect();
+    assert!(sanitizers.contains("sort_unstable()"), "{sanitizers}");
+    assert!(sanitizers.contains("BTreeMap rebind"), "{sanitizers}");
+    assert!(sanitizers.contains("marker:"), "{sanitizers}");
+}
+
+#[test]
+fn float_reduction_order_fires_and_sorted_domains_suppress() {
+    let a = analyze_fixture("float_order_bad.rs");
+    let o: Vec<_> = a.findings.iter().filter(|f| f.rule == "float-order").collect();
+    assert_eq!(o.len(), 3, "{:?}", a.findings);
+    let msgs: String = o.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.contains("`total +=`"), "{msgs}");
+    assert!(msgs.contains(".sum()"), "{msgs}");
+    assert!(msgs.contains("partial_cmp"), "{msgs}");
+
+    let ok = analyze_fixture("float_order_ok.rs");
+    assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    assert!(ok.order.iter().any(|v| v.sanitizer.contains("sort_by()")), "{:?}", ok.order);
+}
+
+#[test]
+fn scheduling_dependence_fires_and_indexed_deposits_suppress() {
+    let a = analyze_fixture("sched_bad.rs");
+    let o: Vec<_> = a.findings.iter().filter(|f| f.rule == "sched-order").collect();
+    assert_eq!(o.len(), 2, "{:?}", a.findings);
+    let msgs: String = o.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.contains("recv"), "{msgs}");
+    assert!(msgs.contains("lock()"), "{msgs}");
+
+    let ok = analyze_fixture("sched_ok.rs");
+    assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    assert!(ok.order.iter().any(|v| v.sanitizer.contains("chunks_mut")), "{:?}", ok.order);
+}
+
+#[test]
+fn cross_file_unordered_chain_needs_the_workspace_call_graph() {
+    for f in ["order_emit_helper.rs", "order_cross_file.rs"] {
+        let a = analyze_fixture(f);
+        assert!(a.findings.is_empty(), "{f} alone should be clean: {:?}", a.findings);
+    }
+    let a = analyze_fixtures(&["order_emit_helper.rs", "order_cross_file.rs"]);
+    let o: Vec<_> = a.findings.iter().filter(|f| f.rule == "unordered-iter").collect();
+    assert_eq!(o.len(), 1, "{:?}", a.findings);
+    assert_eq!(o[0].file, "order_cross_file.rs");
+    assert!(o[0].message.contains("emit_all"), "{:?}", o[0]);
+}
+
+#[test]
 fn the_workspace_itself_is_clean() {
     // The CI gate in executable form: the real workspace must lint clean.
     let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
@@ -228,5 +290,39 @@ fn the_workspace_itself_is_clean() {
     assert!(
         a.taint.iter().any(|v| v.sink.contains("ShortcutStore::skip_rnet_section")),
         "lazy-open walker not in the verdict table"
+    );
+    // The determinism chains over the real serialize/commit surface —
+    // mirrored canonically in determinism.expected (diffed in CI). Every
+    // unordered iteration that reaches bytes must be here with its
+    // sanitizer, and the parallel fan-outs with their deposit shape.
+    let chain = |src: &str, san: &str, sink: &str| {
+        a.order
+            .iter()
+            .any(|v| v.source.contains(src) && v.sanitizer.contains(san) && v.sink.contains(sink))
+    };
+    assert!(
+        chain("ShortcutStore::serialize_into", "sort_unstable()", "byte output"),
+        "serialize chain missing: {:#?}",
+        a.order
+    );
+    assert!(
+        chain("PagedEngine::ensure_rnet_loaded", "sort_unstable()", "encode_shortcut_record"),
+        "page-emission chain missing: {:#?}",
+        a.order
+    );
+    assert!(
+        chain("repair_after_topology_change", "sort_by_key()", "ShortcutStore::refresh_rnets"),
+        "repair commit chain missing: {:#?}",
+        a.order
+    );
+    assert!(
+        chain("ShortcutStore::compute_level_maps", "chunks_mut", "deterministic commit order"),
+        "parallel-build fan-out verdict missing: {:#?}",
+        a.order
+    );
+    assert!(
+        chain("run_batch", "joined in spawn order", "deterministic commit order"),
+        "run_batch fan-out verdict missing: {:#?}",
+        a.order
     );
 }

@@ -304,6 +304,7 @@ impl ShortcutStore {
     /// always read fully repaired children and the outcome is byte-equal
     /// to refreshing every Rnet sequentially in the same order. Returns the
     /// per-Rnet "shortcut set changed" flags, aligned with `rnets`.
+    // roadlint: order-sink
     pub(crate) fn refresh_rnets(
         &mut self,
         g: &RoadNetwork,
